@@ -1,0 +1,782 @@
+//! Two-pass encoder: statements → machine code.
+//!
+//! Pass one sizes every statement (encoding-width choices depend only on
+//! operand *shape*, never on unresolved symbol values, so sizes are stable)
+//! and assigns label addresses; pass two encodes with the full symbol table.
+
+use crate::parser::{self, AsmError, Expr, Line, OpSize, Operand, Stmt};
+use sm_machine::cpu::Reg;
+use std::collections::HashMap;
+
+/// Result of assembling a source file.
+#[derive(Debug, Clone)]
+pub struct AsmOutput {
+    /// Machine code, laid out from the requested base address.
+    pub bytes: Vec<u8>,
+    /// Every label and `.equ` symbol with its resolved value.
+    pub symbols: HashMap<String, u32>,
+}
+
+impl AsmOutput {
+    /// Address of a symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol is not defined — convenient in tests and
+    /// program-construction code where a missing label is a bug.
+    pub fn sym(&self, name: &str) -> u32 {
+        *self
+            .symbols
+            .get(name)
+            .unwrap_or_else(|| panic!("undefined symbol `{name}`"))
+    }
+}
+
+/// Assemble `src` with its first byte at virtual address `base`.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending line for syntax errors, unknown
+/// mnemonics/operand combinations, undefined or duplicate symbols, and
+/// out-of-range values.
+pub fn assemble(src: &str, base: u32) -> Result<AsmOutput, AsmError> {
+    let lines = parser::parse(src)?;
+    // Pass 1: sizes and symbol values.
+    let mut syms: HashMap<String, i64> = HashMap::new();
+    let mut addr = base as i64;
+    let mut placed: Vec<(u32, &Line)> = Vec::new();
+    for line in &lines {
+        match &line.stmt {
+            Stmt::Label(name) => {
+                if syms.insert(name.clone(), addr).is_some() {
+                    return Err(AsmError::new(line.no, format!("duplicate symbol `{name}`")));
+                }
+            }
+            Stmt::Equ(name, e) => {
+                let v = e
+                    .eval(&syms)
+                    .map_err(|m| AsmError::new(line.no, m))?;
+                if syms.insert(name.clone(), v).is_some() {
+                    return Err(AsmError::new(line.no, format!("duplicate symbol `{name}`")));
+                }
+            }
+            stmt => {
+                let size = stmt_size(stmt, addr as u32, &syms, line.no)?;
+                placed.push((addr as u32, line));
+                addr += size as i64;
+            }
+        }
+    }
+    // Pass 2: encode.
+    let mut bytes = Vec::with_capacity((addr - base as i64) as usize);
+    for (at, line) in placed {
+        debug_assert_eq!(base + bytes.len() as u32, at);
+        encode_stmt(&line.stmt, at, &syms, line.no, &mut bytes, true)?;
+    }
+    let symbols = syms
+        .into_iter()
+        .map(|(k, v)| (k, v as u32))
+        .collect();
+    Ok(AsmOutput { bytes, symbols })
+}
+
+fn stmt_size(
+    stmt: &Stmt,
+    addr: u32,
+    syms: &HashMap<String, i64>,
+    no: usize,
+) -> Result<u32, AsmError> {
+    let mut buf = Vec::new();
+    encode_stmt(stmt, addr, syms, no, &mut buf, false)?;
+    Ok(buf.len() as u32)
+}
+
+/// Resolve an expression; in the sizing pass unknown symbols read as 0
+/// (widths never depend on symbol values, only on whether one is present).
+fn resolve(e: &Expr, syms: &HashMap<String, i64>, no: usize, strict: bool) -> Result<i64, AsmError> {
+    match e.eval(syms) {
+        Ok(v) => Ok(v),
+        Err(m) if strict => Err(AsmError::new(no, m)),
+        Err(_) => Ok(0),
+    }
+}
+
+fn fits_i8(v: i64) -> bool {
+    (-128..=127).contains(&v)
+}
+
+fn check_u32(v: i64, no: usize) -> Result<u32, AsmError> {
+    if (u32::MIN as i64..=u32::MAX as i64).contains(&v) || (i32::MIN as i64..0).contains(&v) {
+        Ok(v as u32)
+    } else {
+        Err(AsmError::new(no, format!("value {v} out of 32-bit range")))
+    }
+}
+
+/// Width of an immediate: symbols are always 32-bit so sizing is stable.
+fn imm_is_short(e: &Expr) -> bool {
+    e.const_val().is_some_and(fits_i8)
+}
+
+struct MemOp<'a> {
+    base: Option<Reg>,
+    index: Option<(Reg, u8)>,
+    disp: &'a Expr,
+}
+
+/// Emit a ModRM (and SIB / displacement) for a memory operand.
+fn emit_modrm_mem(
+    out: &mut Vec<u8>,
+    reg_field: u8,
+    m: &MemOp<'_>,
+    syms: &HashMap<String, i64>,
+    no: usize,
+    strict: bool,
+) -> Result<(), AsmError> {
+    let disp_v = resolve(m.disp, syms, no, strict)?;
+    let disp_const = m.disp.const_val();
+    match (m.base, m.index) {
+        (None, None) => {
+            out.push(reg_field << 3 | 0b101);
+            out.extend_from_slice(&(disp_v as i32).to_le_bytes());
+        }
+        (None, Some((idx, scale))) => {
+            out.push(reg_field << 3 | 0b100);
+            out.push(scale_bits(scale) << 6 | (idx as u8) << 3 | 0b101);
+            out.extend_from_slice(&(disp_v as i32).to_le_bytes());
+        }
+        (Some(base), index) => {
+            let need_sib = index.is_some() || base == Reg::Esp;
+            // mod choice is shape-stable: symbolic displacements are 32-bit.
+            let (md, short) = match disp_const {
+                Some(0) if base != Reg::Ebp => (0b00u8, None),
+                Some(v) if fits_i8(v) => (0b01, Some(v as i8)),
+                _ => (0b10, None),
+            };
+            let rm = if need_sib { 0b100 } else { base as u8 };
+            out.push(md << 6 | reg_field << 3 | rm);
+            if need_sib {
+                let (idx_bits, scale) = match index {
+                    Some((idx, scale)) => (idx as u8, scale),
+                    None => (0b100, 1),
+                };
+                out.push(scale_bits(scale) << 6 | idx_bits << 3 | base as u8);
+            }
+            match (md, short) {
+                (0b00, _) => {}
+                (0b01, Some(v)) => out.push(v as u8),
+                _ => out.extend_from_slice(&(disp_v as i32).to_le_bytes()),
+            }
+        }
+    }
+    Ok(())
+}
+
+fn scale_bits(scale: u8) -> u8 {
+    match scale {
+        1 => 0,
+        2 => 1,
+        4 => 2,
+        8 => 3,
+        _ => unreachable!("parser validated scale"),
+    }
+}
+
+fn emit_modrm_reg(out: &mut Vec<u8>, reg_field: u8, rm: Reg) {
+    out.push(0b11 << 6 | reg_field << 3 | rm as u8);
+}
+
+enum RmOp<'a> {
+    Reg(Reg),
+    Mem(MemOp<'a>),
+}
+
+fn as_rm<'a>(op: &'a Operand, no: usize) -> Result<(RmOp<'a>, Option<OpSize>), AsmError> {
+    match op {
+        Operand::Reg(r) => Ok((RmOp::Reg(*r), Some(OpSize::Dword))),
+        Operand::ByteReg(r) => Ok((RmOp::Reg(*r), Some(OpSize::Byte))),
+        Operand::Mem {
+            size,
+            base,
+            index,
+            disp,
+        } => Ok((
+            RmOp::Mem(MemOp {
+                base: *base,
+                index: *index,
+                disp,
+            }),
+            *size,
+        )),
+        Operand::Imm(_) => Err(AsmError::new(no, "immediate used where r/m expected")),
+    }
+}
+
+fn emit_rm(
+    out: &mut Vec<u8>,
+    reg_field: u8,
+    rm: &RmOp<'_>,
+    syms: &HashMap<String, i64>,
+    no: usize,
+    strict: bool,
+) -> Result<(), AsmError> {
+    match rm {
+        RmOp::Reg(r) => {
+            emit_modrm_reg(out, reg_field, *r);
+            Ok(())
+        }
+        RmOp::Mem(m) => emit_modrm_mem(out, reg_field, m, syms, no, strict),
+    }
+}
+
+fn cond_code(mn: &str) -> Option<u8> {
+    Some(match mn {
+        "jo" => 0,
+        "jno" => 1,
+        "jb" | "jc" | "jnae" => 2,
+        "jae" | "jnc" | "jnb" => 3,
+        "je" | "jz" => 4,
+        "jne" | "jnz" => 5,
+        "jbe" | "jna" => 6,
+        "ja" | "jnbe" => 7,
+        "js" => 8,
+        "jns" => 9,
+        "jp" | "jpe" => 10,
+        "jnp" | "jpo" => 11,
+        "jl" | "jnge" => 12,
+        "jge" | "jnl" => 13,
+        "jle" | "jng" => 14,
+        "jg" | "jnle" => 15,
+        _ => return None,
+    })
+}
+
+fn alu_opcodes(mn: &str) -> Option<(u8, u8)> {
+    // (to-rm opcode, group-1 extension)
+    Some(match mn {
+        "add" => (0x01, 0),
+        "or" => (0x09, 1),
+        "and" => (0x21, 4),
+        "sub" => (0x29, 5),
+        "xor" => (0x31, 6),
+        "cmp" => (0x39, 7),
+        _ => return None,
+    })
+}
+
+fn shift_ext(mn: &str) -> Option<u8> {
+    Some(match mn {
+        "shl" | "sal" => 4,
+        "shr" => 5,
+        "sar" => 7,
+        _ => return None,
+    })
+}
+
+fn grp3_ext(mn: &str) -> Option<u8> {
+    Some(match mn {
+        "not" => 2,
+        "neg" => 3,
+        "mul" => 4,
+        "div" => 6,
+        _ => return None,
+    })
+}
+
+#[allow(clippy::too_many_lines)]
+fn encode_stmt(
+    stmt: &Stmt,
+    addr: u32,
+    syms: &HashMap<String, i64>,
+    no: usize,
+    out: &mut Vec<u8>,
+    strict: bool,
+) -> Result<(), AsmError> {
+    match stmt {
+        Stmt::Label(_) | Stmt::Equ(..) => {}
+        Stmt::Byte(exprs) => {
+            for e in exprs {
+                let v = resolve(e, syms, no, strict)?;
+                if strict && !(-128..=255).contains(&v) {
+                    return Err(AsmError::new(no, format!(".byte value {v} out of range")));
+                }
+                out.push(v as u8);
+            }
+        }
+        Stmt::Word(exprs) => {
+            for e in exprs {
+                let v = check_u32(resolve(e, syms, no, strict)?, no)?;
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Stmt::Ascii(bytes) => out.extend_from_slice(bytes),
+        Stmt::Space { len, fill } => {
+            // Always strict: a forward-referenced length would change size
+            // between passes.
+            let n = resolve(len, syms, no, true)?;
+            if n < 0 {
+                return Err(AsmError::new(no, ".space length is negative"));
+            }
+            out.extend(std::iter::repeat_n(*fill, n as usize));
+        }
+        Stmt::Align(n) => {
+            let misalign = addr % n;
+            if misalign != 0 {
+                out.extend(std::iter::repeat_n(0x90, (n - misalign) as usize));
+            }
+        }
+        Stmt::Insn { mnemonic, ops } => {
+            encode_insn(mnemonic, ops, addr, syms, no, out, strict)?;
+        }
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_lines)]
+fn encode_insn(
+    mn: &str,
+    ops: &[Operand],
+    addr: u32,
+    syms: &HashMap<String, i64>,
+    no: usize,
+    out: &mut Vec<u8>,
+    strict: bool,
+) -> Result<(), AsmError> {
+    let bad = || AsmError::new(no, format!("bad operands for `{mn}`"));
+    let imm_of = |op: &Operand| -> Option<Expr> {
+        match op {
+            Operand::Imm(e) => Some(e.clone()),
+            _ => None,
+        }
+    };
+    match (mn, ops) {
+        ("nop", []) => out.push(0x90),
+        ("hlt", []) => out.push(0xF4),
+        ("ret", []) => out.push(0xC3),
+        ("leave", []) => out.push(0xC9),
+        ("cdq", []) => out.push(0x99),
+        ("int", [imm]) => {
+            let e = imm_of(imm).ok_or_else(bad)?;
+            let v = resolve(&e, syms, no, strict)?;
+            if strict && !(0..=255).contains(&v) {
+                return Err(AsmError::new(no, format!("int vector {v} out of range")));
+            }
+            out.push(0xCD);
+            out.push(v as u8);
+        }
+        ("mov", [Operand::Reg(r), Operand::Imm(e)]) => {
+            let v = check_u32(resolve(e, syms, no, strict)?, no)?;
+            out.push(0xB8 + *r as u8);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        ("mov", [Operand::Reg(dst), Operand::Reg(src)]) => {
+            out.push(0x89);
+            emit_modrm_reg(out, *src as u8, *dst);
+        }
+        ("mov", [Operand::Reg(dst), m @ Operand::Mem { size, .. }]) => {
+            if *size == Some(OpSize::Byte) {
+                return Err(AsmError::new(no, "use a byte register or movzx for byte loads"));
+            }
+            let (rm, _) = as_rm(m, no)?;
+            out.push(0x8B);
+            emit_rm(out, *dst as u8, &rm, syms, no, strict)?;
+        }
+        ("mov", [m @ Operand::Mem { size, .. }, Operand::Reg(src)]) => {
+            if *size == Some(OpSize::Byte) {
+                return Err(AsmError::new(no, "byte store needs a byte register"));
+            }
+            let (rm, _) = as_rm(m, no)?;
+            out.push(0x89);
+            emit_rm(out, *src as u8, &rm, syms, no, strict)?;
+        }
+        ("mov", [Operand::ByteReg(dst), m @ Operand::Mem { .. }]) => {
+            let (rm, _) = as_rm(m, no)?;
+            out.push(0x8A);
+            emit_rm(out, *dst as u8, &rm, syms, no, strict)?;
+        }
+        ("mov", [m @ Operand::Mem { .. }, Operand::ByteReg(src)]) => {
+            let (rm, _) = as_rm(m, no)?;
+            out.push(0x88);
+            emit_rm(out, *src as u8, &rm, syms, no, strict)?;
+        }
+        ("mov", [Operand::ByteReg(dst), Operand::ByteReg(src)]) => {
+            out.push(0x88);
+            emit_modrm_reg(out, *src as u8, *dst);
+        }
+        ("mov", [Operand::ByteReg(dst), Operand::Imm(e)]) => {
+            let v = resolve(e, syms, no, strict)?;
+            out.push(0xC6);
+            emit_modrm_reg(out, 0, *dst);
+            out.push(v as u8);
+        }
+        ("mov", [m @ Operand::Mem { size, .. }, Operand::Imm(e)]) => {
+            let (rm, _) = as_rm(m, no)?;
+            let v = resolve(e, syms, no, strict)?;
+            if *size == Some(OpSize::Byte) {
+                out.push(0xC6);
+                emit_rm(out, 0, &rm, syms, no, strict)?;
+                out.push(v as u8);
+            } else {
+                out.push(0xC7);
+                emit_rm(out, 0, &rm, syms, no, strict)?;
+                out.extend_from_slice(&check_u32(v, no)?.to_le_bytes());
+            }
+        }
+        ("movzx", [Operand::Reg(dst), src]) => {
+            let (rm, size) = as_rm(src, no)?;
+            if size == Some(OpSize::Dword) && matches!(src, Operand::Mem { .. }) {
+                return Err(AsmError::new(no, "movzx source must be byte-sized"));
+            }
+            out.push(0x0F);
+            out.push(0xB6);
+            emit_rm(out, *dst as u8, &rm, syms, no, strict)?;
+        }
+        ("lea", [Operand::Reg(dst), m @ Operand::Mem { .. }]) => {
+            let (rm, _) = as_rm(m, no)?;
+            out.push(0x8D);
+            emit_rm(out, *dst as u8, &rm, syms, no, strict)?;
+        }
+        ("push", [Operand::Reg(r)]) => out.push(0x50 + *r as u8),
+        ("push", [Operand::Imm(e)]) => {
+            let v = resolve(e, syms, no, strict)?;
+            if imm_is_short(e) {
+                out.push(0x6A);
+                out.push(v as i8 as u8);
+            } else {
+                out.push(0x68);
+                out.extend_from_slice(&check_u32(v, no)?.to_le_bytes());
+            }
+        }
+        ("push", [m @ Operand::Mem { .. }]) => {
+            let (rm, _) = as_rm(m, no)?;
+            out.push(0xFF);
+            emit_rm(out, 6, &rm, syms, no, strict)?;
+        }
+        ("pop", [Operand::Reg(r)]) => out.push(0x58 + *r as u8),
+        ("inc", [Operand::Reg(r)]) => out.push(0x40 + *r as u8),
+        ("dec", [Operand::Reg(r)]) => out.push(0x48 + *r as u8),
+        ("inc", [m @ Operand::Mem { .. }]) => {
+            let (rm, _) = as_rm(m, no)?;
+            out.push(0xFF);
+            emit_rm(out, 0, &rm, syms, no, strict)?;
+        }
+        ("dec", [m @ Operand::Mem { .. }]) => {
+            let (rm, _) = as_rm(m, no)?;
+            out.push(0xFF);
+            emit_rm(out, 1, &rm, syms, no, strict)?;
+        }
+        ("test", [a, Operand::Reg(r)]) | ("test", [Operand::Reg(r), a])
+            if !matches!(a, Operand::Imm(_) | Operand::ByteReg(_)) =>
+        {
+            let (rm, _) = as_rm(a, no)?;
+            out.push(0x85);
+            emit_rm(out, *r as u8, &rm, syms, no, strict)?;
+        }
+        (_, [dst, Operand::Imm(e)]) if alu_opcodes(mn).is_some() => {
+            let (_, ext) = alu_opcodes(mn).unwrap();
+            let (rm, size) = as_rm(dst, no)?;
+            if size == Some(OpSize::Byte) {
+                return Err(AsmError::new(no, "byte-sized ALU immediates unsupported"));
+            }
+            let v = resolve(e, syms, no, strict)?;
+            if imm_is_short(e) {
+                out.push(0x83);
+                emit_rm(out, ext, &rm, syms, no, strict)?;
+                out.push(v as i8 as u8);
+            } else {
+                out.push(0x81);
+                emit_rm(out, ext, &rm, syms, no, strict)?;
+                out.extend_from_slice(&check_u32(v, no)?.to_le_bytes());
+            }
+        }
+        (_, [Operand::Reg(dst), Operand::Reg(src)]) if alu_opcodes(mn).is_some() => {
+            let (op, _) = alu_opcodes(mn).unwrap();
+            out.push(op);
+            emit_modrm_reg(out, *src as u8, *dst);
+        }
+        (_, [m @ Operand::Mem { .. }, Operand::Reg(src)]) if alu_opcodes(mn).is_some() => {
+            let (op, _) = alu_opcodes(mn).unwrap();
+            let (rm, _) = as_rm(m, no)?;
+            out.push(op);
+            emit_rm(out, *src as u8, &rm, syms, no, strict)?;
+        }
+        (_, [Operand::Reg(dst), m @ Operand::Mem { .. }]) if alu_opcodes(mn).is_some() => {
+            let (op, _) = alu_opcodes(mn).unwrap();
+            let (rm, _) = as_rm(m, no)?;
+            out.push(op + 2); // 0x03-style reg, r/m direction
+            emit_rm(out, *dst as u8, &rm, syms, no, strict)?;
+        }
+        (_, [dst, count]) if shift_ext(mn).is_some() => {
+            let ext = shift_ext(mn).unwrap();
+            let (rm, _) = as_rm(dst, no)?;
+            match count {
+                Operand::Imm(e) => {
+                    let v = resolve(e, syms, no, strict)?;
+                    out.push(0xC1);
+                    emit_rm(out, ext, &rm, syms, no, strict)?;
+                    out.push(v as u8);
+                }
+                Operand::ByteReg(Reg::Ecx) => {
+                    out.push(0xD3);
+                    emit_rm(out, ext, &rm, syms, no, strict)?;
+                }
+                _ => return Err(bad()),
+            }
+        }
+        (_, [op1]) if grp3_ext(mn).is_some() => {
+            let ext = grp3_ext(mn).unwrap();
+            let (rm, _) = as_rm(op1, no)?;
+            out.push(0xF7);
+            emit_rm(out, ext, &rm, syms, no, strict)?;
+        }
+        ("call", [Operand::Imm(e)]) => {
+            let target = resolve(e, syms, no, strict)?;
+            out.push(0xE8);
+            let rel = target.wrapping_sub(addr as i64 + 5) as i32;
+            out.extend_from_slice(&rel.to_le_bytes());
+        }
+        ("call", [op1]) => {
+            let (rm, _) = as_rm(op1, no)?;
+            out.push(0xFF);
+            emit_rm(out, 2, &rm, syms, no, strict)?;
+        }
+        ("jmp", [Operand::Imm(e)]) => {
+            let target = resolve(e, syms, no, strict)?;
+            out.push(0xE9);
+            let rel = target.wrapping_sub(addr as i64 + 5) as i32;
+            out.extend_from_slice(&rel.to_le_bytes());
+        }
+        ("jmp", [op1]) => {
+            let (rm, _) = as_rm(op1, no)?;
+            out.push(0xFF);
+            emit_rm(out, 4, &rm, syms, no, strict)?;
+        }
+        (_, [Operand::Imm(e)]) if cond_code(mn).is_some() => {
+            let cc = cond_code(mn).unwrap();
+            let target = resolve(e, syms, no, strict)?;
+            out.push(0x0F);
+            out.push(0x80 + cc);
+            let rel = target.wrapping_sub(addr as i64 + 6) as i32;
+            out.extend_from_slice(&rel.to_le_bytes());
+        }
+        _ => return Err(bad()),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_machine::isa::{decode_slice, AluOp, Cond, Decoded, Dir, Grp5Op, Insn, Mem, Rm};
+
+    fn asm(src: &str) -> Vec<u8> {
+        assemble(src, 0x1000).expect("assemble").bytes
+    }
+
+    fn first(src: &str) -> Insn {
+        match decode_slice(&asm(src)).unwrap() {
+            Decoded::Insn { insn, .. } => insn,
+            Decoded::Invalid { opcode } => panic!("invalid {opcode:#x}"),
+        }
+    }
+
+    #[test]
+    fn mov_imm_matches_x86_bytes() {
+        assert_eq!(asm("mov ebx, 0"), b"\xbb\x00\x00\x00\x00");
+        assert_eq!(asm("mov eax, 1"), b"\xb8\x01\x00\x00\x00");
+        assert_eq!(asm("int 0x80"), b"\xcd\x80");
+    }
+
+    #[test]
+    fn reg_reg_and_mem_moves() {
+        assert_eq!(
+            first("mov eax, ebx"),
+            Insn::MovRmReg {
+                byte: false,
+                dir: Dir::ToRm,
+                rm: Rm::Reg(sm_machine::cpu::Reg::Eax),
+                reg: sm_machine::cpu::Reg::Ebx
+            }
+        );
+        assert_eq!(
+            first("mov eax, [ebp-4]"),
+            Insn::MovRmReg {
+                byte: false,
+                dir: Dir::FromRm,
+                rm: Rm::Mem(Mem::base_disp(sm_machine::cpu::Reg::Ebp, -4)),
+                reg: sm_machine::cpu::Reg::Eax
+            }
+        );
+    }
+
+    #[test]
+    fn esp_based_addressing_uses_sib() {
+        // [esp+8] must produce a SIB byte the decoder understands.
+        assert_eq!(
+            first("mov eax, [esp+8]"),
+            Insn::MovRmReg {
+                byte: false,
+                dir: Dir::FromRm,
+                rm: Rm::Mem(Mem::base_disp(sm_machine::cpu::Reg::Esp, 8)),
+                reg: sm_machine::cpu::Reg::Eax
+            }
+        );
+    }
+
+    #[test]
+    fn ebp_no_disp_still_encodes() {
+        // [ebp] has no mod=00 encoding; must fall back to disp8=0.
+        assert_eq!(
+            first("mov eax, [ebp]"),
+            Insn::MovRmReg {
+                byte: false,
+                dir: Dir::FromRm,
+                rm: Rm::Mem(Mem::base_disp(sm_machine::cpu::Reg::Ebp, 0)),
+                reg: sm_machine::cpu::Reg::Eax
+            }
+        );
+    }
+
+    #[test]
+    fn scaled_index_roundtrip() {
+        assert_eq!(
+            first("mov eax, [ebx+esi*4+12]"),
+            Insn::MovRmReg {
+                byte: false,
+                dir: Dir::FromRm,
+                rm: Rm::Mem(Mem {
+                    base: Some(sm_machine::cpu::Reg::Ebx),
+                    index: Some((sm_machine::cpu::Reg::Esi, 4)),
+                    disp: 12
+                }),
+                reg: sm_machine::cpu::Reg::Eax
+            }
+        );
+    }
+
+    #[test]
+    fn alu_short_and_long_immediates() {
+        let short = asm("sub esp, 8");
+        assert_eq!(short[0], 0x83);
+        let long = asm("sub esp, 0x1000");
+        assert_eq!(long[0], 0x81);
+        assert_eq!(
+            first("add eax, 5"),
+            Insn::AluImm {
+                op: AluOp::Add,
+                rm: Rm::Reg(sm_machine::cpu::Reg::Eax),
+                imm: 5
+            }
+        );
+    }
+
+    #[test]
+    fn labels_resolve_in_branches() {
+        // 0x1000: jmp over; 0x1005: hlt; over(0x1006): nop
+        let out = assemble("jmp over\nhlt\nover: nop\n", 0x1000).unwrap();
+        assert_eq!(out.sym("over"), 0x1006);
+        match decode_slice(&out.bytes).unwrap() {
+            Decoded::Insn {
+                insn: Insn::JmpRel(rel),
+                len,
+            } => assert_eq!(0x1000 + len as i32 + rel, 0x1006),
+            d => panic!("{d:?}"),
+        }
+    }
+
+    #[test]
+    fn backward_branch() {
+        let out = assemble("top: nop\njne top\n", 0x2000).unwrap();
+        match decode_slice(&out.bytes[1..]).unwrap() {
+            Decoded::Insn {
+                insn: Insn::JccRel(Cond::Ne, rel),
+                len,
+            } => assert_eq!(0x2001 + len as i32 + rel, 0x2000),
+            d => panic!("{d:?}"),
+        }
+    }
+
+    #[test]
+    fn call_label_and_indirect() {
+        let out = assemble("call f\nf: ret\n", 0).unwrap();
+        match decode_slice(&out.bytes).unwrap() {
+            Decoded::Insn {
+                insn: Insn::CallRel(rel),
+                len,
+            } => assert_eq!(len as i32 + rel, out.sym("f") as i32),
+            d => panic!("{d:?}"),
+        }
+        assert_eq!(
+            first("call eax"),
+            Insn::Grp5 {
+                op: Grp5Op::Call,
+                rm: Rm::Reg(sm_machine::cpu::Reg::Eax)
+            }
+        );
+    }
+
+    #[test]
+    fn byte_moves_via_byte_registers() {
+        let b = asm("mov al, [esi]");
+        assert_eq!(b[0], 0x8A);
+        let b = asm("mov [edi], bl");
+        assert_eq!(b[0], 0x88);
+        let b = asm("mov byte [edi], 7");
+        assert_eq!(b[0], 0xC6);
+        let b = asm("movzx eax, byte [esi]");
+        assert_eq!(&b[..2], &[0x0F, 0xB6]);
+    }
+
+    #[test]
+    fn data_directives_layout() {
+        let out = assemble(
+            "start: .byte 1, 2\n.word 0xdeadbeef\nmsg: .asciz \"ok\"\n.align 4\nend: nop\n",
+            0,
+        )
+        .unwrap();
+        assert_eq!(&out.bytes[..2], &[1, 2]);
+        assert_eq!(&out.bytes[2..6], &0xdeadbeef_u32.to_le_bytes());
+        assert_eq!(&out.bytes[6..9], b"ok\0");
+        assert_eq!(out.sym("end") % 4, 0);
+    }
+
+    #[test]
+    fn equ_constants() {
+        let out = assemble(".equ SYS_WRITE, 4\nmov eax, SYS_WRITE\n", 0).unwrap();
+        assert_eq!(out.bytes[1], 4);
+    }
+
+    #[test]
+    fn undefined_symbol_is_an_error() {
+        let err = assemble("mov eax, nosuch\n", 0).unwrap_err();
+        assert!(err.msg.contains("nosuch"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        assert!(assemble("a: nop\na: nop\n", 0).is_err());
+    }
+
+    #[test]
+    fn unknown_mnemonic_is_an_error() {
+        let err = assemble("frobnicate eax\n", 0).unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn shift_forms() {
+        assert_eq!(asm("shl eax, 4")[0], 0xC1);
+        assert_eq!(asm("shr ebx, cl")[0], 0xD3);
+    }
+
+    #[test]
+    fn sizing_is_stable_for_forward_labels() {
+        // A forward label in an ALU immediate must use the 32-bit form even
+        // though its value (0x10) would fit in 8 bits, so that pass-1 sizes
+        // match pass-2 sizes.
+        let out = assemble("add eax, tiny\n.equ ignored, 0\nnop\nnop\nnop\nnop\nnop\nnop\nnop\nnop\nnop\nnop\ntiny:\n", 0)
+            .unwrap();
+        assert_eq!(out.bytes[0], 0x81);
+        assert_eq!(out.sym("tiny"), 6 + 10);
+    }
+}

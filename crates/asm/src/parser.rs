@@ -1,0 +1,624 @@
+//! Line parser: source text → statements with unresolved expressions.
+
+use sm_machine::cpu::Reg;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Assembly error with the 1-based source line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number (0 for whole-program errors).
+    pub line: usize,
+    /// Description of the problem.
+    pub msg: String,
+}
+
+impl AsmError {
+    pub(crate) fn new(line: usize, msg: impl Into<String>) -> AsmError {
+        AsmError {
+            line,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// One additive term of an expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Term {
+    Num(i64),
+    Sym(String),
+}
+
+/// A `+`/`-` chain of numbers, characters and symbols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Expr {
+    /// (negated, term) pairs; the first pair may be negated too (`-4`).
+    pub terms: Vec<(bool, Term)>,
+}
+
+impl Expr {
+    pub(crate) fn num(v: i64) -> Expr {
+        Expr {
+            terms: vec![(false, Term::Num(v))],
+        }
+    }
+
+    /// True if the expression references no symbols.
+    pub(crate) fn is_const(&self) -> bool {
+        self.terms.iter().all(|(_, t)| matches!(t, Term::Num(_)))
+    }
+
+    /// Evaluate against a symbol table.
+    pub(crate) fn eval(&self, syms: &HashMap<String, i64>) -> Result<i64, String> {
+        let mut acc = 0i64;
+        for (neg, t) in &self.terms {
+            let v = match t {
+                Term::Num(n) => *n,
+                Term::Sym(s) => *syms
+                    .get(s)
+                    .ok_or_else(|| format!("undefined symbol `{s}`"))?,
+            };
+            if *neg {
+                acc = acc.wrapping_sub(v);
+            } else {
+                acc = acc.wrapping_add(v);
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Value if constant.
+    pub(crate) fn const_val(&self) -> Option<i64> {
+        self.is_const().then(|| self.eval(&HashMap::new()).unwrap())
+    }
+}
+
+/// Operand size marker (`byte`/`dword` keywords).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OpSize {
+    Byte,
+    Dword,
+}
+
+/// A parsed operand.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Operand {
+    Reg(Reg),
+    ByteReg(Reg),
+    Mem {
+        size: Option<OpSize>,
+        base: Option<Reg>,
+        index: Option<(Reg, u8)>,
+        disp: Expr,
+    },
+    Imm(Expr),
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Stmt {
+    Label(String),
+    Insn {
+        mnemonic: String,
+        ops: Vec<Operand>,
+    },
+    Byte(Vec<Expr>),
+    Word(Vec<Expr>),
+    Ascii(Vec<u8>),
+    Space { len: Expr, fill: u8 },
+    Align(u32),
+    Equ(String, Expr),
+}
+
+/// A statement tagged with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Line {
+    pub no: usize,
+    pub stmt: Stmt,
+}
+
+fn reg_from_name(s: &str) -> Option<Reg> {
+    Reg::ALL.into_iter().find(|r| r.name() == s)
+}
+
+fn byte_reg_from_name(s: &str) -> Option<Reg> {
+    Reg::ALL.into_iter().find(|r| r.byte_name() == s)
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().unwrap().is_ascii_alphabetic()
+            | (s.starts_with('_') || s.starts_with('.'))
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+/// Strip a trailing comment, respecting `'c'` and `"str"` quoting.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut in_chr = false;
+    let mut prev_escape = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if (in_str || in_chr) && !prev_escape => {
+                prev_escape = true;
+                continue;
+            }
+            '"' if !in_chr && !prev_escape => in_str = !in_str,
+            '\'' if !in_str && !prev_escape => in_chr = !in_chr,
+            ';' | '#' if !in_str && !in_chr => return &line[..i],
+            _ => {}
+        }
+        prev_escape = false;
+    }
+    line
+}
+
+/// Split on `,` at top level (respecting quotes).
+fn split_operands(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut in_chr = false;
+    let mut prev_escape = false;
+    for c in s.chars() {
+        match c {
+            '\\' if (in_str || in_chr) && !prev_escape => {
+                prev_escape = true;
+                cur.push(c);
+                continue;
+            }
+            '"' if !in_chr && !prev_escape => in_str = !in_str,
+            '\'' if !in_str && !prev_escape => in_chr = !in_chr,
+            ',' if !in_str && !in_chr => {
+                out.push(cur.trim().to_string());
+                cur.clear();
+                prev_escape = false;
+                continue;
+            }
+            _ => {}
+        }
+        prev_escape = false;
+        cur.push(c);
+    }
+    if !cur.trim().is_empty() || !out.is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+fn parse_term(s: &str) -> Result<Term, String> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err("empty expression term".into());
+    }
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        return i64::from_str_radix(hex, 16)
+            .map(Term::Num)
+            .map_err(|_| format!("bad hex literal `{s}`"));
+    }
+    if s.starts_with('\'') {
+        let inner = s
+            .strip_prefix('\'')
+            .and_then(|t| t.strip_suffix('\''))
+            .ok_or_else(|| format!("bad char literal `{s}`"))?;
+        let b = unescape(inner).map_err(|e| format!("bad char literal `{s}`: {e}"))?;
+        if b.len() != 1 {
+            return Err(format!("char literal `{s}` is not one byte"));
+        }
+        return Ok(Term::Num(b[0] as i64));
+    }
+    if s.chars().next().unwrap().is_ascii_digit() {
+        return s
+            .parse::<i64>()
+            .map(Term::Num)
+            .map_err(|_| format!("bad number `{s}`"));
+    }
+    if is_ident(s) {
+        return Ok(Term::Sym(s.to_string()));
+    }
+    Err(format!("cannot parse term `{s}`"))
+}
+
+/// Parse a `+`/`-` expression.
+pub(crate) fn parse_expr(s: &str) -> Result<Expr, String> {
+    let s = s.trim();
+    let mut terms = Vec::new();
+    let mut neg = false;
+    let mut cur = String::new();
+    let mut chars = s.chars().peekable();
+    // Leading sign.
+    if let Some('-') = chars.peek() {
+        neg = true;
+        chars.next();
+    } else if let Some('+') = chars.peek() {
+        chars.next();
+    }
+    let mut in_chr = false;
+    for c in chars {
+        match c {
+            '\'' => {
+                in_chr = !in_chr;
+                cur.push(c);
+            }
+            '+' | '-' if !in_chr => {
+                terms.push((neg, parse_term(&cur)?));
+                cur.clear();
+                neg = c == '-';
+            }
+            _ => cur.push(c),
+        }
+    }
+    terms.push((neg, parse_term(&cur)?));
+    Ok(Expr { terms })
+}
+
+fn unescape(s: &str) -> Result<Vec<u8>, String> {
+    let mut out = Vec::new();
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            let mut buf = [0u8; 4];
+            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push(b'\n'),
+            Some('t') => out.push(b'\t'),
+            Some('r') => out.push(b'\r'),
+            Some('0') => out.push(0),
+            Some('\\') => out.push(b'\\'),
+            Some('\'') => out.push(b'\''),
+            Some('"') => out.push(b'"'),
+            Some('x') => {
+                let h: String = chars.by_ref().take(2).collect();
+                let v = u8::from_str_radix(&h, 16).map_err(|_| format!("bad \\x escape `{h}`"))?;
+                out.push(v);
+            }
+            other => return Err(format!("bad escape `\\{}`", other.unwrap_or(' '))),
+        }
+    }
+    Ok(out)
+}
+
+/// Parsed memory-operand body: base register, scaled index, displacement.
+type MemBody = (Option<Reg>, Option<(Reg, u8)>, Expr);
+
+/// Parse a memory operand body (between `[` and `]`).
+fn parse_mem_body(s: &str) -> Result<MemBody, String> {
+    let mut base: Option<Reg> = None;
+    let mut index: Option<(Reg, u8)> = None;
+    let mut disp_terms: Vec<(bool, Term)> = Vec::new();
+    // Split on top-level + and - (no quoting inside mem operands).
+    let mut pieces: Vec<(bool, String)> = Vec::new();
+    let mut cur = String::new();
+    let mut neg = false;
+    for c in s.chars() {
+        match c {
+            '+' | '-' => {
+                if !cur.trim().is_empty() {
+                    pieces.push((neg, cur.trim().to_string()));
+                    cur.clear();
+                }
+                neg = c == '-';
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        pieces.push((neg, cur.trim().to_string()));
+    }
+    for (neg, p) in pieces {
+        if let Some((r, s)) = p.split_once('*') {
+            let reg = reg_from_name(r.trim()).ok_or_else(|| format!("bad index register `{r}`"))?;
+            let scale: u8 = s
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad scale `{s}`"))?;
+            if ![1, 2, 4, 8].contains(&scale) {
+                return Err(format!("scale must be 1/2/4/8, got {scale}"));
+            }
+            if reg == Reg::Esp {
+                return Err("esp cannot be an index register".into());
+            }
+            if neg {
+                return Err("scaled index cannot be negated".into());
+            }
+            if index.is_some() {
+                return Err("two index registers in memory operand".into());
+            }
+            index = Some((reg, scale));
+        } else if let Some(reg) = reg_from_name(&p) {
+            if neg {
+                return Err("register cannot be negated in memory operand".into());
+            }
+            if base.is_none() {
+                base = Some(reg);
+            } else if index.is_none() {
+                if reg == Reg::Esp {
+                    return Err("esp cannot be an index register".into());
+                }
+                index = Some((reg, 1));
+            } else {
+                return Err("three registers in memory operand".into());
+            }
+        } else {
+            disp_terms.push((neg, parse_term(&p)?));
+        }
+    }
+    let disp = if disp_terms.is_empty() {
+        Expr::num(0)
+    } else {
+        Expr { terms: disp_terms }
+    };
+    Ok((base, index, disp))
+}
+
+fn parse_operand(s: &str) -> Result<Operand, String> {
+    let s = s.trim();
+    let (size, rest) = if let Some(r) = s.strip_prefix("byte ") {
+        (Some(OpSize::Byte), r.trim())
+    } else if let Some(r) = s.strip_prefix("dword ") {
+        (Some(OpSize::Dword), r.trim())
+    } else {
+        (None, s)
+    };
+    if rest.starts_with('[') {
+        let body = rest
+            .strip_prefix('[')
+            .and_then(|t| t.strip_suffix(']'))
+            .ok_or_else(|| format!("unterminated memory operand `{s}`"))?;
+        let (base, index, disp) = parse_mem_body(body)?;
+        return Ok(Operand::Mem {
+            size,
+            base,
+            index,
+            disp,
+        });
+    }
+    if size.is_some() {
+        return Err(format!("size prefix on non-memory operand `{s}`"));
+    }
+    if let Some(r) = reg_from_name(rest) {
+        return Ok(Operand::Reg(r));
+    }
+    if let Some(r) = byte_reg_from_name(rest) {
+        return Ok(Operand::ByteReg(r));
+    }
+    Ok(Operand::Imm(parse_expr(rest)?))
+}
+
+fn parse_string_literal(s: &str, line: usize) -> Result<Vec<u8>, AsmError> {
+    let s = s.trim();
+    let inner = s
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .ok_or_else(|| AsmError::new(line, format!("expected string literal, got `{s}`")))?;
+    unescape(inner).map_err(|e| AsmError::new(line, e))
+}
+
+/// Parse source text into statements.
+pub(crate) fn parse(src: &str) -> Result<Vec<Line>, AsmError> {
+    let mut out = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let no = idx + 1;
+        let mut rest = strip_comment(raw).trim();
+        // Labels (possibly several on one line).
+        while let Some(colon) = rest.find(':') {
+            let (head, tail) = rest.split_at(colon);
+            let head = head.trim();
+            if is_ident(head) && !head.starts_with('.') {
+                out.push(Line {
+                    no,
+                    stmt: Stmt::Label(head.to_string()),
+                });
+                rest = tail[1..].trim();
+            } else {
+                break;
+            }
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let (word, args) = match rest.split_once(char::is_whitespace) {
+            Some((w, a)) => (w, a.trim()),
+            None => (rest, ""),
+        };
+        let stmt = if let Some(directive) = word.strip_prefix('.') {
+            parse_directive(directive, args, no)?
+        } else {
+            let ops = split_operands(args)
+                .iter()
+                .map(|o| parse_operand(o).map_err(|e| AsmError::new(no, e)))
+                .collect::<Result<Vec<_>, _>>()?;
+            Stmt::Insn {
+                mnemonic: word.to_ascii_lowercase(),
+                ops,
+            }
+        };
+        out.push(Line { no, stmt });
+    }
+    Ok(out)
+}
+
+fn parse_directive(name: &str, args: &str, no: usize) -> Result<Stmt, AsmError> {
+    let exprs = || -> Result<Vec<Expr>, AsmError> {
+        split_operands(args)
+            .iter()
+            .map(|e| parse_expr(e).map_err(|m| AsmError::new(no, m)))
+            .collect()
+    };
+    match name {
+        "byte" => Ok(Stmt::Byte(exprs()?)),
+        "word" => Ok(Stmt::Word(exprs()?)),
+        "ascii" => Ok(Stmt::Ascii(parse_string_literal(args, no)?)),
+        "asciz" => {
+            let mut b = parse_string_literal(args, no)?;
+            b.push(0);
+            Ok(Stmt::Ascii(b))
+        }
+        "space" => {
+            let parts = split_operands(args);
+            if parts.is_empty() || parts.len() > 2 {
+                return Err(AsmError::new(no, ".space takes 1 or 2 arguments"));
+            }
+            let len = parse_expr(&parts[0]).map_err(|m| AsmError::new(no, m))?;
+            let fill = if parts.len() == 2 {
+                parse_expr(&parts[1])
+                    .map_err(|m| AsmError::new(no, m))?
+                    .const_val()
+                    .ok_or_else(|| AsmError::new(no, ".space fill must be constant"))?
+                    as u8
+            } else {
+                0
+            };
+            Ok(Stmt::Space { len, fill })
+        }
+        "align" => {
+            let n = parse_expr(args)
+                .map_err(|m| AsmError::new(no, m))?
+                .const_val()
+                .ok_or_else(|| AsmError::new(no, ".align takes a constant"))?;
+            if n <= 0 || (n & (n - 1)) != 0 {
+                return Err(AsmError::new(no, ".align takes a power of two"));
+            }
+            Ok(Stmt::Align(n as u32))
+        }
+        "equ" => {
+            let parts = split_operands(args);
+            if parts.len() != 2 || !is_ident(&parts[0]) {
+                return Err(AsmError::new(no, ".equ takes `name, expr`"));
+            }
+            let e = parse_expr(&parts[1]).map_err(|m| AsmError::new(no, m))?;
+            Ok(Stmt::Equ(parts[0].clone(), e))
+        }
+        other => Err(AsmError::new(no, format!("unknown directive `.{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_insns() {
+        let lines = parse("start: mov eax, 1\n  int 0x80 ; exit\n").unwrap();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].stmt, Stmt::Label("start".into()));
+        match &lines[1].stmt {
+            Stmt::Insn { mnemonic, ops } => {
+                assert_eq!(mnemonic, "mov");
+                assert_eq!(ops.len(), 2);
+            }
+            s => panic!("{s:?}"),
+        }
+    }
+
+    #[test]
+    fn mem_operand_forms() {
+        let op = |s: &str| parse_operand(s).unwrap();
+        assert_eq!(
+            op("[eax]"),
+            Operand::Mem {
+                size: None,
+                base: Some(Reg::Eax),
+                index: None,
+                disp: Expr::num(0)
+            }
+        );
+        match op("[ebp-8]") {
+            Operand::Mem { base, disp, .. } => {
+                assert_eq!(base, Some(Reg::Ebp));
+                assert_eq!(disp.const_val(), Some(-8));
+            }
+            o => panic!("{o:?}"),
+        }
+        match op("[ebx+esi*4+12]") {
+            Operand::Mem {
+                base, index, disp, ..
+            } => {
+                assert_eq!(base, Some(Reg::Ebx));
+                assert_eq!(index, Some((Reg::Esi, 4)));
+                assert_eq!(disp.const_val(), Some(12));
+            }
+            o => panic!("{o:?}"),
+        }
+        match op("byte [edi]") {
+            Operand::Mem { size, .. } => assert_eq!(size, Some(OpSize::Byte)),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn label_in_displacement() {
+        match parse_operand("[buffer+4]").unwrap() {
+            Operand::Mem { disp, .. } => {
+                assert!(!disp.is_const());
+            }
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn expr_evaluation() {
+        let mut syms = HashMap::new();
+        syms.insert("base".to_string(), 0x1000i64);
+        let e = parse_expr("base+0x10-8").unwrap();
+        assert_eq!(e.eval(&syms).unwrap(), 0x1008);
+        assert_eq!(parse_expr("'A'").unwrap().const_val(), Some(65));
+        assert_eq!(parse_expr("-4").unwrap().const_val(), Some(-4));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let lines = parse(".asciz \"hi\\n\\x00\\\"q\"").unwrap();
+        match &lines[0].stmt {
+            Stmt::Ascii(b) => assert_eq!(b, &[b'h', b'i', b'\n', 0, b'"', b'q', 0]),
+            s => panic!("{s:?}"),
+        }
+    }
+
+    #[test]
+    fn comment_inside_string_is_kept() {
+        let lines = parse(".ascii \"a;b#c\"").unwrap();
+        match &lines[0].stmt {
+            Stmt::Ascii(b) => assert_eq!(b, b"a;b#c"),
+            s => panic!("{s:?}"),
+        }
+    }
+
+    #[test]
+    fn byte_registers() {
+        assert_eq!(parse_operand("al").unwrap(), Operand::ByteReg(Reg::Eax));
+        assert_eq!(parse_operand("bl").unwrap(), Operand::ByteReg(Reg::Ebx));
+    }
+
+    #[test]
+    fn directives() {
+        let lines = parse(".equ X, 5\n.byte 1, 2, X\n.space 16, 0xAA\n.align 4\n").unwrap();
+        assert!(matches!(lines[0].stmt, Stmt::Equ(..)));
+        assert!(matches!(&lines[1].stmt, Stmt::Byte(v) if v.len() == 3));
+        assert!(matches!(lines[2].stmt, Stmt::Space { fill: 0xAA, .. }));
+        assert_eq!(lines[3].stmt, Stmt::Align(4));
+    }
+
+    #[test]
+    fn rejects_bad_scale_and_esp_index() {
+        assert!(parse_operand("[eax+ebx*3]").is_err());
+        assert!(parse_operand("[eax+esp*2]").is_err());
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let err = parse("nop\n.align 3\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

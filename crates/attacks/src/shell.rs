@@ -1,0 +1,144 @@
+//! The `/bin/sh` guest image.
+//!
+//! Successful exploits `execve("/bin/sh")`; this is the shell they get. It
+//! reads commands from fd 0 and answers on fd 1 (which remote-shell
+//! payloads have `dup2`'d onto the attacker's socket), supporting the
+//! handful of commands the paper's screenshots show an attacker typing
+//! (`id`, `whoami`, `uname`, `exit`).
+
+use sm_kernel::fs::RamFs;
+use sm_kernel::userlib::{BuiltProgram, ProgramBuilder};
+
+/// Canonical shell path; the harness treats an `Exec` event for this path
+/// as proof the attack achieved code execution.
+pub const SHELL_PATH: &str = "/bin/sh";
+
+/// Build the shell image.
+pub fn shell_program() -> BuiltProgram {
+    ProgramBuilder::new(SHELL_PATH)
+        .code(
+            "_start:
+                mov ebx, 1
+                mov esi, prompt
+                call fdputs
+                mov ebx, 0
+                mov edi, cmdbuf
+                mov edx, 64
+                call read_line
+                cmp eax, 0
+                je maybe_eof
+                mov dword [sawinput], 1
+                mov esi, cmdbuf
+                mov edi, cmd_id
+                call strcmp
+                cmp eax, 0
+                je do_id
+                mov esi, cmdbuf
+                mov edi, cmd_whoami
+                call strcmp
+                cmp eax, 0
+                je do_whoami
+                mov esi, cmdbuf
+                mov edi, cmd_uname
+                call strcmp
+                cmp eax, 0
+                je do_uname
+                mov esi, cmdbuf
+                mov edi, cmd_exit
+                call strcmp
+                cmp eax, 0
+                je do_exit
+                mov ebx, 1
+                mov esi, notfound
+                call fdputs
+                jmp _start
+            maybe_eof:
+                ; empty line vs EOF: a second zero-length read in a row is
+                ; treated as EOF.
+                mov eax, [eofcount]
+                inc eax
+                mov [eofcount], eax
+                cmp eax, 3
+                jae do_exit
+                jmp _start
+            do_id:
+                mov ebx, 1
+                mov esi, id_out
+                call fdputs
+                jmp _start
+            do_whoami:
+                mov ebx, 1
+                mov esi, whoami_out
+                call fdputs
+                jmp _start
+            do_uname:
+                mov ebx, 1
+                mov esi, uname_out
+                call fdputs
+                jmp _start
+            do_exit:
+                mov ebx, 0
+                call exit",
+        )
+        .data(
+            "prompt: .asciz \"$ \"
+             cmdbuf: .space 64
+             sawinput: .word 0
+             eofcount: .word 0
+             cmd_id: .asciz \"id\"
+             cmd_whoami: .asciz \"whoami\"
+             cmd_uname: .asciz \"uname\"
+             cmd_exit: .asciz \"exit\"
+             id_out: .asciz \"uid=0(root) gid=0(root) groups=0(root)\\n\"
+             whoami_out: .asciz \"root\\n\"
+             uname_out: .asciz \"sm-linux 2.6.13 i686\\n\"
+             notfound: .asciz \"sh: command not found\\n\"",
+        )
+        .build()
+        .expect("shell assembles")
+}
+
+/// Install the shell image into a filesystem so `execve("/bin/sh")` works.
+pub fn install_shell(fs: &mut RamFs) {
+    fs.install(SHELL_PATH, shell_program().image.to_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_kernel::engine::NullEngine;
+    use sm_kernel::kernel::{Kernel, RunExit};
+
+    #[test]
+    fn shell_answers_id_and_exits() {
+        let prog = shell_program();
+        let mut k = Kernel::with_engine(Box::new(NullEngine));
+        let pid = k.spawn(&prog.image).unwrap();
+        k.sys.proc_mut(pid).input = b"id\nwhoami\nexit\n".to_vec();
+        assert_eq!(k.run(80_000_000), RunExit::AllExited);
+        let out = k.sys.proc(pid).output_string();
+        assert!(out.contains("uid=0(root)"), "{out}");
+        assert!(out.contains("root\n"), "{out}");
+        assert_eq!(k.sys.proc(pid).exit_code, Some(0));
+    }
+
+    #[test]
+    fn unknown_command_reports_not_found() {
+        let prog = shell_program();
+        let mut k = Kernel::with_engine(Box::new(NullEngine));
+        let pid = k.spawn(&prog.image).unwrap();
+        k.sys.proc_mut(pid).input = b"frobnicate\nexit\n".to_vec();
+        k.run(80_000_000);
+        assert!(k.sys.proc(pid).output_string().contains("command not found"));
+    }
+
+    #[test]
+    fn eof_terminates_shell() {
+        let prog = shell_program();
+        let mut k = Kernel::with_engine(Box::new(NullEngine));
+        let pid = k.spawn(&prog.image).unwrap();
+        // No input at all: repeated zero-length reads → EOF → exit.
+        assert_eq!(k.run(80_000_000), RunExit::AllExited);
+        assert_eq!(k.sys.proc(pid).exit_code, Some(0));
+    }
+}

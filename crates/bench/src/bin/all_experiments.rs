@@ -1,0 +1,42 @@
+//! Runs every table and figure in sequence (the paper's full evaluation).
+fn main() {
+    println!("==== Table 1 ====================================================\n");
+    let t1 = sm_bench::table1::run();
+    println!("{}", sm_bench::table1::render(&t1));
+    println!("matches paper: {}\n", t1.matches_paper());
+
+    println!("==== Table 2 ====================================================\n");
+    let t2 = sm_bench::table2::run();
+    println!("{}", sm_bench::table2::render(&t2));
+    println!("matches paper: {}\n", t2.matches_paper());
+
+    println!("==== Fig. 5 =====================================================\n");
+    let f5 = sm_bench::fig5::run();
+    println!("{}", sm_bench::fig5::render(&f5));
+
+    println!("==== Fig. 6 =====================================================\n");
+    let f6 = sm_bench::fig6::run(sm_bench::fig6::Fig6Params::default());
+    println!("{}", sm_bench::fig6::render(&f6));
+
+    println!("==== Fig. 7 =====================================================\n");
+    let f7 = sm_bench::fig7::run(60);
+    println!("{}", sm_bench::fig7::render(&f7));
+
+    println!("==== Fig. 8 =====================================================\n");
+    let f8 = sm_bench::fig8::run(30);
+    println!("{}", sm_bench::fig8::render(&f8));
+
+    println!("==== Fig. 9 =====================================================\n");
+    let f9 = sm_bench::fig9::run(50, 8);
+    println!("{}", sm_bench::fig9::render(&f9));
+
+    println!("==== Memory overhead (§5.1) =====================================\n");
+    let mem = sm_bench::memory::run(4096, 25);
+    println!("{}", sm_bench::memory::render(&mem));
+
+    println!("==== Ablations ==================================================\n");
+    let itlb = sm_bench::ablation::itlb_loader(60);
+    let sens = sm_bench::ablation::trap_cost_sensitivity(60);
+    let soft = sm_bench::ablation::softtlb_port(60);
+    println!("{}", sm_bench::ablation::render_all(&itlb, &sens, &soft));
+}

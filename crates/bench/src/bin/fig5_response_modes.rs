@@ -1,0 +1,6 @@
+//! Regenerates the paper's Fig. 5 (response modes against WU-FTPD).
+fn main() {
+    println!("Fig. 5 — response modes against the WU-FTPD exploit\n");
+    let f = sm_bench::fig5::run();
+    println!("{}", sm_bench::fig5::render(&f));
+}

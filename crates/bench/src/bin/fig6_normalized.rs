@@ -1,0 +1,6 @@
+//! Regenerates the paper's Fig. 6 (normalized performance).
+fn main() {
+    println!("Fig. 6 — normalized performance, stand-alone split memory\n");
+    let bars = sm_bench::fig6::run(sm_bench::fig6::Fig6Params::default());
+    println!("{}", sm_bench::fig6::render(&bars));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Fig. 7 (context-switch stress tests).
+fn main() {
+    println!("Fig. 7 — context-switch stress tests\n");
+    let bars = sm_bench::fig7::run(60);
+    println!("{}", sm_bench::fig7::render(&bars));
+}

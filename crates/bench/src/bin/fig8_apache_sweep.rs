@@ -1,0 +1,6 @@
+//! Regenerates the paper's Fig. 8 (Apache page-size sweep).
+fn main() {
+    println!("Fig. 8 — Apache throughput vs served page size\n");
+    let points = sm_bench::fig8::run(30);
+    println!("{}", sm_bench::fig8::render(&points));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Fig. 9 (split-fraction sweep under NX+split).
+fn main() {
+    println!("Fig. 9 — pipe-ctxsw vs fraction of pages split\n");
+    let points = sm_bench::fig9::run(50, 8);
+    println!("{}", sm_bench::fig9::render(&points));
+}

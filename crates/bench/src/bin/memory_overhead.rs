@@ -1,0 +1,7 @@
+//! §5.1 memory-overhead comparison: unprotected vs eager split vs the
+//! envisioned demand-allocated variant.
+fn main() {
+    println!("§5.1 — memory overhead of page splitting (httpd, 4KB pages)\n");
+    let rows = sm_bench::memory::run(4096, 25);
+    println!("{}", sm_bench::memory::render(&rows));
+}

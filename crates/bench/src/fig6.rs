@@ -1,0 +1,166 @@
+//! Fig. 6: "Normalized performance for applications and benchmarks"
+//! (paper §6.2).
+//!
+//! Four bars, each the protected system's throughput relative to the
+//! unprotected system in stand-alone split-memory mode:
+//! Apache serving a 32 KB page (paper ≈ 0.89), gzip (≈ 0.87), the slowest
+//! nbench test (≈ 0.97) and the Unixbench index (≈ 0.82).
+
+use sm_core::setup::Protection;
+use sm_kernel::events::ResponseMode;
+use sm_workloads::nbench::{run_nbench, NbenchKernel};
+use sm_workloads::unixbench::{run_unixbench, UnixbenchTest};
+use sm_workloads::{geometric_mean, gzip, httpd, normalized};
+
+/// One bar of the figure.
+#[derive(Debug, Clone)]
+pub struct Bar {
+    /// Workload label.
+    pub name: String,
+    /// Measured normalized performance.
+    pub normalized: f64,
+    /// The value the paper reports for its testbed.
+    pub paper: f64,
+}
+
+/// Scale knobs so tests can run a quick version.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Params {
+    /// Apache requests.
+    pub requests: u32,
+    /// gzip input size in KiB.
+    pub gzip_kb: u32,
+    /// nbench iterations (numeric-sort outer loops; the others are scaled
+    /// relative to it).
+    pub nbench_iters: u32,
+    /// Unixbench iterations for cheap tests (expensive tests are scaled
+    /// down internally).
+    pub ub_iters: u32,
+}
+
+impl Default for Fig6Params {
+    fn default() -> Fig6Params {
+        Fig6Params {
+            requests: 40,
+            gzip_kb: 64,
+            nbench_iters: 300,
+            ub_iters: 2500,
+        }
+    }
+}
+
+impl Fig6Params {
+    /// Reduced workload for smoke tests.
+    pub fn quick() -> Fig6Params {
+        Fig6Params {
+            requests: 10,
+            gzip_kb: 16,
+            nbench_iters: 40,
+            ub_iters: 400,
+        }
+    }
+}
+
+fn ub_iterations(test: UnixbenchTest, base: u32) -> u32 {
+    match test {
+        UnixbenchTest::Syscall => base,
+        UnixbenchTest::Dhrystone => base / 2,
+        UnixbenchTest::Whetstone => base * 2,
+        UnixbenchTest::PipeThroughput => base / 4,
+        UnixbenchTest::PipeContextSwitch | UnixbenchTest::Spawn | UnixbenchTest::Execl => {
+            (base / 40).max(10)
+        }
+        UnixbenchTest::FsThroughput => (base / 20).max(10),
+    }
+}
+
+/// Unixbench index (geometric mean of per-test normalized scores), as real
+/// Unixbench aggregates.
+pub fn unixbench_index(base: &Protection, prot: &Protection, iters: u32) -> f64 {
+    let ratios: Vec<f64> = UnixbenchTest::ALL
+        .iter()
+        .map(|t| {
+            let n = ub_iterations(*t, iters);
+            let b = run_unixbench(base, *t, n);
+            let p = run_unixbench(prot, *t, n);
+            normalized(&p, &b)
+        })
+        .collect();
+    geometric_mean(&ratios)
+}
+
+/// Run the figure.
+pub fn run(params: Fig6Params) -> Vec<Bar> {
+    let base = Protection::Unprotected;
+    let prot = Protection::SplitMem(ResponseMode::Break);
+    let mut bars = Vec::new();
+
+    let ab = httpd::run_httpd(&base, 32 * 1024, params.requests);
+    let ap = httpd::run_httpd(&prot, 32 * 1024, params.requests);
+    bars.push(Bar {
+        name: "apache (32KB page)".into(),
+        normalized: normalized(&ap, &ab),
+        paper: 0.89,
+    });
+
+    let gb = gzip::run_gzip(&base, params.gzip_kb);
+    let gp = gzip::run_gzip(&prot, params.gzip_kb);
+    bars.push(Bar {
+        name: "gzip".into(),
+        normalized: normalized(&gp, &gb),
+        paper: 0.87,
+    });
+
+    // The paper quotes the *slowest* nbench test.
+    let slowest = NbenchKernel::ALL
+        .iter()
+        .map(|nk| {
+            let iters = match nk {
+                NbenchKernel::IntArithmetic => params.nbench_iters * 50,
+                _ => params.nbench_iters,
+            };
+            let b = run_nbench(&base, *nk, iters);
+            let p = run_nbench(&prot, *nk, iters);
+            normalized(&p, &b)
+        })
+        .fold(f64::INFINITY, f64::min);
+    bars.push(Bar {
+        name: "nbench (slowest test)".into(),
+        normalized: slowest,
+        paper: 0.97,
+    });
+
+    bars.push(Bar {
+        name: "unixbench index".into(),
+        normalized: unixbench_index(&base, &prot, params.ub_iters),
+        paper: 0.82,
+    });
+    bars
+}
+
+/// Render the figure.
+pub fn render(bars: &[Bar]) -> String {
+    let rows: Vec<Vec<String>> = bars
+        .iter()
+        .map(|b| {
+            vec![
+                b.name.clone(),
+                format!("{:.3}", b.normalized),
+                format!("{:.2}", b.paper),
+            ]
+        })
+        .collect();
+    let table = crate::report::render_table(&["workload", "measured", "paper"], &rows);
+    let series: Vec<(String, f64)> = bars
+        .iter()
+        .map(|b| (b.name.clone(), b.normalized))
+        .collect();
+    format!(
+        "{table}\n{}",
+        crate::report::render_series(
+            "normalized performance (1.0 = unprotected)",
+            "workload",
+            &series
+        )
+    )
+}

@@ -1,0 +1,67 @@
+//! Fig. 7: "Stress testing the performance penalties due to context
+//! switching" (paper §6.2).
+//!
+//! Two contrived worst cases: the Unixbench pipe-based context-switching
+//! test and Apache serving a 1 KB page. "In both of these tests, context
+//! switching is taken to an extreme ... both are at or below 50 percent."
+
+use sm_core::setup::Protection;
+use sm_kernel::events::ResponseMode;
+use sm_workloads::unixbench::{run_unixbench, UnixbenchTest};
+use sm_workloads::{httpd, normalized};
+
+/// One stress bar.
+#[derive(Debug, Clone)]
+pub struct Bar {
+    /// Workload label.
+    pub name: String,
+    /// Measured normalized performance.
+    pub normalized: f64,
+    /// Context switches per work unit (the mechanism).
+    pub switches_per_unit: f64,
+}
+
+/// Run the two stress tests.
+pub fn run(iterations: u32) -> Vec<Bar> {
+    let base = Protection::Unprotected;
+    let prot = Protection::SplitMem(ResponseMode::Break);
+    let mut bars = Vec::new();
+
+    let cb = run_unixbench(&base, UnixbenchTest::PipeContextSwitch, iterations);
+    let cp = run_unixbench(&prot, UnixbenchTest::PipeContextSwitch, iterations);
+    bars.push(Bar {
+        name: "unixbench pipe-ctxsw".into(),
+        normalized: normalized(&cp, &cb),
+        switches_per_unit: cb.kernel.context_switches as f64 / cb.units as f64,
+    });
+
+    let ab = httpd::run_httpd(&base, 1024, iterations);
+    let ap = httpd::run_httpd(&prot, 1024, iterations);
+    bars.push(Bar {
+        name: "apache (1KB page)".into(),
+        normalized: normalized(&ap, &ab),
+        switches_per_unit: ab.kernel.context_switches as f64 / ab.units as f64,
+    });
+    bars
+}
+
+/// Render the figure.
+pub fn render(bars: &[Bar]) -> String {
+    let rows: Vec<Vec<String>> = bars
+        .iter()
+        .map(|b| {
+            vec![
+                b.name.clone(),
+                format!("{:.3}", b.normalized),
+                format!("{:.1}", b.switches_per_unit),
+            ]
+        })
+        .collect();
+    let table = crate::report::render_table(
+        &["stress test", "measured", "ctx switches / unit"],
+        &rows,
+    );
+    format!(
+        "{table}\npaper: both stress tests at or below 0.50 of unprotected speed\n"
+    )
+}

@@ -1,0 +1,98 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// Render an ASCII table: a header row plus data rows, columns padded to
+/// fit.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    line(&mut out);
+    out.push('|');
+    for (h, w) in header.iter().zip(&widths) {
+        out.push_str(&format!(" {h:<w$} |"));
+    }
+    out.push('\n');
+    line(&mut out);
+    for row in rows {
+        out.push('|');
+        for (cell, w) in row.iter().zip(&widths) {
+            out.push_str(&format!(" {cell:<w$} |"));
+        }
+        out.push('\n');
+    }
+    line(&mut out);
+    out
+}
+
+/// Render a simple two-column series (e.g. a figure's x/y data) with a bar
+/// visualising the y value in `[0, 1]`.
+pub fn render_series(title: &str, xlabel: &str, points: &[(String, f64)]) -> String {
+    let mut out = format!("{title}\n");
+    let wx = points
+        .iter()
+        .map(|(x, _)| x.len())
+        .max()
+        .unwrap_or(0)
+        .max(xlabel.len());
+    for (x, y) in points {
+        let bar_len = (y.clamp(0.0, 1.0) * 40.0).round() as usize;
+        out.push_str(&format!(
+            "  {x:<wx$}  {y:>6.3}  {}\n",
+            "#".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer-name".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        // All body lines are the same width.
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w), "{t}");
+        assert!(t.contains("longer-name"));
+    }
+
+    #[test]
+    fn series_bars_scale() {
+        let s = render_series(
+            "fig",
+            "x",
+            &[("1k".into(), 0.5), ("32k".into(), 1.0)],
+        );
+        let half = s.lines().nth(1).unwrap().matches('#').count();
+        let full = s.lines().nth(2).unwrap().matches('#').count();
+        assert_eq!(half, 20);
+        assert_eq!(full, 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = render_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+}

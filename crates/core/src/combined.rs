@@ -1,0 +1,136 @@
+//! Combined mode: execute-disable bit for clean pages, split memory for
+//! the pages NX cannot protect.
+//!
+//! "In systems where the execute-disable bit is available, our technique
+//! can be used to complement it by extending protection to mixed code and
+//! data pages. ... chances are high that only a few of the process' pages
+//! are mixed and need to be protected using our technique. This should
+//! result in a very low performance overhead." (paper §4.2.1). The Fig. 9
+//! sweep uses [`CombinedEngine::with_fraction`] to split a configurable
+//! random fraction of pages while NX covers the rest.
+
+use crate::engine::{SplitMemConfig, SplitMemEngine};
+use crate::nx::NxEngine;
+use crate::split::SplitPolicy;
+use sm_kernel::engine::{FaultOutcome, ProtectionEngine, UdOutcome};
+use sm_kernel::events::ResponseMode;
+use sm_kernel::image::ExecImage;
+use sm_kernel::kernel::System;
+use sm_kernel::process::Pid;
+use sm_machine::cpu::PageFaultInfo;
+use sm_machine::pte::Frame;
+
+/// Split memory for mixed (or a chosen fraction of) pages + NX for the
+/// rest.
+#[derive(Debug)]
+pub struct CombinedEngine {
+    /// The split-memory half (owns the split tables and response modes).
+    pub split: SplitMemEngine,
+    /// The execute-disable half.
+    pub nx: NxEngine,
+}
+
+impl CombinedEngine {
+    /// Standard combined mode: split only mixed pages.
+    pub fn new(response: ResponseMode) -> CombinedEngine {
+        CombinedEngine::with_config(SplitMemConfig {
+            policy: SplitPolicy::MixedOnly,
+            response,
+            ..SplitMemConfig::default()
+        })
+    }
+
+    /// Fig.-9 configuration: split `fraction` of all pages (chosen at
+    /// random, plus every mixed page); NX covers the remainder.
+    pub fn with_fraction(fraction: f64, response: ResponseMode) -> CombinedEngine {
+        CombinedEngine::with_config(SplitMemConfig {
+            policy: SplitPolicy::Fraction(fraction),
+            response,
+            ..SplitMemConfig::default()
+        })
+    }
+
+    /// Full control over the split half's configuration.
+    pub fn with_config(config: SplitMemConfig) -> CombinedEngine {
+        CombinedEngine {
+            split: SplitMemEngine::new(config),
+            nx: NxEngine::new(),
+        }
+    }
+
+    fn nx_mark(&mut self, sys: &mut System, pid: Pid, start: u32, end: u32) {
+        let table = self.split.table(pid).cloned();
+        self.nx.mark_range(sys, pid, start, end, |vpn| {
+            table.as_ref().is_some_and(|t| t.get(vpn).is_some())
+        });
+    }
+}
+
+impl ProtectionEngine for CombinedEngine {
+    fn name(&self) -> &'static str {
+        "split-memory+execute-disable"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn on_region_mapped(&mut self, sys: &mut System, pid: Pid, start: u32, end: u32) {
+        self.split.on_region_mapped(sys, pid, start, end);
+        self.nx_mark(sys, pid, start, end);
+    }
+
+    fn on_page_mapped(&mut self, sys: &mut System, pid: Pid, vaddr: u32) {
+        self.split.on_page_mapped(sys, pid, vaddr);
+        self.nx_mark(sys, pid, vaddr, vaddr + 1);
+    }
+
+    fn on_protection_fault(&mut self, sys: &mut System, pid: Pid, pf: PageFaultInfo) -> FaultOutcome {
+        match self.split.on_protection_fault(sys, pid, pf) {
+            FaultOutcome::Handled => FaultOutcome::Handled,
+            FaultOutcome::Unhandled => self.nx.detect(sys, pid, pf),
+        }
+    }
+
+    fn on_debug_trap(&mut self, sys: &mut System, pid: Pid) -> bool {
+        self.split.on_debug_trap(sys, pid)
+    }
+
+    fn on_invalid_opcode(&mut self, sys: &mut System, pid: Pid, eip: u32, opcode: u8) -> UdOutcome {
+        self.split.on_invalid_opcode(sys, pid, eip, opcode)
+    }
+
+    fn on_cow_copied(&mut self, sys: &mut System, pid: Pid, vaddr: u32, new_frame: Frame) {
+        self.split.on_cow_copied(sys, pid, vaddr, new_frame);
+    }
+
+    fn on_fork(&mut self, sys: &mut System, parent: Pid, child: Pid) {
+        self.split.on_fork(sys, parent, child);
+    }
+
+    fn on_unmap(&mut self, sys: &mut System, pid: Pid, start: u32, end: u32) {
+        self.split.on_unmap(sys, pid, start, end);
+    }
+
+    fn on_teardown(&mut self, sys: &mut System, pid: Pid) {
+        self.split.on_teardown(sys, pid);
+    }
+
+    fn verify_library(&mut self, sys: &mut System, pid: Pid, image: &ExecImage) -> Result<(), String> {
+        self.split.verify_library(sys, pid, image)
+    }
+
+    fn write_user_code(
+        &mut self,
+        sys: &mut System,
+        pid: Pid,
+        vaddr: u32,
+        bytes: &[u8],
+    ) -> Result<(), PageFaultInfo> {
+        // Split half mirrors onto code frames; NX half exempts the
+        // trampoline pages that are not split.
+        self.split.write_user_code(sys, pid, vaddr, bytes)?;
+        self.nx.exempt_trampoline(sys, pid, vaddr, bytes.len());
+        Ok(())
+    }
+}

@@ -1,0 +1,237 @@
+//! Attack forensics: shellcode analysis and fingerprinting (paper §4.5.3).
+//!
+//! "Operations such as shellcode analysis (the instruction pointer points
+//! to shellcode in the data pages) or attack fingerprinting based on
+//! memory contents are fully realizable and can be initiated live during a
+//! previously unseen attack."
+//!
+//! Given the payload bytes captured at detection time, this module
+//! produces a structured [`Fingerprint`]: a stable digest for matching
+//! recurring attacks, a disassembly listing, the system calls the payload
+//! would issue, and a coarse behavioural classification.
+
+use crate::sha256::sha256;
+use sm_machine::cpu::Reg;
+use sm_machine::isa::{decode_slice, Decoded, Insn};
+
+/// Coarse behavioural classes recognisable from static payload analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadClass {
+    /// Calls `execve` — a shell-spawning payload.
+    SpawnsProcess,
+    /// Reads more code from a descriptor and transfers control onward
+    /// (two-stage/downloader shape, like 7350wurm).
+    StagedDownloader,
+    /// Exits the process (e.g. the paper's forensic `exit(0)` payload).
+    ExitsProcess,
+    /// Issues other system calls.
+    UsesSyscalls,
+    /// Executes without any syscall in the captured window.
+    Opaque,
+}
+
+impl PayloadClass {
+    /// Human-readable label.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            PayloadClass::SpawnsProcess => "spawns a process (execve)",
+            PayloadClass::StagedDownloader => "staged downloader (reads then jumps)",
+            PayloadClass::ExitsProcess => "exits the process",
+            PayloadClass::UsesSyscalls => "issues system calls",
+            PayloadClass::Opaque => "no syscalls in captured window",
+        }
+    }
+}
+
+/// Structured analysis of a captured payload.
+#[derive(Debug, Clone)]
+pub struct Fingerprint {
+    /// SHA-256 of the captured bytes — the stable identity used to match
+    /// recurring attacks across detections.
+    pub digest: [u8; 32],
+    /// Leading NOP-sled length (classic exploit signature).
+    pub nop_sled: usize,
+    /// Disassembly of the captured bytes.
+    pub listing: Vec<String>,
+    /// System call numbers the payload loads into `eax` before `int 0x80`
+    /// (static, best-effort).
+    pub syscalls: Vec<u32>,
+    /// Behavioural classification.
+    pub class: PayloadClass,
+}
+
+impl Fingerprint {
+    /// Hex form of the digest.
+    pub fn digest_hex(&self) -> String {
+        self.digest.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// Multi-line report, suitable for an incident log.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("payload sha256: {}\n", self.digest_hex()));
+        out.push_str(&format!(
+            "nop sled: {} bytes; class: {}\n",
+            self.nop_sled,
+            self.class.describe()
+        ));
+        if !self.syscalls.is_empty() {
+            let list: Vec<String> = self.syscalls.iter().map(u32::to_string).collect();
+            out.push_str(&format!("syscalls referenced: {}\n", list.join(", ")));
+        }
+        for line in &self.listing {
+            out.push_str(&format!("  {line}\n"));
+        }
+        out
+    }
+}
+
+/// Analyse captured payload bytes.
+pub fn fingerprint(payload: &[u8]) -> Fingerprint {
+    let digest = sha256(payload);
+    let nop_sled = payload.iter().take_while(|b| **b == 0x90).count();
+    let mut listing = Vec::new();
+    let mut syscalls = Vec::new();
+    let mut last_eax: Option<u32> = None;
+    let mut reads_fd = false;
+    let mut indirect_jump = false;
+    let mut pos = 0usize;
+    while pos < payload.len() {
+        match decode_slice(&payload[pos..]) {
+            Ok(Decoded::Insn { insn, len }) => {
+                listing.push(sm_asm::format_insn(&insn));
+                match insn {
+                    Insn::MovRegImm(Reg::Eax, v) => last_eax = Some(v),
+                    Insn::IncReg(Reg::Eax) => last_eax = Some(last_eax.unwrap_or(0) + 1),
+                    Insn::Alu { reg: Reg::Eax, .. } | Insn::AluImm { .. } => {
+                        // Conservative: arithmetic on eax invalidates the
+                        // tracked value except the common xor-zero idiom.
+                        if let Insn::Alu {
+                            op: sm_machine::isa::AluOp::Xor,
+                            rm: sm_machine::isa::Rm::Reg(Reg::Eax),
+                            reg: Reg::Eax,
+                            ..
+                        } = insn
+                        {
+                            last_eax = Some(0);
+                        }
+                    }
+                    Insn::Int(0x80) => {
+                        if let Some(nr) = last_eax {
+                            syscalls.push(nr);
+                            if nr == 3 {
+                                reads_fd = true;
+                            }
+                        }
+                    }
+                    Insn::Grp5 {
+                        op: sm_machine::isa::Grp5Op::Jmp | sm_machine::isa::Grp5Op::Call,
+                        ..
+                    } => indirect_jump = true,
+                    _ => {}
+                }
+                pos += len as usize;
+            }
+            Ok(Decoded::Invalid { opcode }) => {
+                listing.push(format!("(bad {opcode:#04x})"));
+                pos += 1;
+            }
+            Err(_) => {
+                listing.push("(truncated)".into());
+                break;
+            }
+        }
+    }
+    let class = if syscalls.contains(&11) {
+        PayloadClass::SpawnsProcess
+    } else if reads_fd && indirect_jump {
+        PayloadClass::StagedDownloader
+    } else if syscalls.contains(&1) {
+        PayloadClass::ExitsProcess
+    } else if !syscalls.is_empty() {
+        PayloadClass::UsesSyscalls
+    } else {
+        PayloadClass::Opaque
+    };
+    Fingerprint {
+        digest,
+        nop_sled,
+        listing,
+        syscalls,
+        class,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXIT0: &[u8] = b"\xbb\x00\x00\x00\x00\xb8\x01\x00\x00\x00\xcd\x80";
+
+    #[test]
+    fn classifies_the_papers_exit_shellcode() {
+        let f = fingerprint(EXIT0);
+        assert_eq!(f.class, PayloadClass::ExitsProcess);
+        assert_eq!(f.syscalls, vec![1]);
+        assert_eq!(f.nop_sled, 0);
+        assert_eq!(f.listing[0], "mov ebx, 0x0");
+    }
+
+    #[test]
+    fn classifies_execve_shellcode() {
+        // mov eax, 11; int 0x80
+        let sc = b"\xb8\x0b\x00\x00\x00\xcd\x80";
+        let f = fingerprint(sc);
+        assert_eq!(f.class, PayloadClass::SpawnsProcess);
+    }
+
+    #[test]
+    fn detects_xor_zero_idiom() {
+        // xor eax,eax ; inc eax ; int 0x80 → exit
+        let sc = b"\x31\xc0\x40\xcd\x80";
+        let f = fingerprint(sc);
+        assert_eq!(f.syscalls, vec![1]);
+        assert_eq!(f.class, PayloadClass::ExitsProcess);
+    }
+
+    #[test]
+    fn classifies_staged_downloader() {
+        // mov eax,3 (read); int 0x80; jmp esi
+        let sc = b"\xb8\x03\x00\x00\x00\xcd\x80\xff\xe6";
+        let f = fingerprint(sc);
+        assert_eq!(f.class, PayloadClass::StagedDownloader);
+    }
+
+    #[test]
+    fn counts_nop_sled() {
+        let mut sc = vec![0x90; 16];
+        sc.extend_from_slice(EXIT0);
+        let f = fingerprint(&sc);
+        assert_eq!(f.nop_sled, 16);
+    }
+
+    #[test]
+    fn digest_is_stable_identity() {
+        let a = fingerprint(EXIT0);
+        let b = fingerprint(EXIT0);
+        assert_eq!(a.digest, b.digest);
+        let mut other = EXIT0.to_vec();
+        other[1] ^= 1;
+        assert_ne!(a.digest, fingerprint(&other).digest);
+    }
+
+    #[test]
+    fn report_is_readable() {
+        let r = fingerprint(EXIT0).report();
+        assert!(r.contains("sha256"));
+        assert!(r.contains("exits the process"));
+        assert!(r.contains("int 0x80"));
+    }
+
+    #[test]
+    fn garbage_bytes_are_handled() {
+        let f = fingerprint(&[0x00, 0x0E, 0xFF]);
+        assert_eq!(f.class, PayloadClass::Opaque);
+        assert!(f.listing.iter().any(|l| l.starts_with("(bad")));
+    }
+}

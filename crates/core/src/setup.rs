@@ -1,0 +1,129 @@
+//! Convenience constructors: protection configurations → engines/kernels.
+//!
+//! Both the attack corpus and the performance workloads need to run the
+//! same guest under every protection configuration the paper evaluates;
+//! this module is the single place that maps a [`Protection`] to a machine
+//! config (execute-disable bit on or off) and an engine.
+
+use crate::combined::CombinedEngine;
+use crate::engine::{SplitMemConfig, SplitMemEngine};
+use crate::nx::NxEngine;
+use crate::split::SplitPolicy;
+use sm_kernel::engine::{NullEngine, ProtectionEngine};
+use sm_kernel::events::ResponseMode;
+use sm_kernel::kernel::{Kernel, KernelConfig};
+use sm_machine::MachineConfig;
+
+/// Protection configuration under test.
+#[derive(Debug, Clone)]
+pub enum Protection {
+    /// No protection (the paper's "unpatched kernel").
+    Unprotected,
+    /// Stand-alone split memory with the given response mode (the paper's
+    /// worst-case, legacy-hardware configuration).
+    SplitMem(ResponseMode),
+    /// Stand-alone split memory with a full custom config.
+    SplitMemCustom(SplitMemConfig),
+    /// Hardware execute-disable bit only (DEP/PAGEEXEC baseline).
+    Nx,
+    /// Split memory for mixed pages + NX for the rest (combined mode).
+    Combined(ResponseMode),
+    /// Combined with a random split fraction (the Fig. 9 sweep).
+    CombinedFraction(f64),
+}
+
+impl Protection {
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        match self {
+            Protection::Unprotected => "unprotected".into(),
+            Protection::SplitMem(m) => format!("split({m})"),
+            Protection::SplitMemCustom(_) => "split(custom)".into(),
+            Protection::Nx => "nx".into(),
+            Protection::Combined(m) => format!("nx+split({m})"),
+            Protection::CombinedFraction(f) => format!("nx+split({:.0}%)", f * 100.0),
+        }
+    }
+
+    /// Whether this configuration needs execute-disable hardware.
+    pub fn needs_nx(&self) -> bool {
+        matches!(
+            self,
+            Protection::Nx | Protection::Combined(_) | Protection::CombinedFraction(_)
+        )
+    }
+
+    /// Build the engine for this configuration.
+    pub fn engine(&self) -> Box<dyn ProtectionEngine> {
+        match self {
+            Protection::Unprotected => Box::new(NullEngine),
+            Protection::SplitMem(mode) => Box::new(SplitMemEngine::stand_alone(*mode)),
+            Protection::SplitMemCustom(cfg) => Box::new(SplitMemEngine::new(cfg.clone())),
+            Protection::Nx => Box::new(NxEngine::new()),
+            Protection::Combined(mode) => Box::new(CombinedEngine::new(*mode)),
+            Protection::CombinedFraction(f) => {
+                Box::new(CombinedEngine::with_config(SplitMemConfig {
+                    policy: SplitPolicy::Fraction(*f),
+                    ..SplitMemConfig::default()
+                }))
+            }
+        }
+    }
+
+    /// Machine configuration for this protection (NX bit enabled only
+    /// where needed, mirroring legacy vs. recent hardware).
+    pub fn machine_config(&self) -> MachineConfig {
+        MachineConfig {
+            nx_enabled: self.needs_nx(),
+            ..MachineConfig::default()
+        }
+    }
+
+    /// Build a ready kernel for this configuration.
+    pub fn kernel(&self, kconfig: KernelConfig) -> Kernel {
+        Kernel::new(self.machine_config(), kconfig, self.engine())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let ps = [
+            Protection::Unprotected,
+            Protection::SplitMem(ResponseMode::Break),
+            Protection::Nx,
+            Protection::Combined(ResponseMode::Break),
+            Protection::CombinedFraction(0.25),
+        ];
+        let labels: std::collections::HashSet<String> =
+            ps.iter().map(Protection::label).collect();
+        assert_eq!(labels.len(), ps.len());
+    }
+
+    #[test]
+    fn nx_configs_enable_the_bit() {
+        assert!(Protection::Nx.machine_config().nx_enabled);
+        assert!(Protection::Combined(ResponseMode::Break)
+            .machine_config()
+            .nx_enabled);
+        assert!(!Protection::SplitMem(ResponseMode::Break)
+            .machine_config()
+            .nx_enabled);
+    }
+
+    #[test]
+    fn kernel_builds_for_every_config() {
+        for p in [
+            Protection::Unprotected,
+            Protection::SplitMem(ResponseMode::Observe),
+            Protection::Nx,
+            Protection::CombinedFraction(0.1),
+        ] {
+            let k = p.kernel(KernelConfig::default());
+            assert_eq!(k.sys.machine.config.nx_enabled, p.needs_nx());
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! DigSig-style library verification (paper §4.3).
+//!
+//! "In order for libraries to be handled in a secure way, they must be
+//! validated when being loaded. ... memory splitting could simply validate
+//! the signature of the loaded library prior to loading and splitting it."
+//!
+//! The original delegates to DigSig (Linux) / VeriExec (NetBSD). We
+//! implement the moral equivalent with an HMAC-SHA-256 over the image
+//! contents under a system key: enough to "prevent an attacker from loading
+//! a new or modified module into a running program's address space, while
+//! still permitting valid modules to be loaded".
+
+use crate::sha256::Sha256;
+use sm_kernel::image::ExecImage;
+
+const IPAD: u8 = 0x36;
+const OPAD: u8 = 0x5c;
+
+/// HMAC-SHA-256.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
+    let mut key_block = [0u8; 64];
+    if key.len() > 64 {
+        key_block[..32].copy_from_slice(&crate::sha256::sha256(key));
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Sha256::new();
+    let ik: Vec<u8> = key_block.iter().map(|b| b ^ IPAD).collect();
+    inner.update(&ik);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+    let mut outer = Sha256::new();
+    let ok: Vec<u8> = key_block.iter().map(|b| b ^ OPAD).collect();
+    outer.update(&ok);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Signs and verifies executable images under a system key.
+#[derive(Debug, Clone)]
+pub struct Verifier {
+    key: Vec<u8>,
+}
+
+/// Why verification failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The image carries no signature at all.
+    Unsigned,
+    /// The signature does not match the image contents under this key.
+    BadSignature,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::Unsigned => f.write_str("image is unsigned"),
+            VerifyError::BadSignature => f.write_str("signature mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl Verifier {
+    /// Verifier with the given system key.
+    pub fn new(key: impl Into<Vec<u8>>) -> Verifier {
+        Verifier { key: key.into() }
+    }
+
+    /// Compute the signature for an image's contents.
+    pub fn signature_for(&self, image: &ExecImage) -> [u8; 32] {
+        hmac_sha256(&self.key, &image.signed_content())
+    }
+
+    /// Attach a valid signature (what the distribution's signing step does).
+    pub fn sign(&self, image: &mut ExecImage) {
+        image.signature = None;
+        image.signature = Some(self.signature_for(image));
+    }
+
+    /// Check an image's signature.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::Unsigned`] or [`VerifyError::BadSignature`].
+    pub fn verify(&self, image: &ExecImage) -> Result<(), VerifyError> {
+        let claimed = image.signature.ok_or(VerifyError::Unsigned)?;
+        // Constant-time-ish comparison (cosmetic in a simulator, but the
+        // habit is free).
+        let actual = self.signature_for(image);
+        let diff = claimed
+            .iter()
+            .zip(actual.iter())
+            .fold(0u8, |acc, (a, b)| acc | (a ^ b));
+        if diff == 0 {
+            Ok(())
+        } else {
+            Err(VerifyError::BadSignature)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_kernel::image::Segment;
+
+    fn image() -> ExecImage {
+        ExecImage {
+            name: "/lib/libx.so".into(),
+            segments: vec![Segment::code(0x4000_0000, vec![0x90, 0xC3])],
+            entry: 0,
+            libs: vec![],
+            signature: None,
+        }
+    }
+
+    // RFC 4231 test case 2.
+    #[test]
+    fn hmac_vector() {
+        let mac = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        let hex: String = mac.iter().map(|b| format!("{b:02x}")).collect();
+        assert_eq!(
+            hex,
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn sign_then_verify() {
+        let v = Verifier::new(b"system-key".to_vec());
+        let mut img = image();
+        assert_eq!(v.verify(&img), Err(VerifyError::Unsigned));
+        v.sign(&mut img);
+        assert_eq!(v.verify(&img), Ok(()));
+    }
+
+    #[test]
+    fn tampered_image_is_rejected() {
+        let v = Verifier::new(b"system-key".to_vec());
+        let mut img = image();
+        v.sign(&mut img);
+        img.segments[0].data[0] = 0xCC; // attacker patches the library
+        assert_eq!(v.verify(&img), Err(VerifyError::BadSignature));
+    }
+
+    #[test]
+    fn wrong_key_is_rejected() {
+        let signer = Verifier::new(b"system-key".to_vec());
+        let other = Verifier::new(b"attacker-key".to_vec());
+        let mut img = image();
+        signer.sign(&mut img);
+        assert_eq!(other.verify(&img), Err(VerifyError::BadSignature));
+    }
+
+    #[test]
+    fn long_key_path() {
+        let v = Verifier::new(vec![7u8; 100]);
+        let mut img = image();
+        v.sign(&mut img);
+        assert_eq!(v.verify(&img), Ok(()));
+    }
+}

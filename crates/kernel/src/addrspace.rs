@@ -1,0 +1,432 @@
+//! Per-process address spaces and the system-wide frame reference counts.
+//!
+//! Pagetables live in simulated physical memory (the hardware walker reads
+//! them there), so every mutation here is immediately visible to the MMU.
+//! Frames can be shared between processes after `fork` (copy-on-write,
+//! paper §5.4), so frees go through a reference-counting [`FrameTable`].
+
+use crate::vma::Vma;
+use sm_machine::phys::OutOfFrames;
+use sm_machine::pte::{self, Frame, PAGE_SIZE};
+use sm_machine::Machine;
+use std::collections::HashMap;
+
+/// System-wide frame reference counts for frames owned by user mappings.
+///
+/// Pagetable frames are always private (refcount 1) but tracked here too so
+/// teardown is uniform.
+#[derive(Debug, Default)]
+pub struct FrameTable {
+    rc: HashMap<u32, u32>,
+}
+
+impl FrameTable {
+    /// Empty table.
+    pub fn new() -> FrameTable {
+        FrameTable::default()
+    }
+
+    /// Allocate a zeroed frame with refcount 1.
+    ///
+    /// # Errors
+    ///
+    /// [`OutOfFrames`] when physical memory is exhausted.
+    pub fn alloc_zeroed(&mut self, m: &mut Machine) -> Result<Frame, OutOfFrames> {
+        let f = m.alloc_zeroed_frame()?;
+        self.rc.insert(f.0, 1);
+        Ok(f)
+    }
+
+    /// Allocate a frame containing a copy of `src`, refcount 1.
+    ///
+    /// # Errors
+    ///
+    /// [`OutOfFrames`] when physical memory is exhausted.
+    pub fn alloc_copy(&mut self, m: &mut Machine, src: Frame) -> Result<Frame, OutOfFrames> {
+        let f = m.alloc_frame()?;
+        m.phys.copy_frame(src, f);
+        self.rc.insert(f.0, 1);
+        Ok(f)
+    }
+
+    /// Increment the refcount (frame becomes shared, e.g. on fork).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is not tracked.
+    pub fn share(&mut self, f: Frame) {
+        *self
+            .rc
+            .get_mut(&f.0)
+            .unwrap_or_else(|| panic!("sharing untracked {f}")) += 1;
+    }
+
+    /// Current refcount (0 if untracked).
+    pub fn refcount(&self, f: Frame) -> u32 {
+        self.rc.get(&f.0).copied().unwrap_or(0)
+    }
+
+    /// Drop one reference; frees the frame when the count reaches zero.
+    /// Returns `true` if the frame was actually freed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is not tracked.
+    pub fn release(&mut self, m: &mut Machine, f: Frame) -> bool {
+        let rc = self
+            .rc
+            .get_mut(&f.0)
+            .unwrap_or_else(|| panic!("releasing untracked {f}"));
+        *rc -= 1;
+        if *rc == 0 {
+            self.rc.remove(&f.0);
+            m.free_frame(f);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of tracked frames (diagnostics).
+    pub fn tracked(&self) -> usize {
+        self.rc.len()
+    }
+}
+
+/// A process address space: page directory, pagetable frames, VMAs and the
+/// heap/stack bookkeeping.
+#[derive(Debug)]
+pub struct AddressSpace {
+    /// Page-directory frame (the process's CR3 value).
+    pub dir: Frame,
+    /// Mapped regions.
+    pub vmas: Vec<Vma>,
+    /// Heap start (never moves).
+    pub brk_start: u32,
+    /// Current heap break.
+    pub brk: u32,
+    /// Lowest valid stack address (exclusive growth limit).
+    pub stack_low: u32,
+    /// Initial stack pointer (top of stack).
+    pub stack_high: u32,
+    /// Next address for kernel-chosen `mmap` placements.
+    pub mmap_next: u32,
+    table_frames: Vec<Frame>,
+}
+
+impl AddressSpace {
+    /// Create an empty address space with a fresh page directory.
+    ///
+    /// # Errors
+    ///
+    /// [`OutOfFrames`] when physical memory is exhausted.
+    pub fn new(m: &mut Machine, ft: &mut FrameTable) -> Result<AddressSpace, OutOfFrames> {
+        let dir = ft.alloc_zeroed(m)?;
+        Ok(AddressSpace {
+            dir,
+            vmas: Vec::new(),
+            brk_start: 0,
+            brk: 0,
+            stack_low: 0,
+            stack_high: 0,
+            mmap_next: 0x4000_0000,
+            table_frames: Vec::new(),
+        })
+    }
+
+    /// Physical address of the PTE slot for `vaddr`, creating the page
+    /// table if needed.
+    ///
+    /// # Errors
+    ///
+    /// [`OutOfFrames`] when a new pagetable frame cannot be allocated.
+    pub fn pte_slot(&mut self, m: &mut Machine, ft: &mut FrameTable, vaddr: u32) -> Result<u32, OutOfFrames> {
+        let pde_addr = self.dir.base() + pte::dir_index(vaddr) * 4;
+        let pde = m.phys.read_u32(pde_addr);
+        let table = if pte::has(pde, pte::PRESENT) {
+            pte::frame(pde)
+        } else {
+            let t = ft.alloc_zeroed(m)?;
+            self.table_frames.push(t);
+            m.phys.write_u32(
+                pde_addr,
+                pte::make(t, pte::PRESENT | pte::WRITABLE | pte::USER),
+            );
+            t
+        };
+        Ok(table.base() + pte::table_index(vaddr) * 4)
+    }
+
+    /// Read the PTE for `vaddr` (0 if the page table doesn't exist).
+    pub fn pte(&self, m: &Machine, vaddr: u32) -> u32 {
+        let pde = m.phys.read_u32(self.dir.base() + pte::dir_index(vaddr) * 4);
+        if !pte::has(pde, pte::PRESENT) {
+            return 0;
+        }
+        m.phys
+            .read_u32(pte::frame(pde).base() + pte::table_index(vaddr) * 4)
+    }
+
+    /// Overwrite the PTE for `vaddr`.
+    ///
+    /// The caller is responsible for TLB shootdown where required — leaving
+    /// stale TLB entries in place *on purpose* is the very mechanism of the
+    /// split-memory technique.
+    ///
+    /// # Errors
+    ///
+    /// [`OutOfFrames`] when a new pagetable frame cannot be allocated.
+    pub fn set_pte(
+        &mut self,
+        m: &mut Machine,
+        ft: &mut FrameTable,
+        vaddr: u32,
+        value: u32,
+    ) -> Result<(), OutOfFrames> {
+        let slot = self.pte_slot(m, ft, vaddr)?;
+        m.phys.write_u32(slot, value);
+        Ok(())
+    }
+
+    /// Map an (already tracked) frame at `vaddr` with the given PTE flags.
+    ///
+    /// # Errors
+    ///
+    /// [`OutOfFrames`] when a new pagetable frame cannot be allocated.
+    pub fn map_frame(
+        &mut self,
+        m: &mut Machine,
+        ft: &mut FrameTable,
+        vaddr: u32,
+        frame: Frame,
+        flags: u32,
+    ) -> Result<(), OutOfFrames> {
+        debug_assert_eq!(pte::page_offset(vaddr), 0, "map_frame wants a page base");
+        self.set_pte(m, ft, vaddr, pte::make(frame, flags | pte::PRESENT))
+    }
+
+    /// The VMA containing `addr`.
+    pub fn find_vma(&self, addr: u32) -> Option<&Vma> {
+        self.vmas.iter().find(|v| v.contains(addr))
+    }
+
+    /// Mutable access to the VMA containing `addr`.
+    pub fn find_vma_mut(&mut self, addr: u32) -> Option<&mut Vma> {
+        self.vmas.iter_mut().find(|v| v.contains(addr))
+    }
+
+    /// Register a region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if it overlaps an existing region — region placement is
+    /// kernel logic, so an overlap is a kernel bug, not a user error.
+    pub fn add_vma(&mut self, vma: Vma) {
+        if let Some(other) = self.vmas.iter().find(|v| v.overlaps(vma.start, vma.end)) {
+            panic!("VMA overlap: new {vma} vs existing {other}");
+        }
+        self.vmas.push(vma);
+    }
+
+    /// Remove the region starting exactly at `start`, returning it.
+    pub fn remove_vma(&mut self, start: u32) -> Option<Vma> {
+        let idx = self.vmas.iter().position(|v| v.start == start)?;
+        Some(self.vmas.remove(idx))
+    }
+
+    /// Iterate over every present PTE in a `[start, end)` range as
+    /// `(vaddr, pte)` pairs.
+    pub fn present_ptes(&self, m: &Machine, start: u32, end: u32) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        let mut addr = pte::page_base(start);
+        while addr < end {
+            let e = self.pte(m, addr);
+            if pte::has(e, pte::PRESENT) {
+                out.push((addr, e));
+            }
+            match addr.checked_add(PAGE_SIZE) {
+                Some(next) => addr = next,
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Release every mapped frame, pagetable frame and the directory.
+    /// The protection engine must have released its auxiliary frames (the
+    /// second halves of split pages) *before* this runs (paper §5.4).
+    pub fn free_all(&mut self, m: &mut Machine, ft: &mut FrameTable) {
+        for vma in std::mem::take(&mut self.vmas) {
+            let mut addr = pte::page_base(vma.start);
+            while addr < vma.end {
+                let e = self.pte(m, addr);
+                if pte::has(e, pte::PRESENT) {
+                    // Per-page teardown bookkeeping cost.
+                    m.charge(m.config.costs.tlb_walk);
+                    ft.release(m, pte::frame(e));
+                }
+                match addr.checked_add(PAGE_SIZE) {
+                    Some(next) => addr = next,
+                    None => break,
+                }
+            }
+        }
+        for t in std::mem::take(&mut self.table_frames) {
+            ft.release(m, t);
+        }
+        ft.release(m, self.dir);
+        self.dir = Frame(0);
+    }
+
+    /// Clone this address space for `fork`: VMAs are copied, every present
+    /// writable page becomes shared copy-on-write in *both* parent and
+    /// child (paper §5.4), and read-only pages are shared outright.
+    ///
+    /// Split pages (PTE `SPLIT` bit) are shared the same way; the engine's
+    /// `on_fork` hook duplicates its own bookkeeping and decides how the
+    /// code-frame halves are shared.
+    ///
+    /// # Errors
+    ///
+    /// [`OutOfFrames`] when pagetable frames for the child cannot be
+    /// allocated.
+    pub fn fork_copy(
+        &mut self,
+        m: &mut Machine,
+        ft: &mut FrameTable,
+    ) -> Result<AddressSpace, OutOfFrames> {
+        let mut child = AddressSpace::new(m, ft)?;
+        child.vmas = self.vmas.clone();
+        child.brk_start = self.brk_start;
+        child.brk = self.brk;
+        child.stack_low = self.stack_low;
+        child.stack_high = self.stack_high;
+        child.mmap_next = self.mmap_next;
+        let ranges: Vec<(u32, u32)> = self.vmas.iter().map(|v| (v.start, v.end)).collect();
+        for (start, end) in ranges {
+            for (vaddr, entry) in self.present_ptes(m, start, end) {
+                let mut e = entry;
+                if pte::has(e, pte::WRITABLE) {
+                    e = (e & !pte::WRITABLE) | pte::COW;
+                    // Rewrite the parent PTE too and drop its stale TLB
+                    // mapping so its next write faults.
+                    self.set_pte(m, ft, vaddr, e)?;
+                    m.invlpg(vaddr);
+                }
+                // Per-page fork bookkeeping cost.
+                m.charge(m.config.costs.tlb_walk);
+                ft.share(pte::frame(e));
+                child.set_pte(m, ft, vaddr, e)?;
+            }
+        }
+        Ok(child)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::{SEG_R, SEG_W};
+    use crate::vma::VmaKind;
+    use sm_machine::MachineConfig;
+
+    fn setup() -> (Machine, FrameTable, AddressSpace) {
+        let mut m = Machine::new(MachineConfig {
+            phys_frames: 512,
+            ..MachineConfig::default()
+        });
+        let mut ft = FrameTable::new();
+        let a = AddressSpace::new(&mut m, &mut ft).unwrap();
+        (m, ft, a)
+    }
+
+    #[test]
+    fn map_and_read_pte() {
+        let (mut m, mut ft, mut a) = setup();
+        let f = ft.alloc_zeroed(&mut m).unwrap();
+        a.map_frame(&mut m, &mut ft, 0x1000, f, pte::WRITABLE | pte::USER)
+            .unwrap();
+        let e = a.pte(&m, 0x1234);
+        assert!(pte::has(e, pte::PRESENT | pte::WRITABLE | pte::USER));
+        assert_eq!(pte::frame(e), f);
+        assert_eq!(a.pte(&m, 0x9000), 0);
+    }
+
+    #[test]
+    fn translation_through_machine_uses_our_tables() {
+        let (mut m, mut ft, mut a) = setup();
+        let f = ft.alloc_zeroed(&mut m).unwrap();
+        a.map_frame(&mut m, &mut ft, 0x1000, f, pte::WRITABLE | pte::USER)
+            .unwrap();
+        m.set_cr3(a.dir);
+        m.write_u8(0x1010, 0xAB, sm_machine::cpu::Privilege::User)
+            .unwrap();
+        assert_eq!(m.phys.read_u8(f.base() + 0x10), 0xAB);
+    }
+
+    #[test]
+    fn refcounts_guard_frees() {
+        let (mut m, mut ft, _) = setup();
+        let f = ft.alloc_zeroed(&mut m).unwrap();
+        ft.share(f);
+        assert_eq!(ft.refcount(f), 2);
+        assert!(!ft.release(&mut m, f));
+        assert!(ft.release(&mut m, f));
+        assert_eq!(ft.refcount(f), 0);
+    }
+
+    #[test]
+    fn free_all_returns_frames() {
+        let (mut m, mut ft, mut a) = setup();
+        let before = m.phys.allocator.free_count();
+        let f1 = ft.alloc_zeroed(&mut m).unwrap();
+        let f2 = ft.alloc_zeroed(&mut m).unwrap();
+        a.add_vma(Vma::new(0x1000, 0x3000, SEG_R | SEG_W, VmaKind::Data, "d"));
+        a.map_frame(&mut m, &mut ft, 0x1000, f1, pte::WRITABLE | pte::USER)
+            .unwrap();
+        a.map_frame(&mut m, &mut ft, 0x2000, f2, pte::WRITABLE | pte::USER)
+            .unwrap();
+        a.free_all(&mut m, &mut ft);
+        // Everything returned, including the directory frame allocated in
+        // setup(), hence one more than `before`.
+        assert_eq!(m.phys.allocator.free_count(), before + 1);
+        assert_eq!(ft.tracked(), 0);
+    }
+
+    #[test]
+    fn fork_marks_cow_in_both() {
+        let (mut m, mut ft, mut a) = setup();
+        let f = ft.alloc_zeroed(&mut m).unwrap();
+        a.add_vma(Vma::new(0x1000, 0x2000, SEG_R | SEG_W, VmaKind::Data, "d"));
+        a.map_frame(&mut m, &mut ft, 0x1000, f, pte::WRITABLE | pte::USER)
+            .unwrap();
+        let child = a.fork_copy(&mut m, &mut ft).unwrap();
+        let pe = a.pte(&m, 0x1000);
+        let ce = child.pte(&m, 0x1000);
+        for e in [pe, ce] {
+            assert!(pte::has(e, pte::COW));
+            assert!(!pte::has(e, pte::WRITABLE));
+            assert_eq!(pte::frame(e), f);
+        }
+        assert_eq!(ft.refcount(f), 2);
+    }
+
+    #[test]
+    fn vma_lookup_and_removal() {
+        let (_, _, mut a) = setup();
+        a.add_vma(Vma::new(0x1000, 0x2000, SEG_R, VmaKind::Code, "c"));
+        a.add_vma(Vma::new(0x8000, 0x9000, SEG_R | SEG_W, VmaKind::Heap, "h"));
+        assert_eq!(a.find_vma(0x1500).unwrap().label, "c");
+        assert!(a.find_vma(0x5000).is_none());
+        assert!(a.remove_vma(0x8000).is_some());
+        assert!(a.find_vma(0x8500).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "VMA overlap")]
+    fn overlapping_vma_panics() {
+        let (_, _, mut a) = setup();
+        a.add_vma(Vma::new(0x1000, 0x3000, SEG_R, VmaKind::Code, "a"));
+        a.add_vma(Vma::new(0x2000, 0x4000, SEG_R, VmaKind::Code, "b"));
+    }
+}

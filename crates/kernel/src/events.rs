@@ -1,0 +1,194 @@
+//! Kernel event log.
+//!
+//! Everything observable in the paper's evaluation — attack detections,
+//! shell spawns, Sebek-style honeypot captures, library verifications —
+//! is recorded here with a simulated-cycle timestamp. The attack harness
+//! and the response-mode demos read this log instead of scraping console
+//! output.
+
+use crate::process::Pid;
+use std::fmt;
+
+/// Response mode active when an attack was detected (paper §4.5). Defined
+/// here (rather than in `sm-core`) so the kernel can log it; the engine
+/// crate re-exports it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResponseMode {
+    /// Let the fetch land on the empty code page: the process crashes.
+    Break,
+    /// Log, lock the page to the data frame, and let the attack proceed
+    /// (honeypot style).
+    Observe,
+    /// Dump EIP + shellcode; optionally substitute forensic shellcode.
+    Forensics,
+}
+
+impl fmt::Display for ResponseMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ResponseMode::Break => "break",
+            ResponseMode::Observe => "observe",
+            ResponseMode::Forensics => "forensics",
+        })
+    }
+}
+
+/// One logged kernel event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A process successfully `execve`d an image (attack success is
+    /// detected by watching for `/bin/sh` here).
+    Exec {
+        /// Process that executed the image.
+        pid: Pid,
+        /// Image path.
+        path: String,
+    },
+    /// A process exited (voluntarily or by signal).
+    ProcessExit {
+        /// The process.
+        pid: Pid,
+        /// Exit status (128+signal for signal deaths, Unix style).
+        code: i32,
+    },
+    /// A fatal signal was delivered.
+    Signal {
+        /// The process.
+        pid: Pid,
+        /// Signal number.
+        sig: u8,
+    },
+    /// The protection engine detected injected-code execution — the
+    /// paper's unique "right before the first injected instruction"
+    /// moment.
+    AttackDetected {
+        /// The compromised process.
+        pid: Pid,
+        /// Program counter at detection (start of injected code).
+        eip: u32,
+        /// Active response mode.
+        mode: ResponseMode,
+        /// Leading bytes of the injected payload, captured from the data
+        /// page (forensics mode; empty otherwise).
+        shellcode: Vec<u8>,
+    },
+    /// Sebek-style honeypot capture of attacker input (paper Fig. 5d).
+    SebekRead {
+        /// Monitored process.
+        pid: Pid,
+        /// Captured bytes.
+        data: Vec<u8>,
+    },
+    /// A dynamic/shared library passed (or failed) signature verification
+    /// (paper §4.3).
+    Library {
+        /// Loading process.
+        pid: Pid,
+        /// Library path.
+        name: String,
+        /// Whether the signature verified.
+        verified: bool,
+    },
+    /// The paper's future-work recovery mode transferred control to an
+    /// application-registered recovery handler.
+    RecoveryEntered {
+        /// The process.
+        pid: Pid,
+        /// Handler address.
+        handler: u32,
+    },
+    /// Free-form annotation (used by examples and tests).
+    Note(String),
+}
+
+/// Event log with simulated-cycle timestamps.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    entries: Vec<(u64, Event)>,
+}
+
+impl EventLog {
+    /// Create an empty log.
+    pub fn new() -> EventLog {
+        EventLog::default()
+    }
+
+    /// Append an event stamped with the given cycle count.
+    pub fn push(&mut self, cycles: u64, event: Event) {
+        self.entries.push((cycles, event));
+    }
+
+    /// All `(cycles, event)` entries in order.
+    pub fn entries(&self) -> &[(u64, Event)] {
+        &self.entries
+    }
+
+    /// Iterate over events only.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.entries.iter().map(|(_, e)| e)
+    }
+
+    /// First attack detection, if any.
+    pub fn first_detection(&self) -> Option<&Event> {
+        self.iter()
+            .find(|e| matches!(e, Event::AttackDetected { .. }))
+    }
+
+    /// True if some process exec'd the given path (e.g. `/bin/sh`).
+    pub fn execed(&self, path: &str) -> bool {
+        self.iter()
+            .any(|e| matches!(e, Event::Exec { path: p, .. } if p == path))
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_queries() {
+        let mut log = EventLog::new();
+        assert!(log.is_empty());
+        log.push(
+            10,
+            Event::Exec {
+                pid: Pid(1),
+                path: "/bin/sh".into(),
+            },
+        );
+        log.push(
+            20,
+            Event::AttackDetected {
+                pid: Pid(1),
+                eip: 0xbf00_0000,
+                mode: ResponseMode::Observe,
+                shellcode: vec![0x90],
+            },
+        );
+        assert_eq!(log.len(), 2);
+        assert!(log.execed("/bin/sh"));
+        assert!(!log.execed("/bin/ls"));
+        assert!(matches!(
+            log.first_detection(),
+            Some(Event::AttackDetected { eip: 0xbf00_0000, .. })
+        ));
+        assert_eq!(log.entries()[1].0, 20);
+    }
+
+    #[test]
+    fn response_mode_display() {
+        assert_eq!(ResponseMode::Break.to_string(), "break");
+        assert_eq!(ResponseMode::Observe.to_string(), "observe");
+        assert_eq!(ResponseMode::Forensics.to_string(), "forensics");
+    }
+}

@@ -1,0 +1,375 @@
+//! Executable image format ("SELF" — simulated ELF).
+//!
+//! The real system patches the Linux ELF loader (paper §5.1); our kernel
+//! loads this deliberately ELF-shaped format: a list of segments, each with
+//! a load address, file bytes, an in-memory size (BSS is the tail beyond the
+//! file bytes) and R/W/X permission flags. Images can be serialized so they
+//! can live in the ram filesystem and be started with `execve`, and carry an
+//! optional signature for the DigSig-style verification of paper §4.3.
+
+use std::fmt;
+
+/// Segment permission: readable.
+pub const SEG_R: u8 = 1 << 0;
+/// Segment permission: writable.
+pub const SEG_W: u8 = 1 << 1;
+/// Segment permission: executable.
+pub const SEG_X: u8 = 1 << 2;
+
+const MAGIC: &[u8; 4] = b"SELF";
+
+/// One loadable segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Virtual load address (page alignment not required; mixed pages are a
+    /// feature the paper explicitly supports).
+    pub vaddr: u32,
+    /// Bytes copied from the image.
+    pub data: Vec<u8>,
+    /// Total in-memory size; the tail beyond `data.len()` is zero-filled
+    /// (BSS).
+    pub mem_size: u32,
+    /// `SEG_R | SEG_W | SEG_X` permission bits.
+    pub flags: u8,
+}
+
+impl Segment {
+    /// A read+execute code segment.
+    pub fn code(vaddr: u32, data: Vec<u8>) -> Segment {
+        let mem_size = data.len() as u32;
+        Segment {
+            vaddr,
+            data,
+            mem_size,
+            flags: SEG_R | SEG_X,
+        }
+    }
+
+    /// A read+write data segment with optional extra zeroed space.
+    pub fn data(vaddr: u32, data: Vec<u8>, bss_extra: u32) -> Segment {
+        let mem_size = data.len() as u32 + bss_extra;
+        Segment {
+            vaddr,
+            data,
+            mem_size,
+            flags: SEG_R | SEG_W,
+        }
+    }
+
+    /// A segment that is both writable and executable — the "mixed page"
+    /// shape (JIT buffers, Java VM pages; paper §2).
+    pub fn mixed(vaddr: u32, data: Vec<u8>, bss_extra: u32) -> Segment {
+        let mem_size = data.len() as u32 + bss_extra;
+        Segment {
+            vaddr,
+            data,
+            mem_size,
+            flags: SEG_R | SEG_W | SEG_X,
+        }
+    }
+
+    /// End address (exclusive) of the in-memory extent.
+    pub fn end(&self) -> u32 {
+        self.vaddr + self.mem_size
+    }
+
+    /// True if the segment is writable and executable.
+    pub fn is_mixed(&self) -> bool {
+        self.flags & (SEG_W | SEG_X) == (SEG_W | SEG_X)
+    }
+}
+
+/// A loadable executable or library image.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExecImage {
+    /// Human-readable name (conventionally the fs path).
+    pub name: String,
+    /// Loadable segments.
+    pub segments: Vec<Segment>,
+    /// Entry point (ignored for libraries).
+    pub entry: u32,
+    /// Shared libraries to map at load time (fs paths).
+    pub libs: Vec<String>,
+    /// Optional signature over the image contents (see
+    /// `sm-core`'s verifier); `None` means unsigned.
+    pub signature: Option<[u8; 32]>,
+}
+
+/// Error parsing a serialized image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageFormatError(pub String);
+
+impl fmt::Display for ImageFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad image: {}", self.0)
+    }
+}
+
+impl std::error::Error for ImageFormatError {}
+
+impl ExecImage {
+    /// Serialize to the on-"disk" byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        push_u32(&mut out, self.entry);
+        push_str(&mut out, &self.name);
+        push_u32(&mut out, self.segments.len() as u32);
+        for s in &self.segments {
+            push_u32(&mut out, s.vaddr);
+            push_u32(&mut out, s.mem_size);
+            out.push(s.flags);
+            push_u32(&mut out, s.data.len() as u32);
+            out.extend_from_slice(&s.data);
+        }
+        push_u32(&mut out, self.libs.len() as u32);
+        for l in &self.libs {
+            push_str(&mut out, l);
+        }
+        match &self.signature {
+            Some(sig) => {
+                out.push(1);
+                out.extend_from_slice(sig);
+            }
+            None => out.push(0),
+        }
+        out
+    }
+
+    /// Parse the on-"disk" byte format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageFormatError`] on truncated or malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<ExecImage, ImageFormatError> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(4)? != MAGIC.as_slice() {
+            return Err(ImageFormatError("missing SELF magic".into()));
+        }
+        let entry = r.u32()?;
+        let name = r.string()?;
+        let nseg = r.u32()?;
+        if nseg > 1024 {
+            return Err(ImageFormatError(format!("implausible segment count {nseg}")));
+        }
+        let mut segments = Vec::with_capacity(nseg as usize);
+        for _ in 0..nseg {
+            let vaddr = r.u32()?;
+            let mem_size = r.u32()?;
+            let flags = r.u8()?;
+            let dlen = r.u32()?;
+            if (dlen as u64) > mem_size as u64 {
+                return Err(ImageFormatError("segment data exceeds mem_size".into()));
+            }
+            let data = r.take(dlen as usize)?.to_vec();
+            segments.push(Segment {
+                vaddr,
+                data,
+                mem_size,
+                flags,
+            });
+        }
+        let nlibs = r.u32()?;
+        if nlibs > 256 {
+            return Err(ImageFormatError(format!("implausible lib count {nlibs}")));
+        }
+        let mut libs = Vec::with_capacity(nlibs as usize);
+        for _ in 0..nlibs {
+            libs.push(r.string()?);
+        }
+        let signature = match r.u8()? {
+            0 => None,
+            1 => {
+                let mut sig = [0u8; 32];
+                sig.copy_from_slice(r.take(32)?);
+                Some(sig)
+            }
+            v => return Err(ImageFormatError(format!("bad signature tag {v}"))),
+        };
+        Ok(ExecImage {
+            name,
+            segments,
+            entry,
+            libs,
+            signature,
+        })
+    }
+
+    /// The bytes a signature covers: everything except the signature field
+    /// itself.
+    pub fn signed_content(&self) -> Vec<u8> {
+        let mut copy = self.clone();
+        copy.signature = None;
+        copy.to_bytes()
+    }
+
+    /// True if any segment is writable+executable or if two segments with
+    /// code and data share a page — the shapes only split memory (not the
+    /// execute-disable bit) can protect.
+    pub fn has_mixed_pages(&self) -> bool {
+        use sm_machine::pte::vpn;
+        if self.segments.iter().any(Segment::is_mixed) {
+            return true;
+        }
+        for a in &self.segments {
+            for b in &self.segments {
+                if a.flags & SEG_X != 0
+                    && b.flags & SEG_W != 0
+                    && !std::ptr::eq(a, b)
+                    && a.vaddr < b.end()
+                    && b.vaddr < a.end()
+                {
+                    return true;
+                }
+                // Adjacent segments sharing a page boundary.
+                if a.flags & SEG_X != 0
+                    && b.flags & SEG_W != 0
+                    && !std::ptr::eq(a, b)
+                    && (vpn(a.end().saturating_sub(1)) == vpn(b.vaddr)
+                        || vpn(b.end().saturating_sub(1)) == vpn(a.vaddr))
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    push_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ImageFormatError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(ImageFormatError("truncated image".into()));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ImageFormatError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ImageFormatError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, ImageFormatError> {
+        let n = self.u32()?;
+        if n > 4096 {
+            return Err(ImageFormatError(format!("implausible string length {n}")));
+        }
+        String::from_utf8(self.take(n as usize)?.to_vec())
+            .map_err(|_| ImageFormatError("non-utf8 string".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExecImage {
+        ExecImage {
+            name: "/bin/demo".into(),
+            segments: vec![
+                Segment::code(0x0804_8000, vec![0x90, 0xF4]),
+                Segment::data(0x0805_0000, b"data".to_vec(), 100),
+            ],
+            entry: 0x0804_8000,
+            libs: vec!["/lib/libdemo.so".into()],
+            signature: Some([7u8; 32]),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let img = sample();
+        let parsed = ExecImage::from_bytes(&img.to_bytes()).unwrap();
+        assert_eq!(parsed, img);
+    }
+
+    #[test]
+    fn roundtrip_unsigned() {
+        let mut img = sample();
+        img.signature = None;
+        let parsed = ExecImage::from_bytes(&img.to_bytes()).unwrap();
+        assert_eq!(parsed, img);
+    }
+
+    #[test]
+    fn truncated_fails() {
+        let bytes = sample().to_bytes();
+        for cut in [0, 3, 10, bytes.len() - 1] {
+            assert!(ExecImage::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_fails() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert!(ExecImage::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn signed_content_excludes_signature() {
+        let mut a = sample();
+        let mut b = sample();
+        a.signature = Some([1; 32]);
+        b.signature = Some([2; 32]);
+        assert_eq!(a.signed_content(), b.signed_content());
+    }
+
+    #[test]
+    fn segment_constructors() {
+        let c = Segment::code(0x1000, vec![1, 2, 3]);
+        assert_eq!(c.flags, SEG_R | SEG_X);
+        assert_eq!(c.end(), 0x1003);
+        let d = Segment::data(0x2000, vec![1], 7);
+        assert_eq!(d.mem_size, 8);
+        let m = Segment::mixed(0x3000, vec![], 16);
+        assert!(m.is_mixed());
+    }
+
+    #[test]
+    fn mixed_page_detection() {
+        // W+X segment.
+        let img = ExecImage {
+            segments: vec![Segment::mixed(0x1000, vec![0x90], 0)],
+            ..ExecImage::default()
+        };
+        assert!(img.has_mixed_pages());
+        // Code and data on separate pages: not mixed.
+        let img = ExecImage {
+            segments: vec![
+                Segment::code(0x1000, vec![0x90]),
+                Segment::data(0x5000, vec![1], 0),
+            ],
+            ..ExecImage::default()
+        };
+        assert!(!img.has_mixed_pages());
+        // Code and data sharing one page: mixed.
+        let img = ExecImage {
+            segments: vec![
+                Segment::code(0x1000, vec![0x90; 16]),
+                Segment::data(0x1800, vec![1], 0),
+            ],
+            ..ExecImage::default()
+        };
+        assert!(img.has_mixed_pages());
+    }
+}

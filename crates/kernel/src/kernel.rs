@@ -1,0 +1,808 @@
+//! The kernel proper: system state, scheduler, trap handling and signal
+//! delivery.
+//!
+//! The kernel is *host* code — it manipulates the simulated machine rather
+//! than running on it, which is what lets the whole reproduction stay in
+//! safe Rust while still exercising the architectural mechanisms (pagetable
+//! bits, TLB fills, trap flag) the paper's technique is made of.
+
+use crate::addrspace::FrameTable;
+use crate::engine::{FaultOutcome, ProtectionEngine, UdOutcome};
+use crate::events::{Event, EventLog};
+use crate::fs::{PipeTable, RamFs};
+use crate::image::ExecImage;
+use crate::loader;
+use crate::net::NetStack;
+use crate::process::{FdObject, Pid, ProcState, Process, WaitReason};
+use crate::signal::{self, SigAction};
+use crate::stats::KernelStats;
+use crate::syscall;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sm_machine::cpu::{flags, PageFaultInfo, Privilege};
+use sm_machine::pte::{self, Frame};
+use sm_machine::tlb::TlbEntry;
+use sm_machine::{Machine, MachineConfig, Trap};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Kernel construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelConfig {
+    /// Scheduler time slice in simulated cycles.
+    pub quantum_cycles: u64,
+    /// Stack size per process.
+    pub stack_size: u32,
+    /// Top of the stack region (esp starts just under this, modulo ASLR).
+    pub stack_top: u32,
+    /// Randomise stack placement slightly (the Linux 2.6 behaviour the
+    /// Samba exploit of paper §6.1.2 has to brute-force).
+    pub aslr_stack: bool,
+    /// Deterministic seed for all kernel randomness.
+    pub seed: u64,
+    /// Maximum heap size accepted from `brk`.
+    pub heap_limit: u32,
+    /// Capacity of pipes created by the `pipe` syscall (the loopback
+    /// network always uses the default). Workloads use this to model
+    /// different I/O batching regimes.
+    pub pipe_capacity: usize,
+}
+
+impl Default for KernelConfig {
+    fn default() -> KernelConfig {
+        KernelConfig {
+            quantum_cycles: 30_000,
+            stack_size: 64 * 1024,
+            stack_top: 0xC000_0000,
+            aslr_stack: false,
+            seed: 42,
+            heap_limit: 4 * 1024 * 1024,
+            pipe_capacity: crate::fs::PIPE_CAPACITY,
+        }
+    }
+}
+
+/// Why [`Kernel::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunExit {
+    /// Every process has exited (or been reaped).
+    AllExited,
+    /// The cycle budget was exhausted.
+    CyclesExhausted,
+    /// No process is runnable and no event can unblock one.
+    Deadlock,
+}
+
+/// Error spawning a process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpawnError {
+    /// Physical memory exhausted.
+    OutOfMemory,
+    /// Referenced image/library missing or malformed.
+    BadImage(String),
+    /// Library signature verification failed (paper §4.3).
+    VerificationFailed(String),
+}
+
+impl std::fmt::Display for SpawnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpawnError::OutOfMemory => f.write_str("out of physical memory"),
+            SpawnError::BadImage(m) => write!(f, "bad image: {m}"),
+            SpawnError::VerificationFailed(m) => write!(f, "library verification failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SpawnError {}
+
+/// Everything the kernel owns except the protection engine. Engines receive
+/// `&mut System` in their hooks, keeping engine state and system state
+/// disjoint (the borrow-splitting seam).
+pub struct System {
+    /// The simulated machine.
+    pub machine: Machine,
+    /// Frame reference counts.
+    pub frames: FrameTable,
+    /// Process table.
+    pub procs: BTreeMap<u32, Process>,
+    /// Pipes.
+    pub pipes: PipeTable,
+    /// Ram filesystem.
+    pub fs: RamFs,
+    /// Loopback network.
+    pub net: NetStack,
+    /// Event log.
+    pub events: EventLog,
+    /// Configuration.
+    pub config: KernelConfig,
+    /// Deterministic randomness (ASLR, workload jitter).
+    pub rng: SmallRng,
+    /// Kernel counters.
+    pub stats: KernelStats,
+    /// Currently scheduled process.
+    pub current: Option<Pid>,
+    pub(crate) run_queue: VecDeque<Pid>,
+    pub(crate) next_pid: u32,
+    pub(crate) loaded_cr3_for: Option<Pid>,
+    pub(crate) preempt: bool,
+}
+
+impl System {
+    fn new(mconfig: MachineConfig, config: KernelConfig) -> System {
+        System {
+            machine: Machine::new(mconfig),
+            frames: FrameTable::new(),
+            procs: BTreeMap::new(),
+            pipes: PipeTable::new(),
+            fs: RamFs::new(),
+            net: NetStack::new(),
+            events: EventLog::new(),
+            rng: SmallRng::seed_from_u64(config.seed),
+            config,
+            stats: KernelStats::default(),
+            current: None,
+            run_queue: VecDeque::new(),
+            next_pid: 1,
+            loaded_cr3_for: None,
+            preempt: false,
+        }
+    }
+
+    /// Borrow a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown pid (kernel bug).
+    pub fn proc(&self, pid: Pid) -> &Process {
+        self.procs.get(&pid.0).unwrap_or_else(|| panic!("no {pid}"))
+    }
+
+    /// Mutably borrow a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown pid (kernel bug).
+    pub fn proc_mut(&mut self, pid: Pid) -> &mut Process {
+        self.procs
+            .get_mut(&pid.0)
+            .unwrap_or_else(|| panic!("no {pid}"))
+    }
+
+    /// The currently scheduled pid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no process is scheduled.
+    pub fn current_pid(&self) -> Pid {
+        self.current.expect("no current process")
+    }
+
+    /// Read the PTE of `vaddr` in `pid`'s address space.
+    pub fn pte_of(&self, pid: Pid, vaddr: u32) -> u32 {
+        self.proc(pid).aspace.pte(&self.machine, vaddr)
+    }
+
+    /// Overwrite the PTE of `vaddr` in `pid`'s address space (no TLB
+    /// shootdown — deliberate; see [`crate::addrspace::AddressSpace::set_pte`]).
+    pub fn set_pte(&mut self, pid: Pid, vaddr: u32, value: u32) {
+        let p = self.procs.get_mut(&pid.0).unwrap_or_else(|| panic!("no {pid}"));
+        p.aspace
+            .set_pte(&mut self.machine, &mut self.frames, vaddr, value)
+            .expect("pagetable allocation failed");
+    }
+
+    /// Allocate a zeroed, refcounted frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics when physical memory is exhausted (the experiments size
+    /// memory generously; exhaustion is a configuration bug).
+    pub fn alloc_zeroed(&mut self) -> Frame {
+        self.frames
+            .alloc_zeroed(&mut self.machine)
+            .expect("out of physical memory")
+    }
+
+    /// Allocate a refcounted copy of `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when physical memory is exhausted.
+    pub fn alloc_copy(&mut self, src: Frame) -> Frame {
+        self.frames
+            .alloc_copy(&mut self.machine, src)
+            .expect("out of physical memory")
+    }
+
+    /// Release one reference to a tracked frame.
+    pub fn release_frame(&mut self, f: Frame) {
+        self.frames.release(&mut self.machine, f);
+    }
+
+    /// Charge kernel-software cycles.
+    pub fn charge(&mut self, cycles: u64) {
+        self.machine.charge(cycles);
+    }
+
+    /// Append an event stamped with the current cycle count.
+    pub fn log(&mut self, event: Event) {
+        self.events.push(self.machine.cycles, event);
+    }
+
+    /// Wake every process whose wait reason satisfies `pred`.
+    pub fn wake_where(&mut self, pred: impl Fn(&WaitReason) -> bool) {
+        let mut woken = Vec::new();
+        for p in self.procs.values_mut() {
+            if let ProcState::Blocked(r) = p.state {
+                if pred(&r) {
+                    p.state = ProcState::Ready;
+                    woken.push(p.pid);
+                }
+            }
+        }
+        for pid in woken {
+            self.enqueue(pid);
+        }
+    }
+
+    /// Add a pid to the run queue if not already present.
+    pub(crate) fn enqueue(&mut self, pid: Pid) {
+        if !self.run_queue.contains(&pid) {
+            self.run_queue.push_back(pid);
+        }
+    }
+
+    /// Number of processes not yet reaped and not zombies.
+    pub fn live_process_count(&self) -> usize {
+        self.procs
+            .values()
+            .filter(|p| p.state != ProcState::Zombie)
+            .count()
+    }
+
+    pub(crate) fn alloc_pid(&mut self) -> Pid {
+        let p = Pid(self.next_pid);
+        self.next_pid += 1;
+        p
+    }
+}
+
+/// The kernel: system state plus the pluggable protection engine.
+pub struct Kernel {
+    /// Machine, processes, fs, logs.
+    pub sys: System,
+    /// Active protection engine.
+    pub engine: Box<dyn ProtectionEngine>,
+}
+
+impl Kernel {
+    /// Boot a kernel over a fresh machine.
+    pub fn new(
+        mconfig: MachineConfig,
+        kconfig: KernelConfig,
+        engine: Box<dyn ProtectionEngine>,
+    ) -> Kernel {
+        Kernel {
+            sys: System::new(mconfig, kconfig),
+            engine,
+        }
+    }
+
+    /// Convenience: boot with default configs and the given engine.
+    pub fn with_engine(engine: Box<dyn ProtectionEngine>) -> Kernel {
+        Kernel::new(MachineConfig::default(), KernelConfig::default(), engine)
+    }
+
+    /// Spawn a process from an image.
+    ///
+    /// # Errors
+    ///
+    /// [`SpawnError`] if memory is exhausted, the image or one of its
+    /// libraries is malformed, or a library fails verification.
+    pub fn spawn(&mut self, image: &ExecImage) -> Result<Pid, SpawnError> {
+        let pid = self.sys.alloc_pid();
+        let aspace = crate::addrspace::AddressSpace::new(&mut self.sys.machine, &mut self.sys.frames)
+            .map_err(|_| SpawnError::OutOfMemory)?;
+        let proc = Process::new(pid, pid, image.name.clone(), aspace);
+        self.sys.procs.insert(pid.0, proc);
+        if let Err(e) = loader::load_into(self, pid, image) {
+            // Roll the half-born process back out.
+            self.engine.on_teardown(&mut self.sys, pid);
+            let mut p = self.sys.procs.remove(&pid.0).expect("just inserted");
+            p.aspace.free_all(&mut self.sys.machine, &mut self.sys.frames);
+            return Err(e);
+        }
+        self.sys.stats.processes_spawned += 1;
+        self.sys.enqueue(pid);
+        Ok(pid)
+    }
+
+    /// Run the scheduler until everything exits, the cycle budget runs out,
+    /// or the system deadlocks.
+    pub fn run(&mut self, max_cycles: u64) -> RunExit {
+        let deadline = self.sys.machine.cycles.saturating_add(max_cycles);
+        loop {
+            if self.sys.live_process_count() == 0 {
+                return RunExit::AllExited;
+            }
+            let Some(pid) = self.pick_next() else {
+                return RunExit::Deadlock;
+            };
+            self.switch_to(pid);
+            let slice_end = (self.sys.machine.cycles + self.sys.config.quantum_cycles).min(deadline);
+            self.run_slice(pid, slice_end);
+            self.save_current();
+            // Re-queue if still runnable.
+            if self
+                .sys
+                .procs
+                .get(&pid.0)
+                .is_some_and(|p| p.state == ProcState::Ready)
+            {
+                self.sys.enqueue(pid);
+            }
+            if self.sys.machine.cycles >= deadline {
+                return if self.sys.live_process_count() == 0 {
+                    RunExit::AllExited
+                } else {
+                    RunExit::CyclesExhausted
+                };
+            }
+        }
+    }
+
+    fn pick_next(&mut self) -> Option<Pid> {
+        while let Some(pid) = self.sys.run_queue.pop_front() {
+            if self
+                .sys
+                .procs
+                .get(&pid.0)
+                .is_some_and(|p| p.state == ProcState::Ready)
+            {
+                return Some(pid);
+            }
+        }
+        None
+    }
+
+    fn switch_to(&mut self, pid: Pid) {
+        if self.sys.loaded_cr3_for == Some(pid) {
+            self.sys.current = Some(pid);
+            return;
+        }
+        // A real context switch: charge scheduler cost, reload CR3 (which
+        // flushes both TLBs — the paper's dominant overhead source, §4.6).
+        let cs = self.sys.machine.config.costs.context_switch;
+        self.sys.charge(cs);
+        self.sys.stats.context_switches += 1;
+        let dir = self.sys.proc(pid).aspace.dir;
+        let ctx = self.sys.proc(pid).ctx;
+        // Load the register file first: set_cr3 writes the (architectural)
+        // CR3 field inside it.
+        self.sys.machine.cpu.regs = ctx;
+        self.sys.machine.set_cr3(dir);
+        self.sys.current = Some(pid);
+        self.sys.loaded_cr3_for = Some(pid);
+    }
+
+    fn save_current(&mut self) {
+        if let Some(pid) = self.sys.current {
+            if let Some(p) = self.sys.procs.get_mut(&pid.0) {
+                if p.state != ProcState::Zombie {
+                    p.ctx = self.sys.machine.cpu.regs;
+                }
+            }
+        }
+        self.sys.current = None;
+    }
+
+    fn run_slice(&mut self, pid: Pid, slice_end: u64) {
+        loop {
+            if self.sys.machine.cycles >= slice_end || std::mem::take(&mut self.sys.preempt) {
+                return; // preempted or yielded
+            }
+            if self.sys.procs.get(&pid.0).map(|p| p.state) != Some(ProcState::Ready)
+                || self.sys.current != Some(pid)
+            {
+                return;
+            }
+            if !self.deliver_pending_signals(pid) {
+                return; // killed by a signal
+            }
+            let before = self.sys.machine.cycles;
+            let trap = self.sys.machine.step();
+            let spent = self.sys.machine.cycles - before;
+            if let Some(p) = self.sys.procs.get_mut(&pid.0) {
+                p.user_cycles += spent;
+            }
+            match trap {
+                Trap::None => {}
+                Trap::Syscall { vector: 0x80 } => {
+                    self.sys.charge(self.sys.machine.config.costs.syscall);
+                    self.sys.stats.syscalls += 1;
+                    syscall::handle(self, pid);
+                    if self.sys.machine.take_pending_singlestep() {
+                        self.handle_debug(pid);
+                    }
+                }
+                Trap::Syscall { .. } => {
+                    // Unknown software interrupt: treat as illegal.
+                    self.raise_signal(pid, signal::SIGILL);
+                }
+                Trap::PageFault(pf) => {
+                    self.sys.charge(self.sys.machine.config.costs.exception);
+                    self.handle_fault(pid, pf);
+                }
+                Trap::InvalidOpcode { eip, opcode } => {
+                    self.sys.charge(self.sys.machine.config.costs.exception);
+                    self.handle_ud(pid, eip, opcode);
+                }
+                Trap::DebugStep => {
+                    self.sys.charge(self.sys.machine.config.costs.exception);
+                    self.handle_debug(pid);
+                }
+                Trap::DivideError => {
+                    self.sys.charge(self.sys.machine.config.costs.exception);
+                    self.raise_signal(pid, signal::SIGFPE);
+                }
+                Trap::Halt => {
+                    // User-mode hlt is a privilege violation.
+                    self.raise_signal(pid, signal::SIGSEGV);
+                }
+            }
+        }
+    }
+
+    // ---- faults ------------------------------------------------------------
+
+    /// Handle a page fault raised by user execution.
+    fn handle_fault(&mut self, pid: Pid, pf: PageFaultInfo) {
+        if !self.service_fault(pid, pf) {
+            self.raise_signal(pid, signal::SIGSEGV);
+        }
+    }
+
+    /// Try to service a fault; returns false if it should be fatal.
+    /// Shared by the user path and kernel copy helpers.
+    pub(crate) fn service_fault(&mut self, pid: Pid, pf: PageFaultInfo) -> bool {
+        let vaddr = pf.addr;
+        let entry = self.sys.pte_of(pid, vaddr);
+        if !pte::has(entry, pte::PRESENT) {
+            // Demand paging, if a region covers the address.
+            let covered = self.sys.proc(pid).aspace.find_vma(vaddr).is_some();
+            if !covered {
+                return false;
+            }
+            self.demand_page(pid, vaddr);
+            return true;
+        }
+        // Present entry: a protection fault.
+        if pf.access == sm_machine::cpu::Access::Write && pte::has(entry, pte::COW) {
+            let writable_region = self
+                .sys
+                .proc(pid)
+                .aspace
+                .find_vma(vaddr)
+                .is_some_and(crate::vma::Vma::writable);
+            if !writable_region {
+                return false;
+            }
+            self.cow_break(pid, vaddr, entry);
+            return true;
+        }
+        if self.sys.machine.config.software_tlb {
+            // Software-loaded TLBs (§4.7): a present entry means this was a
+            // pure TLB miss. If the PTE itself authorises the access, the
+            // kernel fills the TLB directly; split pages fall through to
+            // the engine, which picks the code or data frame.
+            let e_user = pte::has(entry, pte::USER);
+            let e_wr = pte::has(entry, pte::WRITABLE);
+            let e_nx = pte::has(entry, pte::NX);
+            let allowed = match pf.privilege {
+                Privilege::Kernel => pf.access != sm_machine::cpu::Access::Fetch,
+                Privilege::User => {
+                    e_user
+                        && (pf.access != sm_machine::cpu::Access::Write || e_wr)
+                        && !(pf.access == sm_machine::cpu::Access::Fetch
+                            && e_nx
+                            && self.sys.machine.config.nx_enabled)
+                }
+            };
+            if allowed && !pte::has(entry, pte::SPLIT) {
+                let te = TlbEntry {
+                    vpn: pte::vpn(vaddr),
+                    pfn: pte::frame(entry).0,
+                    user: e_user,
+                    writable: e_wr,
+                    nx: e_nx,
+                };
+                let fill_cost = self.sys.machine.config.costs.soft_tlb_fill;
+                self.sys.charge(fill_cost);
+                self.sys.stats.soft_tlb_fills += 1;
+                if pf.access == sm_machine::cpu::Access::Fetch {
+                    self.sys.machine.fill_itlb(te);
+                } else {
+                    self.sys.machine.fill_dtlb(te);
+                }
+                return true;
+            }
+        }
+        if pf.privilege == Privilege::User || self.sys.machine.config.software_tlb {
+            // Not explicable by the generic handler: offer it to the engine
+            // (the split-memory supervisor-bit faults land here).
+            let pf_cost = self.sys.machine.config.costs.pf_handler;
+            self.sys.charge(pf_cost);
+            if self.engine.on_protection_fault(&mut self.sys, pid, pf) == FaultOutcome::Handled {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn demand_page(&mut self, pid: Pid, vaddr: u32) {
+        let base = pte::page_base(vaddr);
+        let vma = self
+            .sys
+            .proc(pid)
+            .aspace
+            .find_vma(vaddr)
+            .expect("caller checked");
+        let mut flags = pte::USER;
+        if vma.writable() {
+            flags |= pte::WRITABLE;
+        }
+        let frame = self.sys.alloc_zeroed();
+        {
+            let sys = &mut self.sys;
+            let p = sys.procs.get_mut(&pid.0).expect("pid");
+            p.aspace
+                .map_frame(&mut sys.machine, &mut sys.frames, base, frame, flags)
+                .expect("pagetable alloc");
+        }
+        let dp = self.sys.machine.config.costs.demand_page;
+        self.sys.charge(dp);
+        self.sys.stats.demand_pages += 1;
+        self.engine.on_page_mapped(&mut self.sys, pid, base);
+    }
+
+    fn cow_break(&mut self, pid: Pid, vaddr: u32, entry: u32) {
+        let base = pte::page_base(vaddr);
+        let old = pte::frame(entry);
+        let cost = self.sys.machine.config.costs.cow_copy;
+        self.sys.charge(cost);
+        self.sys.stats.cow_breaks += 1;
+        let new_frame = if self.sys.frames.refcount(old) > 1 {
+            let f = self.sys.alloc_copy(old);
+            self.sys.frames.release(&mut self.sys.machine, old);
+            f
+        } else {
+            old
+        };
+        let new_entry =
+            pte::with_frame((entry & !pte::COW) | pte::WRITABLE | pte::PRESENT, new_frame);
+        self.sys.set_pte(pid, base, new_entry);
+        self.sys.machine.invlpg(base);
+        self.engine.on_cow_copied(&mut self.sys, pid, base, new_frame);
+    }
+
+    fn handle_ud(&mut self, pid: Pid, eip: u32, opcode: u8) {
+        match self.engine.on_invalid_opcode(&mut self.sys, pid, eip, opcode) {
+            UdOutcome::Resume => {}
+            UdOutcome::Unhandled => self.raise_signal(pid, signal::SIGILL),
+            UdOutcome::Terminate => {
+                // The paper's proposed recovery mode: transfer to an
+                // application-registered callback instead of crashing.
+                let handler = self.sys.proc(pid).recovery_handler;
+                if let Some(h) = handler {
+                    self.sys.log(Event::RecoveryEntered { pid, handler: h });
+                    self.sys.machine.cpu.regs.eip = h;
+                } else {
+                    self.raise_signal(pid, signal::SIGILL);
+                }
+            }
+        }
+    }
+
+    fn handle_debug(&mut self, pid: Pid) {
+        let pending = self.sys.proc(pid).pending_step_addr.is_some();
+        if pending && self.engine.on_debug_trap(&mut self.sys, pid) {
+            return;
+        }
+        // Not ours: a stray trap flag. Clear it and signal.
+        self.sys.machine.cpu.regs.set_flag(flags::TF, false);
+        self.raise_signal(pid, signal::SIGTRAP);
+    }
+
+    // ---- signals -----------------------------------------------------------
+
+    /// Queue a signal for a process. Blocked syscalls are interruptible:
+    /// the process is woken, the syscall restarts, and pending signals are
+    /// delivered before it runs again.
+    pub fn raise_signal(&mut self, pid: Pid, sig: u8) {
+        let p = self.sys.proc_mut(pid);
+        p.signals.raise(sig);
+        if matches!(p.state, ProcState::Blocked(_)) {
+            p.state = ProcState::Ready;
+            self.sys.enqueue(pid);
+        }
+    }
+
+    /// Deliver queued signals to the *current, on-CPU* process. Returns
+    /// false if the process died.
+    fn deliver_pending_signals(&mut self, pid: Pid) -> bool {
+        loop {
+            let Some(sig) = self.sys.proc_mut(pid).signals.take_pending() else {
+                return true;
+            };
+            match self.sys.proc(pid).signals.action(sig) {
+                SigAction::Ignore => continue,
+                SigAction::Default => {
+                    if signal::default_is_fatal(sig) {
+                        self.sys.log(Event::Signal { pid, sig });
+                        self.sys.stats.fatal_signals += 1;
+                        self.do_exit(pid, 128 + sig as i32);
+                        return false;
+                    }
+                }
+                SigAction::Handler(handler) => {
+                    self.push_signal_frame(pid, sig, handler);
+                    self.sys.stats.handler_signals += 1;
+                }
+            }
+        }
+    }
+
+    /// Build the user-space signal frame: save context kernel-side, write
+    /// the sigreturn trampoline onto the stack (code on a data page — the
+    /// paper's mixed-page case, installed via the engine's
+    /// `write_user_code` hook), point the return address at it, and enter
+    /// the handler with the signal number in `ebx`.
+    fn push_signal_frame(&mut self, pid: Pid, sig: u8, handler: u32) {
+        let regs = self.sys.machine.cpu.regs;
+        self.sys.proc_mut(pid).signals.saved_context = Some(regs);
+        // mov eax, SYS_SIGRETURN ; int 0x80
+        let tramp: [u8; 7] = [0xB8, syscall::SYS_SIGRETURN as u8, 0, 0, 0, 0xCD, 0x80];
+        let tramp_addr = (regs.get(sm_machine::cpu::Reg::Esp) - 8) & !7;
+        // Fault-in the stack pages first so the writes below cannot fail.
+        for addr in [tramp_addr - 4, tramp_addr + 7] {
+            let _ = self.touch_user_page(pid, addr);
+        }
+        if self
+            .engine
+            .write_user_code(&mut self.sys, pid, tramp_addr, &tramp)
+            .is_err()
+        {
+            // Unmappable stack: the process is beyond saving.
+            self.raise_signal(pid, signal::SIGKILL);
+            return;
+        }
+        let ret_slot = tramp_addr - 4;
+        if self
+            .sys
+            .machine
+            .write_u32(ret_slot, tramp_addr, Privilege::Kernel)
+            .is_err()
+        {
+            self.raise_signal(pid, signal::SIGKILL);
+            return;
+        }
+        let r = &mut self.sys.machine.cpu.regs;
+        r.set(sm_machine::cpu::Reg::Esp, ret_slot);
+        r.set(sm_machine::cpu::Reg::Ebx, sig as u32);
+        r.eip = handler;
+    }
+
+    /// Ensure the page containing `addr` is mapped (running demand paging
+    /// if needed). Returns false if the address is not mappable.
+    pub(crate) fn touch_user_page(&mut self, pid: Pid, addr: u32) -> bool {
+        let entry = self.sys.pte_of(pid, addr);
+        if pte::has(entry, pte::PRESENT) {
+            return true;
+        }
+        if self.sys.proc(pid).aspace.find_vma(addr).is_none() {
+            return false;
+        }
+        self.demand_page(pid, addr);
+        true
+    }
+
+    /// Copy bytes from the current process's memory, resolving demand-page
+    /// faults like a real `copy_from_user`. Returns `None` on a genuinely
+    /// bad address.
+    pub(crate) fn user_read(&mut self, pid: Pid, addr: u32, len: u32) -> Option<Vec<u8>> {
+        loop {
+            match self.sys.machine.copy_from_user(addr, len) {
+                Ok(v) => return Some(v),
+                Err(pf) => {
+                    if !self.service_fault(pid, pf) {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Copy bytes into the current process's memory, resolving faults.
+    pub(crate) fn user_write(&mut self, pid: Pid, addr: u32, data: &[u8]) -> bool {
+        loop {
+            match self.sys.machine.copy_to_user(addr, data) {
+                Ok(()) => return true,
+                Err(pf) => {
+                    if !self.service_fault(pid, pf) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Read a NUL-terminated string from the current process.
+    pub(crate) fn user_cstr(&mut self, pid: Pid, addr: u32) -> Option<String> {
+        loop {
+            match self.sys.machine.read_cstr(addr, 4096) {
+                Ok(v) => return String::from_utf8(v).ok(),
+                Err(pf) => {
+                    if !self.service_fault(pid, pf) {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- exit --------------------------------------------------------------
+
+    /// Terminate a process: run engine teardown, free its memory, close its
+    /// descriptors, zombify it and wake a waiting parent.
+    pub fn do_exit(&mut self, pid: Pid, code: i32) {
+        self.engine.on_teardown(&mut self.sys, pid);
+        // Close descriptors (waking pipe peers).
+        let fds: Vec<FdObject> = {
+            let p = self.sys.proc_mut(pid);
+            p.fds.iter_mut().filter_map(Option::take).collect()
+        };
+        for fd in fds {
+            self.close_fd_object(fd);
+        }
+        {
+            let sys = &mut self.sys;
+            let p = sys.procs.get_mut(&pid.0).expect("pid");
+            p.aspace.free_all(&mut sys.machine, &mut sys.frames);
+            p.state = ProcState::Zombie;
+            p.exit_code = Some(code);
+        }
+        self.sys.log(Event::ProcessExit { pid, code });
+        if self.sys.current == Some(pid) {
+            self.sys.current = None;
+        }
+        if self.sys.loaded_cr3_for == Some(pid) {
+            self.sys.loaded_cr3_for = None;
+        }
+        // Wake anyone in waitpid.
+        self.sys
+            .wake_where(|r| matches!(r, WaitReason::Child));
+    }
+
+    /// Drop one fd object, adjusting pipe endpoint counts and waking
+    /// blocked peers.
+    pub(crate) fn close_fd_object(&mut self, fd: FdObject) {
+        match fd {
+            FdObject::PipeRead(id) => {
+                self.sys.pipes.drop_reader(id);
+                self.sys.wake_where(|r| *r == WaitReason::PipeWritable(id));
+            }
+            FdObject::PipeWrite(id) => {
+                self.sys.pipes.drop_writer(id);
+                self.sys.wake_where(|r| *r == WaitReason::PipeReadable(id));
+            }
+            FdObject::Socket { rx, tx } => {
+                self.sys.pipes.drop_reader(rx);
+                self.sys.pipes.drop_writer(tx);
+                self.sys.wake_where(|r| {
+                    *r == WaitReason::PipeWritable(rx) || *r == WaitReason::PipeReadable(tx)
+                });
+            }
+            FdObject::Console | FdObject::File { .. } => {}
+        }
+    }
+}

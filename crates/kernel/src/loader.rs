@@ -1,0 +1,219 @@
+//! Program and library loader (the paper's patched ELF loader, §5.1).
+//!
+//! Maps image segments eagerly (copying bytes straight into the backing
+//! frames), sets up heap bookkeeping and a demand-paged stack with optional
+//! placement randomisation, loads shared libraries (with engine
+//! verification, §4.3), and finally gives the protection engine its
+//! `on_region_mapped` callback for every eagerly mapped region — the point
+//! where the split-memory engine duplicates pages.
+
+use crate::image::{ExecImage, Segment};
+use crate::kernel::{Kernel, SpawnError};
+use crate::process::Pid;
+use crate::vma::{Vma, VmaKind};
+use rand::Rng;
+use sm_machine::cpu::Regs;
+use sm_machine::pte::{self, PAGE_SIZE};
+
+/// Load `image` into the (already created, empty-address-space) process
+/// `pid`: map segments, libraries, heap and stack, and set the initial
+/// register file in `proc.ctx`.
+pub(crate) fn load_into(k: &mut Kernel, pid: Pid, image: &ExecImage) -> Result<(), SpawnError> {
+    let mut regions: Vec<(u32, u32)> = Vec::new();
+    let mut max_end = 0u32;
+    for seg in &image.segments {
+        let range = map_segment(k, pid, seg, VmaKind::from_flags(seg.flags), &image.name)?;
+        regions.push(range);
+        max_end = max_end.max(seg.end());
+    }
+
+    // Heap: starts one guard page above the image; grows via brk.
+    let brk_start = pte::page_align_up(max_end) + PAGE_SIZE;
+    {
+        let p = k.sys.proc_mut(pid);
+        p.aspace.brk_start = brk_start;
+        p.aspace.brk = brk_start;
+    }
+
+    // Stack: page-granular ASLR of the base plus sub-page jitter of esp,
+    // approximating the "slight randomization to the placement of an
+    // application's stack" in Linux 2.6 (paper §6.1.2).
+    let (page_shift, esp_jitter) = if k.sys.config.aslr_stack {
+        (
+            k.sys.rng.gen_range(0u32..16) * PAGE_SIZE,
+            k.sys.rng.gen_range(0u32..64) * 16,
+        )
+    } else {
+        (0, 0)
+    };
+    let stack_high = k.sys.config.stack_top - page_shift;
+    let stack_low = stack_high - k.sys.config.stack_size;
+    {
+        let p = k.sys.proc_mut(pid);
+        p.aspace.stack_low = stack_low;
+        p.aspace.stack_high = stack_high;
+        p.aspace.add_vma(Vma::new(
+            stack_low,
+            stack_high,
+            crate::image::SEG_R | crate::image::SEG_W,
+            VmaKind::Stack,
+            "stack",
+        ));
+    }
+    // Eagerly map the top stack page so program entry doesn't immediately
+    // fault.
+    let top_page = stack_high - PAGE_SIZE;
+    let frame = k.sys.alloc_zeroed();
+    {
+        let sys = &mut k.sys;
+        let p = sys.procs.get_mut(&pid.0).expect("pid");
+        p.aspace
+            .map_frame(
+                &mut sys.machine,
+                &mut sys.frames,
+                top_page,
+                frame,
+                pte::USER | pte::WRITABLE,
+            )
+            .map_err(|_| SpawnError::OutOfMemory)?;
+    }
+    regions.push((top_page, stack_high));
+
+    // Shared libraries (load-time; paper §4.3).
+    for lib in &image.libs {
+        load_library(k, pid, lib)?;
+    }
+
+    // Initial registers.
+    let mut ctx = Regs {
+        eip: image.entry,
+        ..Regs::default()
+    };
+    ctx.set(sm_machine::cpu::Reg::Esp, stack_high - 16 - esp_jitter);
+    k.sys.proc_mut(pid).ctx = ctx;
+
+    // Engine callbacks last: the process is fully visible in the table.
+    for (start, end) in regions {
+        k.engine.on_region_mapped(&mut k.sys, pid, start, end);
+    }
+    Ok(())
+}
+
+/// Load a dynamic/shared library into `pid`, verifying it first. Returns
+/// the lowest mapped address.
+///
+/// # Errors
+///
+/// [`SpawnError::BadImage`] for missing/corrupt libraries,
+/// [`SpawnError::VerificationFailed`] if the engine rejects the signature.
+pub(crate) fn load_library(k: &mut Kernel, pid: Pid, path: &str) -> Result<u32, SpawnError> {
+    let bytes = k
+        .sys
+        .fs
+        .file(path)
+        .ok_or_else(|| SpawnError::BadImage(format!("no such library {path}")))?
+        .clone();
+    let image =
+        ExecImage::from_bytes(&bytes).map_err(|e| SpawnError::BadImage(format!("{path}: {e}")))?;
+    match k.engine.verify_library(&mut k.sys, pid, &image) {
+        Ok(()) => {
+            k.sys.log(crate::events::Event::Library {
+                pid,
+                name: path.to_string(),
+                verified: true,
+            });
+        }
+        Err(reason) => {
+            k.sys.log(crate::events::Event::Library {
+                pid,
+                name: path.to_string(),
+                verified: false,
+            });
+            return Err(SpawnError::VerificationFailed(format!("{path}: {reason}")));
+        }
+    }
+    let mut base = u32::MAX;
+    let mut regions = Vec::new();
+    for seg in &image.segments {
+        let range = map_segment(k, pid, seg, VmaKind::Library, path)?;
+        regions.push(range);
+        base = base.min(seg.vaddr);
+    }
+    for (start, end) in regions {
+        k.engine.on_region_mapped(&mut k.sys, pid, start, end);
+    }
+    k.sys.stats.libraries_loaded += 1;
+    Ok(base)
+}
+
+impl VmaKind {
+    fn from_flags(flags: u8) -> VmaKind {
+        if flags & crate::image::SEG_X != 0 {
+            VmaKind::Code
+        } else {
+            VmaKind::Data
+        }
+    }
+}
+
+/// Map one segment: allocate frames for its page range (or upgrade the
+/// permissions of pages shared with a previous segment — that sharing is
+/// exactly the mixed-page shape of paper Fig. 1b), copy the file bytes in,
+/// and register the VMA. Returns the page-aligned range mapped.
+fn map_segment(
+    k: &mut Kernel,
+    pid: Pid,
+    seg: &Segment,
+    kind: VmaKind,
+    label: &str,
+) -> Result<(u32, u32), SpawnError> {
+    let start_page = pte::page_base(seg.vaddr);
+    let end_page = pte::page_align_up(seg.end());
+    let writable = seg.flags & crate::image::SEG_W != 0;
+    let mut addr = start_page;
+    while addr < end_page {
+        let entry = k.sys.pte_of(pid, addr);
+        if pte::has(entry, pte::PRESENT) {
+            // Page shared with an earlier segment: widen permissions.
+            if writable && !pte::has(entry, pte::WRITABLE) {
+                k.sys.set_pte(pid, addr, entry | pte::WRITABLE);
+            }
+        } else {
+            let frame = k.sys.alloc_zeroed();
+            let mut flags = pte::USER;
+            if writable {
+                flags |= pte::WRITABLE;
+            }
+            {
+                let sys = &mut k.sys;
+                let p = sys.procs.get_mut(&pid.0).expect("pid");
+                p.aspace
+                    .map_frame(&mut sys.machine, &mut sys.frames, addr, frame, flags)
+                    .map_err(|_| SpawnError::OutOfMemory)?;
+            }
+            // Loading is not free: allocating + preparing a page costs what
+            // demand paging costs.
+            let dp = k.sys.machine.config.costs.demand_page;
+            k.sys.charge(dp);
+        }
+        addr += PAGE_SIZE;
+    }
+    // Copy file bytes through the pagetable (phys writes, no TLB traffic).
+    let copy_cost = k.sys.machine.config.costs.copy_byte * seg.data.len() as u64;
+    k.sys.charge(copy_cost);
+    for (i, b) in seg.data.iter().enumerate() {
+        let vaddr = seg.vaddr + i as u32;
+        let entry = k.sys.pte_of(pid, vaddr);
+        debug_assert!(pte::has(entry, pte::PRESENT));
+        let paddr = pte::frame(entry).base() + pte::page_offset(vaddr);
+        k.sys.machine.phys.write_u8(paddr, *b);
+    }
+    k.sys.proc_mut(pid).aspace.add_vma(Vma::new(
+        seg.vaddr,
+        seg.end().max(seg.vaddr + 1),
+        seg.flags,
+        kind,
+        label,
+    ));
+    Ok((start_page, end_page))
+}

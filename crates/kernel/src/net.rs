@@ -1,0 +1,144 @@
+//! Loopback "network": port-based rendezvous that pairs processes over two
+//! pipes. Enough to run the paper's client/server scenarios — the exploit
+//! drivers connecting to vulnerable daemons, ApacheBench hammering the web
+//! server — without modelling a real protocol stack.
+
+use crate::fs::{PipeId, PipeTable};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Per-direction socket buffer size (a typical TCP socket buffer; large
+/// responses get batched in these rather than the 4 KiB pipe unit, which
+/// is what lets big transfers saturate "the link" instead of the
+/// scheduler).
+pub const SOCKET_BUFFER: usize = 16 * 1024;
+
+/// A fully established connection: two pipes, one per direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Connection {
+    /// Client → server bytes.
+    pub c2s: PipeId,
+    /// Server → client bytes.
+    pub s2c: PipeId,
+}
+
+/// Loopback network state.
+#[derive(Debug, Default)]
+pub struct NetStack {
+    listeners: HashMap<u16, VecDeque<Connection>>,
+}
+
+impl NetStack {
+    /// Empty network.
+    pub fn new() -> NetStack {
+        NetStack::default()
+    }
+
+    /// Start listening on a port. Returns `false` if already bound.
+    pub fn listen(&mut self, port: u16) -> bool {
+        if self.listeners.contains_key(&port) {
+            return false;
+        }
+        self.listeners.insert(port, VecDeque::new());
+        true
+    }
+
+    /// Whether something is listening on the port.
+    pub fn has_listener(&self, port: u16) -> bool {
+        self.listeners.contains_key(&port)
+    }
+
+    /// Client side of connect: allocate the two pipes, enqueue the server's
+    /// half, and return the connection (the caller builds the client fd and
+    /// bumps endpoint refcounts).
+    ///
+    /// Returns `None` when nobody is listening (connection refused /
+    /// caller may block until a listener appears).
+    pub fn connect(&mut self, pipes: &mut PipeTable, port: u16) -> Option<Connection> {
+        let backlog = self.listeners.get_mut(&port)?;
+        // `create` starts each pipe at one reader + one writer, which is
+        // exactly the two socket fds (client holds c2s's writer and s2c's
+        // reader; the server socket holds the opposites).
+        let conn = Connection {
+            c2s: pipes.create_with_capacity(SOCKET_BUFFER),
+            s2c: pipes.create_with_capacity(SOCKET_BUFFER),
+        };
+        backlog.push_back(conn);
+        Some(conn)
+    }
+
+    /// Server side of accept: dequeue a pending connection.
+    pub fn accept(&mut self, port: u16) -> Option<Connection> {
+        self.listeners.get_mut(&port)?.pop_front()
+    }
+
+    /// Number of queued, unaccepted connections on a port.
+    pub fn backlog(&self, port: u16) -> usize {
+        self.listeners.get(&port).map_or(0, VecDeque::len)
+    }
+
+    /// Stop listening, dropping any backlog (the caller must release the
+    /// backlog's pipe endpoints first if it cares; in practice teardown
+    /// happens at whole-system end).
+    pub fn unlisten(&mut self, port: u16) -> bool {
+        self.listeners.remove(&port).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listen_connect_accept_flow() {
+        let mut net = NetStack::new();
+        let mut pipes = PipeTable::new();
+        assert!(net.connect(&mut pipes, 80).is_none(), "nobody listening");
+        assert!(net.listen(80));
+        assert!(!net.listen(80), "double bind rejected");
+        let conn = net.connect(&mut pipes, 80).unwrap();
+        assert_eq!(net.backlog(80), 1);
+        let got = net.accept(80).unwrap();
+        assert_eq!(got, conn);
+        assert_eq!(net.backlog(80), 0);
+        assert!(net.accept(80).is_none());
+    }
+
+    #[test]
+    fn connection_pipes_carry_data() {
+        let mut net = NetStack::new();
+        let mut pipes = PipeTable::new();
+        net.listen(8080);
+        let conn = net.connect(&mut pipes, 8080).unwrap();
+        pipes.get_mut(conn.c2s).write(b"GET /");
+        let mut buf = [0u8; 5];
+        assert_eq!(pipes.get_mut(conn.c2s).read(&mut buf), 5);
+        assert_eq!(&buf, b"GET /");
+    }
+
+    #[test]
+    fn endpoints_account_for_exactly_two_sockets() {
+        let mut net = NetStack::new();
+        let mut pipes = PipeTable::new();
+        net.listen(1);
+        let conn = net.connect(&mut pipes, 1).unwrap();
+        // One reader + one writer per direction: the client socket and the
+        // (eventual) server socket. Closing both destroys the pipe.
+        assert_eq!(pipes.get(conn.c2s).readers, 1);
+        assert_eq!(pipes.get(conn.c2s).writers, 1);
+        pipes.drop_reader(conn.c2s);
+        pipes.drop_writer(conn.c2s);
+        pipes.drop_reader(conn.s2c);
+        pipes.drop_writer(conn.s2c);
+        assert_eq!(pipes.live(), 0);
+    }
+
+    #[test]
+    fn unlisten() {
+        let mut net = NetStack::new();
+        net.listen(9);
+        assert!(net.unlisten(9));
+        assert!(!net.unlisten(9));
+        assert!(!net.has_listener(9));
+    }
+}

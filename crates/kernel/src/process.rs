@@ -1,0 +1,213 @@
+//! Processes, file descriptors and scheduling states.
+
+use crate::addrspace::AddressSpace;
+use crate::fs::PipeId;
+use crate::signal::SignalState;
+use sm_machine::cpu::Regs;
+use std::fmt;
+
+/// Process identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub u32);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid {}", self.0)
+    }
+}
+
+/// What a blocked process is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitReason {
+    /// Readable data (or writer close) on a pipe.
+    PipeReadable(PipeId),
+    /// Free space (or reader close) on a pipe.
+    PipeWritable(PipeId),
+    /// An incoming connection on a listening port.
+    Accept(u16),
+    /// A listener to appear on a port (connect side).
+    Connect(u16),
+    /// Any child to exit (`waitpid`).
+    Child,
+    /// `pause()` — any signal.
+    Pause,
+}
+
+/// Scheduling state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    /// Runnable (possibly currently on the CPU).
+    Ready,
+    /// Parked until the wait reason resolves.
+    Blocked(WaitReason),
+    /// Exited, waiting to be reaped by the parent.
+    Zombie,
+}
+
+/// One entry in a process's descriptor table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FdObject {
+    /// Process console: writes append to [`Process::output`], reads consume
+    /// [`Process::input`].
+    Console,
+    /// Open ram-fs file with a cursor.
+    File {
+        /// Path into the ram fs.
+        path: String,
+        /// Read/write cursor.
+        offset: u32,
+        /// `O_*` flags it was opened with.
+        flags: u32,
+    },
+    /// Read end of a pipe.
+    PipeRead(PipeId),
+    /// Write end of a pipe.
+    PipeWrite(PipeId),
+    /// Bidirectional loopback socket (a pipe pair).
+    Socket {
+        /// Pipe this end reads from.
+        rx: PipeId,
+        /// Pipe this end writes to.
+        tx: PipeId,
+    },
+}
+
+/// A process.
+#[derive(Debug)]
+pub struct Process {
+    /// Identifier.
+    pub pid: Pid,
+    /// Parent identifier (initial processes are their own parent).
+    pub ppid: Pid,
+    /// Image name (diagnostics).
+    pub name: String,
+    /// Scheduling state.
+    pub state: ProcState,
+    /// Saved user registers while not on the CPU.
+    pub ctx: Regs,
+    /// Address space.
+    pub aspace: AddressSpace,
+    /// Descriptor table (index = fd).
+    pub fds: Vec<Option<FdObject>>,
+    /// Signal dispositions, pending set and saved-handler context.
+    pub signals: SignalState,
+    /// Bookkeeping for the split-memory debug-interrupt handshake: the
+    /// faulting address saved by the page-fault handler for the debug
+    /// handler (paper §5.2 "saving the faulting address into the process'
+    /// entry in the OS process table").
+    pub pending_step_addr: Option<u32>,
+    /// Exit status once a zombie.
+    pub exit_code: Option<i32>,
+    /// Console output buffer (what the process wrote to fd 1/2).
+    pub output: Vec<u8>,
+    /// Console input buffer (what reads from fd 0 consume).
+    pub input: Vec<u8>,
+    /// Sebek-style honeypot logging: when set, `read` results are copied
+    /// into the kernel event log (paper Fig. 5d).
+    pub honeypot_log: bool,
+    /// Recovery handler registered via the `register_recovery` syscall —
+    /// the paper's proposed recovery response mode (§4.5).
+    pub recovery_handler: Option<u32>,
+    /// Cycles spent executing user instructions (rough; for accounting).
+    pub user_cycles: u64,
+}
+
+impl Process {
+    /// Create a process shell around an address space; registers and fds
+    /// are set up by the loader.
+    pub fn new(pid: Pid, ppid: Pid, name: impl Into<String>, aspace: AddressSpace) -> Process {
+        Process {
+            pid,
+            ppid,
+            name: name.into(),
+            state: ProcState::Ready,
+            ctx: Regs::default(),
+            aspace,
+            fds: vec![
+                Some(FdObject::Console), // 0 stdin
+                Some(FdObject::Console), // 1 stdout
+                Some(FdObject::Console), // 2 stderr
+            ],
+            signals: SignalState::new(),
+            pending_step_addr: None,
+            exit_code: None,
+            output: Vec::new(),
+            input: Vec::new(),
+            honeypot_log: false,
+            recovery_handler: None,
+            user_cycles: 0,
+        }
+    }
+
+    /// Install an fd object in the lowest free slot, returning the fd.
+    pub fn install_fd(&mut self, obj: FdObject) -> u32 {
+        if let Some(idx) = self.fds.iter().position(Option::is_none) {
+            self.fds[idx] = Some(obj);
+            return idx as u32;
+        }
+        self.fds.push(Some(obj));
+        (self.fds.len() - 1) as u32
+    }
+
+    /// Look up an fd.
+    pub fn fd(&self, fd: u32) -> Option<&FdObject> {
+        self.fds.get(fd as usize).and_then(Option::as_ref)
+    }
+
+    /// Remove an fd, returning its object.
+    pub fn take_fd(&mut self, fd: u32) -> Option<FdObject> {
+        self.fds.get_mut(fd as usize).and_then(Option::take)
+    }
+
+    /// Console output as a lossy string (tests and demos).
+    pub fn output_string(&self) -> String {
+        String::from_utf8_lossy(&self.output).into_owned()
+    }
+
+    /// True if runnable.
+    pub fn is_ready(&self) -> bool {
+        self.state == ProcState::Ready
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addrspace::{AddressSpace, FrameTable};
+    use sm_machine::{Machine, MachineConfig};
+
+    fn proc_() -> Process {
+        let mut m = Machine::new(MachineConfig {
+            phys_frames: 64,
+            ..MachineConfig::default()
+        });
+        let mut ft = FrameTable::new();
+        let a = AddressSpace::new(&mut m, &mut ft).unwrap();
+        Process::new(Pid(1), Pid(0), "test", a)
+    }
+
+    #[test]
+    fn std_fds_preinstalled() {
+        let p = proc_();
+        assert_eq!(p.fd(0), Some(&FdObject::Console));
+        assert_eq!(p.fd(2), Some(&FdObject::Console));
+        assert_eq!(p.fd(3), None);
+    }
+
+    #[test]
+    fn fd_allocation_reuses_lowest() {
+        let mut p = proc_();
+        let a = p.install_fd(FdObject::PipeRead(PipeId(0)));
+        assert_eq!(a, 3);
+        p.take_fd(1);
+        let b = p.install_fd(FdObject::PipeWrite(PipeId(0)));
+        assert_eq!(b, 1, "lowest free slot first");
+    }
+
+    #[test]
+    fn take_fd_twice_is_none() {
+        let mut p = proc_();
+        assert!(p.take_fd(0).is_some());
+        assert!(p.take_fd(0).is_none());
+    }
+}

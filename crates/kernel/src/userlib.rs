@@ -1,0 +1,668 @@
+//! Guest-side "libc" and program builder.
+//!
+//! Guest programs (vulnerable servers, exploit payloads, benchmark
+//! workloads) are written in `sm-asm` assembly. This module provides the
+//! runtime they share — string routines, console/file I/O helpers, a
+//! `brk`-based allocator, `setjmp`/`longjmp` — plus [`ProgramBuilder`],
+//! which assembles a program into an [`ExecImage`] with separate code and
+//! data segments (or a deliberately *mixed* writable+executable segment for
+//! the JIT-style scenarios of paper §2).
+//!
+//! Calling convention: arguments in registers as documented per function;
+//! `eax`, `ecx`, `edx` are caller-saved, `ebx`, `esi`, `edi`, `ebp` are
+//! preserved unless they carry a result. `strcpy` is faithful to C — no
+//! bounds checking — because the attack corpus depends on it.
+
+use crate::image::{ExecImage, Segment};
+use sm_asm::{assemble, AsmError};
+use std::collections::HashMap;
+
+/// Base address for program text (the classic i386 ELF load address).
+pub const CODE_BASE: u32 = 0x0804_8000;
+
+/// `.equ` definitions for every syscall number, so guest sources can write
+/// `mov eax, SYS_WRITE`.
+pub const SYSCALL_DEFS: &str = "
+    .equ SYS_EXIT, 1
+    .equ SYS_FORK, 2
+    .equ SYS_READ, 3
+    .equ SYS_WRITE, 4
+    .equ SYS_OPEN, 5
+    .equ SYS_CLOSE, 6
+    .equ SYS_WAITPID, 7
+    .equ SYS_EXECVE, 11
+    .equ SYS_TIME, 13
+    .equ SYS_LSEEK, 19
+    .equ SYS_GETPID, 20
+    .equ SYS_PAUSE, 29
+    .equ SYS_KILL, 37
+    .equ SYS_DUP, 41
+    .equ SYS_DUP2, 63
+    .equ SYS_PIPE, 42
+    .equ SYS_BRK, 45
+    .equ SYS_SIGNAL, 48
+    .equ SYS_MMAP, 90
+    .equ SYS_MUNMAP, 91
+    .equ SYS_SIGRETURN, 119
+    .equ SYS_YIELD, 158
+    .equ SYS_LISTEN, 200
+    .equ SYS_ACCEPT, 201
+    .equ SYS_CONNECT, 202
+    .equ SYS_DLOPEN, 210
+    .equ SYS_REGISTER_RECOVERY, 211
+";
+
+/// Code section of the guest library.
+pub const LIBC_CODE: &str = "
+; ---- guest libc ------------------------------------------------------------
+
+; exit: ebx = status. Does not return.
+exit:
+    mov eax, SYS_EXIT
+    int 0x80
+
+; strlen: esi = asciz string -> eax = length. Clobbers ecx.
+strlen:
+    xor eax, eax
+strlen_loop:
+    movzx ecx, byte [esi+eax]
+    cmp ecx, 0
+    je strlen_done
+    inc eax
+    jmp strlen_loop
+strlen_done:
+    ret
+
+; print: esi = asciz string, written to stdout. Clobbers eax, ecx, edx.
+print:
+    push ebx
+    call strlen
+    mov edx, eax
+    mov ecx, esi
+    mov ebx, 1
+    mov eax, SYS_WRITE
+    int 0x80
+    pop ebx
+    ret
+
+; strcpy: edi = dst, esi = src. NO BOUNDS CHECK (deliberately C-faithful).
+; Clobbers eax, ecx.
+strcpy:
+    xor ecx, ecx
+strcpy_loop:
+    movzx eax, byte [esi+ecx]
+    mov [edi+ecx], al
+    cmp eax, 0
+    je strcpy_done
+    inc ecx
+    jmp strcpy_loop
+strcpy_done:
+    ret
+
+; memcpy: edi = dst, esi = src, ecx = len. Clobbers eax, ecx.
+memcpy:
+    push esi
+    push edi
+memcpy_loop:
+    cmp ecx, 0
+    je memcpy_done
+    movzx eax, byte [esi]
+    mov [edi], al
+    inc esi
+    inc edi
+    dec ecx
+    jmp memcpy_loop
+memcpy_done:
+    pop edi
+    pop esi
+    ret
+
+; memset: edi = dst, eax = byte, ecx = len. Clobbers ecx.
+memset:
+    push edi
+memset_loop:
+    cmp ecx, 0
+    je memset_done
+    mov [edi], al
+    inc edi
+    dec ecx
+    jmp memset_loop
+memset_done:
+    pop edi
+    ret
+
+; strcmp: esi vs edi -> eax = 0 if equal, 1 otherwise. Clobbers ecx, edx.
+strcmp:
+    xor ecx, ecx
+strcmp_loop:
+    movzx eax, byte [esi+ecx]
+    movzx edx, byte [edi+ecx]
+    cmp eax, edx
+    jne strcmp_ne
+    cmp eax, 0
+    je strcmp_eq
+    inc ecx
+    jmp strcmp_loop
+strcmp_eq:
+    xor eax, eax
+    ret
+strcmp_ne:
+    mov eax, 1
+    ret
+
+; read_line: ebx = fd, edi = buf, edx = max. Reads until newline/EOF, strips
+; the newline, NUL-terminates -> eax = length. Clobbers ecx, edx.
+read_line:
+    push esi
+    push ebp
+    mov ebp, edx
+    dec ebp
+    xor esi, esi
+read_line_loop:
+    cmp esi, ebp
+    jae read_line_done
+    lea ecx, [edi+esi]
+    mov edx, 1
+    mov eax, SYS_READ
+    int 0x80
+    cmp eax, 1
+    jne read_line_done
+    movzx eax, byte [edi+esi]
+    cmp eax, 10
+    je read_line_done
+    inc esi
+    jmp read_line_loop
+read_line_done:
+    mov byte [edi+esi], 0
+    mov eax, esi
+    pop ebp
+    pop esi
+    ret
+
+; itoa: eax = value, edi = buf -> decimal asciz, eax = digits written.
+; Clobbers ecx, edx.
+itoa:
+    push ebx
+    push esi
+    push edi
+    mov ebx, 10
+    xor esi, esi
+itoa_divloop:
+    xor edx, edx
+    div ebx
+    add edx, 48
+    push edx
+    inc esi
+    cmp eax, 0
+    jne itoa_divloop
+    mov eax, esi
+itoa_outloop:
+    cmp esi, 0
+    je itoa_done
+    pop edx
+    mov [edi], dl
+    inc edi
+    dec esi
+    jmp itoa_outloop
+itoa_done:
+    mov byte [edi], 0
+    pop edi
+    pop esi
+    pop ebx
+    ret
+
+; atoi: esi = asciz digits -> eax. Clobbers ecx, edx.
+atoi:
+    xor eax, eax
+    xor ecx, ecx
+atoi_loop:
+    movzx edx, byte [esi+ecx]
+    cmp edx, 48
+    jb atoi_done
+    cmp edx, 57
+    ja atoi_done
+    lea eax, [eax+eax*4]
+    shl eax, 1
+    sub edx, 48
+    add eax, edx
+    inc ecx
+    jmp atoi_loop
+atoi_done:
+    ret
+
+; malloc: eax = size -> eax = pointer (8-byte aligned bump allocator over
+; brk; free is a no-op). Clobbers ecx, edx.
+malloc:
+    push ebx
+    mov ecx, eax
+    add ecx, 7
+    and ecx, -8
+    mov eax, [heap_ptr]
+    cmp eax, 0
+    jne malloc_have_base
+    mov eax, SYS_BRK
+    mov ebx, 0
+    int 0x80
+    mov [heap_ptr], eax
+malloc_have_base:
+    mov eax, [heap_ptr]
+    mov ebx, eax
+    add ebx, ecx
+    mov [heap_ptr], ebx
+    push eax
+    mov eax, SYS_BRK
+    int 0x80
+    pop eax
+    pop ebx
+    ret
+
+; free: eax = pointer. No-op for the bump allocator.
+free:
+    ret
+
+; fdputs: ebx = fd, esi = asciz string. Clobbers eax, ecx, edx.
+fdputs:
+    call strlen
+    mov edx, eax
+    mov ecx, esi
+    mov eax, SYS_WRITE
+    int 0x80
+    ret
+
+; fdput_num: ebx = fd, eax = value, written in decimal. Clobbers eax, ecx,
+; edx. Uses the libc-private numtmp scratch buffer.
+fdput_num:
+    push esi
+    push edi
+    mov edi, numtmp
+    call itoa
+    mov esi, numtmp
+    call fdputs
+    pop edi
+    pop esi
+    ret
+
+; setjmp: eax = jmp_buf (24 bytes) -> eax = 0.
+; Layout: [0]=ebx [4]=esi [8]=edi [12]=ebp [16]=esp-after-return [20]=eip.
+setjmp:
+    mov [eax], ebx
+    mov [eax+4], esi
+    mov [eax+8], edi
+    mov [eax+12], ebp
+    mov ecx, [esp]
+    mov [eax+20], ecx
+    lea ecx, [esp+4]
+    mov [eax+16], ecx
+    xor eax, eax
+    ret
+
+; longjmp: eax = jmp_buf, edx = return value. Control re-emerges from the
+; matching setjmp with eax = edx. An attacker-corrupted jmp_buf redirects
+; this jmp — one of the Wilander attack targets.
+longjmp:
+    mov ebx, [eax]
+    mov esi, [eax+4]
+    mov edi, [eax+8]
+    mov ebp, [eax+12]
+    mov esp, [eax+16]
+    mov ecx, [eax+20]
+    mov eax, edx
+    jmp ecx
+";
+
+/// Data section of the guest library.
+pub const LIBC_DATA: &str = "
+heap_ptr: .word 0
+numtmp: .space 16
+";
+
+/// A built guest program: the loadable image plus the assembler's symbol
+/// table (exploits use it to find buffer addresses the way a real attacker
+/// uses a debugger/disassembler on the target binary).
+#[derive(Debug, Clone)]
+pub struct BuiltProgram {
+    /// The loadable image.
+    pub image: ExecImage,
+    /// Every label and `.equ` symbol with its address/value.
+    pub symbols: HashMap<String, u32>,
+}
+
+impl BuiltProgram {
+    /// Address of a symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if undefined (a bug in the guest program, not user input).
+    pub fn sym(&self, name: &str) -> u32 {
+        *self
+            .symbols
+            .get(name)
+            .unwrap_or_else(|| panic!("undefined guest symbol `{name}`"))
+    }
+}
+
+/// Builds an [`ExecImage`] from assembly source.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), sm_asm::AsmError> {
+/// use sm_kernel::userlib::ProgramBuilder;
+///
+/// let prog = ProgramBuilder::new("/bin/hello")
+///     .code(
+///         "_start:
+///             mov esi, greeting
+///             call print
+///             mov ebx, 0
+///             call exit",
+///     )
+///     .data("greeting: .asciz \"hello, world\\n\"")
+///     .build()?;
+/// assert_eq!(prog.image.name, "/bin/hello");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    name: String,
+    code: String,
+    data: String,
+    libs: Vec<String>,
+    stdlib: bool,
+    mixed: bool,
+    bss_extra: u32,
+}
+
+impl ProgramBuilder {
+    /// Start a program named `name` (conventionally its fs path).
+    pub fn new(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder {
+            name: name.into(),
+            code: String::new(),
+            data: String::new(),
+            libs: Vec::new(),
+            stdlib: true,
+            mixed: false,
+            bss_extra: 0,
+        }
+    }
+
+    /// Append code-section source. Execution starts at `_start` (or the
+    /// section top if no `_start` label is defined).
+    pub fn code(mut self, src: &str) -> ProgramBuilder {
+        self.code.push('\n');
+        self.code.push_str(src);
+        self
+    }
+
+    /// Append data-section source.
+    pub fn data(mut self, src: &str) -> ProgramBuilder {
+        self.data.push('\n');
+        self.data.push_str(src);
+        self
+    }
+
+    /// Request a shared library to be mapped at load time.
+    pub fn lib(mut self, path: &str) -> ProgramBuilder {
+        self.libs.push(path.to_string());
+        self
+    }
+
+    /// Skip the guest libc (for minimal images).
+    pub fn without_stdlib(mut self) -> ProgramBuilder {
+        self.stdlib = false;
+        self
+    }
+
+    /// Produce a single writable+executable segment instead of split
+    /// code/data segments — the mixed-page program shape of paper Fig. 1b.
+    pub fn mixed_segment(mut self) -> ProgramBuilder {
+        self.mixed = true;
+        self
+    }
+
+    /// Extra zero-filled bytes appended to the data segment (BSS).
+    pub fn bss(mut self, extra: u32) -> ProgramBuilder {
+        self.bss_extra = extra;
+        self
+    }
+
+    /// Assemble and package the image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembler errors (line numbers refer to the combined
+    /// source: syscall defs, user code, libc, user data).
+    pub fn build(self) -> Result<BuiltProgram, AsmError> {
+        let mut src = String::new();
+        src.push_str(SYSCALL_DEFS);
+        src.push_str(&self.code);
+        if self.stdlib {
+            src.push_str(LIBC_CODE);
+        }
+        if !self.mixed {
+            src.push_str("\n.align 4096\n");
+        }
+        src.push_str("\n__data_start:\n");
+        src.push_str(&self.data);
+        if self.stdlib {
+            src.push_str(LIBC_DATA);
+        }
+        src.push('\n');
+        let out = assemble(&src, CODE_BASE)?;
+        let data_start = out.sym("__data_start");
+        let entry = out.symbols.get("_start").copied().unwrap_or(CODE_BASE);
+        let segments = if self.mixed {
+            vec![Segment::mixed(CODE_BASE, out.bytes.clone(), self.bss_extra)]
+        } else {
+            let split = (data_start - CODE_BASE) as usize;
+            let mut segs = vec![Segment::code(CODE_BASE, out.bytes[..split].to_vec())];
+            let data_bytes = out.bytes[split..].to_vec();
+            if !data_bytes.is_empty() || self.bss_extra > 0 {
+                segs.push(Segment::data(data_start, data_bytes, self.bss_extra));
+            }
+            segs
+        };
+        Ok(BuiltProgram {
+            image: ExecImage {
+                name: self.name,
+                segments,
+                entry,
+                libs: self.libs,
+                signature: None,
+            },
+            symbols: out.symbols,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::NullEngine;
+    use crate::kernel::{Kernel, RunExit};
+    use crate::process::Pid;
+
+    fn run_program(prog: &BuiltProgram) -> (Kernel, Pid) {
+        let mut k = Kernel::with_engine(Box::new(NullEngine));
+        let pid = k.spawn(&prog.image).expect("spawn");
+        let exit = k.run(50_000_000);
+        assert_eq!(exit, RunExit::AllExited, "program did not finish");
+        (k, pid)
+    }
+
+    #[test]
+    fn hello_world_end_to_end() {
+        let prog = ProgramBuilder::new("/bin/hello")
+            .code(
+                "_start:
+                    mov esi, msg
+                    call print
+                    mov ebx, 0
+                    call exit",
+            )
+            .data("msg: .asciz \"hello, world\\n\"")
+            .build()
+            .unwrap();
+        let (k, pid) = run_program(&prog);
+        assert_eq!(k.sys.proc(pid).output_string(), "hello, world\n");
+        assert_eq!(k.sys.proc(pid).exit_code, Some(0));
+    }
+
+    #[test]
+    fn strcpy_and_strlen_work() {
+        let prog = ProgramBuilder::new("/bin/scpy")
+            .code(
+                "_start:
+                    mov edi, dst
+                    mov esi, srcmsg
+                    call strcpy
+                    mov esi, dst
+                    call print
+                    mov esi, dst
+                    call strlen
+                    mov ebx, eax
+                    call exit",
+            )
+            .data(
+                "srcmsg: .asciz \"copied\"
+                 dst: .space 32",
+            )
+            .build()
+            .unwrap();
+        let (k, pid) = run_program(&prog);
+        assert_eq!(k.sys.proc(pid).output_string(), "copied");
+        assert_eq!(k.sys.proc(pid).exit_code, Some(6));
+    }
+
+    #[test]
+    fn malloc_returns_usable_heap_memory() {
+        let prog = ProgramBuilder::new("/bin/mal")
+            .code(
+                "_start:
+                    mov eax, 64
+                    call malloc
+                    mov ebx, eax          ; keep pointer
+                    mov dword [eax], 0x31323334
+                    mov eax, 32
+                    call malloc
+                    cmp eax, ebx          ; distinct allocation
+                    je bad
+                    mov ecx, [ebx]
+                    cmp ecx, 0x31323334
+                    jne bad
+                    mov ebx, 0
+                    call exit
+                bad:
+                    mov ebx, 1
+                    call exit",
+            )
+            .build()
+            .unwrap();
+        let (k, pid) = run_program(&prog);
+        assert_eq!(k.sys.proc(pid).exit_code, Some(0), "{}", k.sys.proc(pid).output_string());
+    }
+
+    #[test]
+    fn itoa_atoi_roundtrip() {
+        let prog = ProgramBuilder::new("/bin/itoa")
+            .code(
+                "_start:
+                    mov eax, 31337
+                    mov edi, numbuf
+                    call itoa
+                    mov esi, numbuf
+                    call print
+                    mov esi, numbuf
+                    call atoi
+                    mov ebx, eax
+                    sub ebx, 31337       ; exit 0 iff roundtrip
+                    call exit",
+            )
+            .data("numbuf: .space 16")
+            .build()
+            .unwrap();
+        let (k, pid) = run_program(&prog);
+        assert_eq!(k.sys.proc(pid).output_string(), "31337");
+        assert_eq!(k.sys.proc(pid).exit_code, Some(0));
+    }
+
+    #[test]
+    fn setjmp_longjmp_roundtrip() {
+        let prog = ProgramBuilder::new("/bin/sjlj")
+            .code(
+                "_start:
+                    mov eax, jbuf
+                    call setjmp
+                    cmp eax, 0
+                    jne second_return
+                    mov esi, first_msg
+                    call print
+                    mov eax, jbuf
+                    mov edx, 7
+                    call longjmp
+                second_return:
+                    mov ebx, eax          ; 7
+                    mov esi, second_msg
+                    call print
+                    call exit",
+            )
+            .data(
+                "jbuf: .space 24
+                 first_msg: .asciz \"one \"
+                 second_msg: .asciz \"two\"",
+            )
+            .build()
+            .unwrap();
+        let (k, pid) = run_program(&prog);
+        assert_eq!(k.sys.proc(pid).output_string(), "one two");
+        assert_eq!(k.sys.proc(pid).exit_code, Some(7));
+    }
+
+    #[test]
+    fn read_line_consumes_console_input() {
+        let prog = ProgramBuilder::new("/bin/rl")
+            .code(
+                "_start:
+                    mov ebx, 0
+                    mov edi, buf
+                    mov edx, 32
+                    call read_line
+                    mov esi, buf
+                    call print
+                    mov ebx, 0
+                    call exit",
+            )
+            .data("buf: .space 32")
+            .build()
+            .unwrap();
+        let mut k = Kernel::with_engine(Box::new(NullEngine));
+        let pid = k.spawn(&prog.image).unwrap();
+        k.sys.proc_mut(pid).input = b"line one\nline two\n".to_vec();
+        assert_eq!(k.run(50_000_000), RunExit::AllExited);
+        assert_eq!(k.sys.proc(pid).output_string(), "line one");
+    }
+
+    #[test]
+    fn mixed_segment_image_is_detected_as_mixed() {
+        let prog = ProgramBuilder::new("/bin/jit")
+            .mixed_segment()
+            .code("_start: mov ebx, 0\n call exit")
+            .build()
+            .unwrap();
+        assert!(prog.image.has_mixed_pages());
+        assert_eq!(prog.image.segments.len(), 1);
+    }
+
+    #[test]
+    fn separate_segments_are_not_mixed() {
+        let prog = ProgramBuilder::new("/bin/clean")
+            .code("_start: mov ebx, 0\n call exit")
+            .data("x: .word 5")
+            .build()
+            .unwrap();
+        assert!(!prog.image.has_mixed_pages());
+        assert_eq!(prog.image.segments.len(), 2);
+    }
+}

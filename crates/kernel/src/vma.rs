@@ -1,0 +1,153 @@
+//! Virtual memory areas: the kernel's per-process region map.
+
+use crate::image::{SEG_R, SEG_W, SEG_X};
+use std::fmt;
+
+/// What a region is used for (drives split/NX policy decisions and makes
+/// diagnostics readable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VmaKind {
+    /// Program text.
+    Code,
+    /// Initialised data / BSS.
+    Data,
+    /// `brk` heap.
+    Heap,
+    /// Main stack.
+    Stack,
+    /// Anonymous or file-backed `mmap`.
+    Mmap,
+    /// Shared or dynamic library.
+    Library,
+}
+
+impl fmt::Display for VmaKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VmaKind::Code => "code",
+            VmaKind::Data => "data",
+            VmaKind::Heap => "heap",
+            VmaKind::Stack => "stack",
+            VmaKind::Mmap => "mmap",
+            VmaKind::Library => "library",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One mapped region `[start, end)` with `SEG_*` permissions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vma {
+    /// Inclusive start address (page-aligned by the mappers).
+    pub start: u32,
+    /// Exclusive end address.
+    pub end: u32,
+    /// `SEG_R | SEG_W | SEG_X` bits.
+    pub flags: u8,
+    /// Region kind.
+    pub kind: VmaKind,
+    /// Diagnostic label (image or library name, "heap", ...).
+    pub label: String,
+}
+
+impl Vma {
+    /// Construct a region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end`.
+    pub fn new(start: u32, end: u32, flags: u8, kind: VmaKind, label: impl Into<String>) -> Vma {
+        assert!(start < end, "empty VMA {start:#x}..{end:#x}");
+        Vma {
+            start,
+            end,
+            flags,
+            kind,
+            label: label.into(),
+        }
+    }
+
+    /// True if `addr` falls inside the region.
+    pub fn contains(&self, addr: u32) -> bool {
+        self.start <= addr && addr < self.end
+    }
+
+    /// True if the region overlaps `[start, end)`.
+    pub fn overlaps(&self, start: u32, end: u32) -> bool {
+        self.start < end && start < self.end
+    }
+
+    /// Readable?
+    pub fn readable(&self) -> bool {
+        self.flags & SEG_R != 0
+    }
+
+    /// Writable?
+    pub fn writable(&self) -> bool {
+        self.flags & SEG_W != 0
+    }
+
+    /// Executable?
+    pub fn executable(&self) -> bool {
+        self.flags & SEG_X != 0
+    }
+
+    /// Writable *and* executable — the mixed shape only split memory can
+    /// protect (paper §2, Fig. 1b).
+    pub fn is_mixed(&self) -> bool {
+        self.writable() && self.executable()
+    }
+}
+
+impl fmt::Display for Vma {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:#010x}-{:#010x} {}{}{} {} {}",
+            self.start,
+            self.end,
+            if self.readable() { "r" } else { "-" },
+            if self.writable() { "w" } else { "-" },
+            if self.executable() { "x" } else { "-" },
+            self.kind,
+            self.label
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containment_and_overlap() {
+        let v = Vma::new(0x1000, 0x3000, SEG_R | SEG_W, VmaKind::Data, "d");
+        assert!(v.contains(0x1000));
+        assert!(v.contains(0x2FFF));
+        assert!(!v.contains(0x3000));
+        assert!(v.overlaps(0x2000, 0x4000));
+        assert!(!v.overlaps(0x3000, 0x4000));
+        assert!(v.overlaps(0x0, 0x1001));
+    }
+
+    #[test]
+    fn permission_helpers() {
+        let v = Vma::new(0, 0x1000, SEG_R | SEG_X, VmaKind::Code, "c");
+        assert!(v.readable() && v.executable() && !v.writable());
+        assert!(!v.is_mixed());
+        let m = Vma::new(0, 0x1000, SEG_R | SEG_W | SEG_X, VmaKind::Mmap, "jit");
+        assert!(m.is_mixed());
+    }
+
+    #[test]
+    fn display_is_proc_maps_like() {
+        let v = Vma::new(0x1000, 0x2000, SEG_R | SEG_W, VmaKind::Heap, "heap");
+        assert_eq!(v.to_string(), "0x00001000-0x00002000 rw- heap heap");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty VMA")]
+    fn empty_region_panics() {
+        let _ = Vma::new(0x1000, 0x1000, 0, VmaKind::Data, "bad");
+    }
+}

@@ -1,0 +1,291 @@
+//! CPU architectural state: general-purpose registers, `EFLAGS` (including
+//! the trap flag used for single-step mode), control registers and the
+//! page-fault descriptor.
+
+use std::fmt;
+
+/// General-purpose register names, numbered in x86 encoding order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Reg {
+    /// Accumulator; syscall number / return value by kernel convention.
+    Eax = 0,
+    /// Counter; third syscall argument.
+    Ecx = 1,
+    /// Data; fourth syscall argument, high word of mul/div.
+    Edx = 2,
+    /// Base; first syscall argument.
+    Ebx = 3,
+    /// Stack pointer.
+    Esp = 4,
+    /// Frame pointer.
+    Ebp = 5,
+    /// Source index; second syscall argument in this kernel's convention.
+    Esi = 6,
+    /// Destination index.
+    Edi = 7,
+}
+
+impl Reg {
+    /// All registers in encoding order.
+    pub const ALL: [Reg; 8] = [
+        Reg::Eax,
+        Reg::Ecx,
+        Reg::Edx,
+        Reg::Ebx,
+        Reg::Esp,
+        Reg::Ebp,
+        Reg::Esi,
+        Reg::Edi,
+    ];
+
+    /// Decode a 3-bit register field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 7`.
+    pub fn from_bits(bits: u8) -> Reg {
+        Self::ALL[bits as usize]
+    }
+
+    /// Lowercase name as used by the assembler (`"eax"`, ...).
+    pub fn name(self) -> &'static str {
+        ["eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"][self as usize]
+    }
+
+    /// Name of the low byte of the register (`"al"`, ...). The simulator
+    /// allows byte operations on every register's low byte (a deliberate
+    /// simplification of x86's `ah`/`ch`/`dh`/`bh` encodings).
+    pub fn byte_name(self) -> &'static str {
+        ["al", "cl", "dl", "bl", "spl", "bpl", "sil", "dil"][self as usize]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// `EFLAGS` bit masks.
+pub mod flags {
+    /// Carry flag.
+    pub const CF: u32 = 1 << 0;
+    /// Parity flag (parity of the low byte of a result).
+    pub const PF: u32 = 1 << 2;
+    /// Zero flag.
+    pub const ZF: u32 = 1 << 6;
+    /// Sign flag.
+    pub const SF: u32 = 1 << 7;
+    /// Trap flag: when set, the CPU raises a debug trap after the next
+    /// instruction completes. The split-memory instruction-TLB load
+    /// (paper Algorithm 1, lines 2–5) rides on this bit.
+    pub const TF: u32 = 1 << 8;
+    /// Interrupt-enable flag (modelled but unused: devices are synchronous).
+    pub const IF: u32 = 1 << 9;
+    /// Overflow flag.
+    pub const OF: u32 = 1 << 11;
+}
+
+/// The architectural register file. `Copy` so the executor can snapshot it
+/// at instruction start and roll back on a fault, giving precise exceptions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Regs {
+    /// General-purpose registers, indexed by [`Reg`] encoding.
+    pub gpr: [u32; 8],
+    /// Instruction pointer.
+    pub eip: u32,
+    /// Flags register (see [`flags`]).
+    pub eflags: u32,
+    /// Page-fault linear address, written by the MMU when a `#PF` is raised
+    /// (paper §4.2.2 step 3 reads this to distinguish TLB-miss kinds).
+    pub cr2: u32,
+    /// Physical frame number of the current page directory. Loaded via
+    /// [`crate::Machine::set_cr3`], which flushes both TLBs.
+    pub cr3: u32,
+}
+
+impl Default for Regs {
+    fn default() -> Regs {
+        Regs {
+            gpr: [0; 8],
+            eip: 0,
+            eflags: flags::IF,
+            cr2: 0,
+            cr3: 0,
+        }
+    }
+}
+
+impl Regs {
+    /// Read a general-purpose register.
+    #[inline]
+    pub fn get(&self, r: Reg) -> u32 {
+        self.gpr[r as usize]
+    }
+
+    /// Write a general-purpose register.
+    #[inline]
+    pub fn set(&mut self, r: Reg, v: u32) {
+        self.gpr[r as usize] = v;
+    }
+
+    /// Test an `EFLAGS` bit mask.
+    #[inline]
+    pub fn flag(&self, mask: u32) -> bool {
+        self.eflags & mask != 0
+    }
+
+    /// Set or clear an `EFLAGS` bit mask.
+    #[inline]
+    pub fn set_flag(&mut self, mask: u32, on: bool) {
+        if on {
+            self.eflags |= mask;
+        } else {
+            self.eflags &= !mask;
+        }
+    }
+}
+
+/// Privilege level of a memory access. The simulated kernel runs as host
+/// code, so "kernel mode" appears only through the explicit
+/// `kernel_read_*`/`kernel_write_*` accessors on [`crate::Machine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Privilege {
+    /// CPL 0: supervisor; may access pages whose user bit is clear, and (like
+    /// a pre-`CR0.WP` x86 kernel) may write through read-only entries.
+    Kernel,
+    /// CPL 3: ordinary guest execution.
+    User,
+}
+
+/// Kind of memory access, which selects the TLB: [`Access::Fetch`] goes to
+/// the instruction-TLB, everything else to the data-TLB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Instruction fetch.
+    Fetch,
+    /// Data load.
+    Read,
+    /// Data store.
+    Write,
+}
+
+/// Everything the kernel learns from a page fault — the x86 error code plus
+/// CR2, decomposed into named fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageFaultInfo {
+    /// Faulting linear address (also latched into CR2).
+    pub addr: u32,
+    /// The access that faulted.
+    pub access: Access,
+    /// Privilege of the faulting access.
+    pub privilege: Privilege,
+    /// `true` = protection violation on a present entry; `false` = entry not
+    /// present.
+    pub present: bool,
+}
+
+impl PageFaultInfo {
+    /// x86-style error code: bit0 = present, bit1 = write, bit2 = user,
+    /// bit4 = instruction fetch.
+    pub fn error_code(&self) -> u32 {
+        let mut c = 0;
+        if self.present {
+            c |= 1;
+        }
+        if self.access == Access::Write {
+            c |= 2;
+        }
+        if self.privilege == Privilege::User {
+            c |= 4;
+        }
+        if self.access == Access::Fetch {
+            c |= 16;
+        }
+        c
+    }
+}
+
+impl fmt::Display for PageFaultInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "page fault at {:#010x} ({:?} {:?}, {})",
+            self.addr,
+            self.access,
+            self.privilege,
+            if self.present {
+                "protection"
+            } else {
+                "not present"
+            }
+        )
+    }
+}
+
+/// The CPU: register file plus the latched single-step-pending state used
+/// when an instruction that raises a software interrupt completes with the
+/// trap flag set (the `#DB` is delivered after the syscall is serviced).
+#[derive(Debug, Clone, Default)]
+pub struct Cpu {
+    /// Architectural registers.
+    pub regs: Regs,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip() {
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(Reg::from_bits(i as u8), *r);
+            assert_eq!(*r as usize, i);
+        }
+    }
+
+    #[test]
+    fn reg_names_match_x86_order() {
+        assert_eq!(Reg::from_bits(0).name(), "eax");
+        assert_eq!(Reg::from_bits(4).name(), "esp");
+        assert_eq!(Reg::Ebx.byte_name(), "bl");
+    }
+
+    #[test]
+    fn flags_accessors() {
+        let mut r = Regs::default();
+        assert!(r.flag(flags::IF));
+        assert!(!r.flag(flags::TF));
+        r.set_flag(flags::TF, true);
+        assert!(r.flag(flags::TF));
+        r.set_flag(flags::TF, false);
+        assert!(!r.flag(flags::TF));
+    }
+
+    #[test]
+    fn gpr_get_set() {
+        let mut r = Regs::default();
+        r.set(Reg::Esp, 0xbfff_0000);
+        assert_eq!(r.get(Reg::Esp), 0xbfff_0000);
+        assert_eq!(r.gpr[4], 0xbfff_0000);
+    }
+
+    #[test]
+    fn error_code_bits() {
+        let pf = PageFaultInfo {
+            addr: 0x1000,
+            access: Access::Write,
+            privilege: Privilege::User,
+            present: true,
+        };
+        assert_eq!(pf.error_code(), 1 | 2 | 4);
+        let pf = PageFaultInfo {
+            addr: 0x1000,
+            access: Access::Fetch,
+            privilege: Privilege::User,
+            present: false,
+        };
+        assert_eq!(pf.error_code(), 4 | 16);
+    }
+}

@@ -1,0 +1,1018 @@
+//! Instruction set: types, opcode assignments and the decoder.
+//!
+//! The ISA is a compact x86-flavoured subset. Opcode assignments deliberately
+//! match real IA-32 one-byte encodings so that classic shellcode byte
+//! sequences mean the same thing here — e.g. the paper's forensic
+//! `exit(0)` shellcode
+//! `\xbb\x00\x00\x00\x00 \xb8\x01\x00\x00\x00 \xcd\x80`
+//! decodes to `mov ebx, 0; mov eax, 1; int 0x80` on both. `0x90` is `nop`
+//! (so NOP sleds look authentic in forensic dumps) and `0x00` is *invalid*
+//! (so a zero-filled split code page traps on the very first fetched byte —
+//! the paper's break mode).
+//!
+//! The decoder reads bytes from a [`CodeSource`] so that the same code drives
+//! both the executing CPU (bytes fetched through the instruction-TLB, each
+//! fetch able to page-fault) and the disassembler in `sm-asm` (bytes from a
+//! slice).
+
+use crate::cpu::Reg;
+use std::fmt;
+
+/// Filler byte written to the otherwise-empty code frames of split data
+/// pages in observe/forensics mode. Chosen to be an invalid opcode that is
+/// *distinct* from `0x00` so the `#UD` handler can tell "execution reached a
+/// split code page we filled" apart from "execution wandered into zeroes"
+/// (paper §4.5.2: "Fill the previously empty code pages with invalid
+/// opcodes").
+pub const SPLIT_FILL_OPCODE: u8 = 0x0E;
+
+/// The `int` vector used for system calls, as on Linux.
+pub const SYSCALL_VECTOR: u8 = 0x80;
+
+/// Condition codes in x86 `cc` encoding order (`0x70+cc` short jumps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Cond {
+    /// Overflow.
+    O = 0,
+    /// Not overflow.
+    No = 1,
+    /// Below (unsigned), i.e. carry.
+    B = 2,
+    /// Above or equal (unsigned).
+    Ae = 3,
+    /// Equal / zero.
+    E = 4,
+    /// Not equal / not zero.
+    Ne = 5,
+    /// Below or equal (unsigned).
+    Be = 6,
+    /// Above (unsigned).
+    A = 7,
+    /// Sign (negative).
+    S = 8,
+    /// Not sign.
+    Ns = 9,
+    /// Parity even.
+    P = 10,
+    /// Parity odd.
+    Np = 11,
+    /// Less (signed).
+    L = 12,
+    /// Greater or equal (signed).
+    Ge = 13,
+    /// Less or equal (signed).
+    Le = 14,
+    /// Greater (signed).
+    G = 15,
+}
+
+impl Cond {
+    /// All condition codes in encoding order.
+    pub const ALL: [Cond; 16] = [
+        Cond::O,
+        Cond::No,
+        Cond::B,
+        Cond::Ae,
+        Cond::E,
+        Cond::Ne,
+        Cond::Be,
+        Cond::A,
+        Cond::S,
+        Cond::Ns,
+        Cond::P,
+        Cond::Np,
+        Cond::L,
+        Cond::Ge,
+        Cond::Le,
+        Cond::G,
+    ];
+
+    /// Decode a 4-bit condition field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 15`.
+    pub fn from_bits(bits: u8) -> Cond {
+        Self::ALL[bits as usize]
+    }
+
+    /// Mnemonic suffix (`"e"` for `je`, ...).
+    pub fn name(self) -> &'static str {
+        [
+            "o", "no", "b", "ae", "e", "ne", "be", "a", "s", "ns", "p", "np", "l", "ge", "le", "g",
+        ][self as usize]
+    }
+}
+
+/// Binary ALU operations (register and immediate forms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluOp {
+    /// Addition; sets CF/OF.
+    Add,
+    /// Bitwise or; clears CF/OF.
+    Or,
+    /// Bitwise and; clears CF/OF.
+    And,
+    /// Subtraction; sets CF/OF.
+    Sub,
+    /// Bitwise xor; clears CF/OF.
+    Xor,
+    /// Subtraction that only sets flags.
+    Cmp,
+    /// Bitwise and that only sets flags.
+    Test,
+}
+
+impl AluOp {
+    /// x86 group-1 `/r` extension digit, if this op has an immediate form.
+    pub fn group1_ext(self) -> Option<u8> {
+        match self {
+            AluOp::Add => Some(0),
+            AluOp::Or => Some(1),
+            AluOp::And => Some(4),
+            AluOp::Sub => Some(5),
+            AluOp::Xor => Some(6),
+            AluOp::Cmp => Some(7),
+            AluOp::Test => None,
+        }
+    }
+
+    /// Mnemonic.
+    pub fn name(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Or => "or",
+            AluOp::And => "and",
+            AluOp::Sub => "sub",
+            AluOp::Xor => "xor",
+            AluOp::Cmp => "cmp",
+            AluOp::Test => "test",
+        }
+    }
+}
+
+/// Shift operations (`0xC1` / `0xD3` group 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShiftOp {
+    /// Logical shift left.
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right.
+    Sar,
+}
+
+impl ShiftOp {
+    /// x86 group-2 extension digit.
+    pub fn ext(self) -> u8 {
+        match self {
+            ShiftOp::Shl => 4,
+            ShiftOp::Shr => 5,
+            ShiftOp::Sar => 7,
+        }
+    }
+
+    /// Mnemonic.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShiftOp::Shl => "shl",
+            ShiftOp::Shr => "shr",
+            ShiftOp::Sar => "sar",
+        }
+    }
+}
+
+/// Unary group-3 operations (`0xF7`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Bitwise complement (no flags).
+    Not,
+    /// Two's-complement negation.
+    Neg,
+    /// Unsigned multiply: `edx:eax = eax * operand`.
+    Mul,
+    /// Unsigned divide: `eax = edx:eax / operand`, `edx =` remainder.
+    Div,
+}
+
+impl UnOp {
+    /// x86 group-3 extension digit.
+    pub fn ext(self) -> u8 {
+        match self {
+            UnOp::Not => 2,
+            UnOp::Neg => 3,
+            UnOp::Mul => 4,
+            UnOp::Div => 6,
+        }
+    }
+
+    /// Mnemonic.
+    pub fn name(self) -> &'static str {
+        match self {
+            UnOp::Not => "not",
+            UnOp::Neg => "neg",
+            UnOp::Mul => "mul",
+            UnOp::Div => "div",
+        }
+    }
+}
+
+/// Group-5 operations (`0xFF`): the indirect control transfers the
+/// function-pointer and longjmp attacks in the benchmark rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Grp5Op {
+    /// Increment r/m32.
+    Inc,
+    /// Decrement r/m32.
+    Dec,
+    /// Indirect call through r/m32.
+    Call,
+    /// Indirect jump through r/m32.
+    Jmp,
+    /// Push r/m32.
+    Push,
+}
+
+impl Grp5Op {
+    /// x86 group-5 extension digit.
+    pub fn ext(self) -> u8 {
+        match self {
+            Grp5Op::Inc => 0,
+            Grp5Op::Dec => 1,
+            Grp5Op::Call => 2,
+            Grp5Op::Jmp => 4,
+            Grp5Op::Push => 6,
+        }
+    }
+}
+
+/// A decoded memory operand: `[base + index*scale + disp]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mem {
+    /// Base register, if any.
+    pub base: Option<Reg>,
+    /// Index register and scale (1, 2, 4 or 8), if any. `esp` cannot index.
+    pub index: Option<(Reg, u8)>,
+    /// Signed displacement.
+    pub disp: i32,
+}
+
+impl Mem {
+    /// An absolute-address operand `[disp]`.
+    pub fn abs(addr: u32) -> Mem {
+        Mem {
+            base: None,
+            index: None,
+            disp: addr as i32,
+        }
+    }
+
+    /// A `[base + disp]` operand.
+    pub fn base_disp(base: Reg, disp: i32) -> Mem {
+        Mem {
+            base: Some(base),
+            index: None,
+            disp,
+        }
+    }
+}
+
+impl fmt::Display for Mem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        let mut wrote = false;
+        if let Some(b) = self.base {
+            write!(f, "{b}")?;
+            wrote = true;
+        }
+        if let Some((r, s)) = self.index {
+            if wrote {
+                write!(f, "+")?;
+            }
+            write!(f, "{r}*{s}")?;
+            wrote = true;
+        }
+        if self.disp != 0 || !wrote {
+            if wrote {
+                write!(f, "{:+}", self.disp)?;
+            } else {
+                write!(f, "{:#x}", self.disp as u32)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// A register-or-memory operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rm {
+    /// Register operand.
+    Reg(Reg),
+    /// Memory operand.
+    Mem(Mem),
+}
+
+impl fmt::Display for Rm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rm::Reg(r) => write!(f, "{r}"),
+            Rm::Mem(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// Direction of a two-operand instruction with a ModRM byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// `op r/m, reg` (x86 opcodes `0x01`, `0x89`, ...).
+    ToRm,
+    /// `op reg, r/m` (x86 opcodes `0x03`, `0x8B`, ...).
+    FromRm,
+}
+
+/// Shift count operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShiftCount {
+    /// Immediate count (masked to 0–31).
+    Imm(u8),
+    /// Count taken from `cl`.
+    Cl,
+}
+
+/// A decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Insn {
+    /// `nop` (0x90).
+    Nop,
+    /// `hlt` (0xF4); the kernel treats a user-mode halt as a fatal fault.
+    Hlt,
+    /// `int imm8` (0xCD): software interrupt; vector 0x80 is the syscall gate.
+    Int(u8),
+    /// `ret` (0xC3).
+    Ret,
+    /// `leave` (0xC9): `esp = ebp; pop ebp`.
+    Leave,
+    /// `cdq` (0x99): sign-extend `eax` into `edx`.
+    Cdq,
+    /// `mov reg, imm32` (0xB8+r).
+    MovRegImm(Reg, u32),
+    /// `push reg` (0x50+r).
+    PushReg(Reg),
+    /// `pop reg` (0x58+r).
+    PopReg(Reg),
+    /// `push imm` (0x68 id / 0x6A ib sign-extended).
+    PushImm(i32),
+    /// `inc reg` (0x40+r).
+    IncReg(Reg),
+    /// `dec reg` (0x48+r).
+    DecReg(Reg),
+    /// `call rel32` (0xE8).
+    CallRel(i32),
+    /// `jmp rel32` / `jmp rel8` (0xE9 / 0xEB).
+    JmpRel(i32),
+    /// Conditional jump (0x70+cc rel8, 0x0F 0x80+cc rel32).
+    JccRel(Cond, i32),
+    /// `mov` between register and r/m (0x88/0x89/0x8A/0x8B).
+    MovRmReg {
+        /// Byte-sized operation (low byte of the register).
+        byte: bool,
+        /// Operand direction.
+        dir: Dir,
+        /// Register-or-memory operand.
+        rm: Rm,
+        /// Register operand.
+        reg: Reg,
+    },
+    /// `mov r/m, imm` (0xC6/0xC7).
+    MovRmImm {
+        /// Byte-sized store.
+        byte: bool,
+        /// Destination.
+        rm: Rm,
+        /// Immediate (low 8 bits used when `byte`).
+        imm: u32,
+    },
+    /// `movzx r32, r/m8` (0x0F 0xB6).
+    Movzx8 {
+        /// Destination register.
+        dst: Reg,
+        /// Byte source.
+        src: Rm,
+    },
+    /// `lea r32, [mem]` (0x8D).
+    Lea(Reg, Mem),
+    /// Register-form ALU operation (0x01/0x09/0x21/0x29/0x31/0x39/0x85 and
+    /// the `FromRm` 0x03/0x0B/0x23/0x2B/0x33/0x3B forms).
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Operand direction (`Test` is always `ToRm`).
+        dir: Dir,
+        /// Register-or-memory operand.
+        rm: Rm,
+        /// Register operand.
+        reg: Reg,
+    },
+    /// Immediate-form ALU operation (0x81 id, 0x83 ib sign-extended).
+    AluImm {
+        /// Operation (never `Test`).
+        op: AluOp,
+        /// Destination.
+        rm: Rm,
+        /// Immediate.
+        imm: i32,
+    },
+    /// Shift (0xC1 /ext ib, 0xD3 /ext by `cl`).
+    Shift {
+        /// Operation.
+        op: ShiftOp,
+        /// Destination.
+        rm: Rm,
+        /// Count.
+        count: ShiftCount,
+    },
+    /// Group 3 (0xF7): `not`/`neg`/`mul`/`div`.
+    Grp3 {
+        /// Operation.
+        op: UnOp,
+        /// Operand.
+        rm: Rm,
+    },
+    /// Group 5 (0xFF): `inc`/`dec`/indirect `call`/indirect `jmp`/`push`.
+    Grp5 {
+        /// Operation.
+        op: Grp5Op,
+        /// Operand.
+        rm: Rm,
+    },
+}
+
+/// Source of instruction bytes for the decoder.
+///
+/// The executing machine implements this with instruction-TLB-translated
+/// fetches (each byte can fault); the disassembler implements it over a
+/// slice (running out of bytes is the error).
+pub trait CodeSource {
+    /// Error produced when a byte cannot be obtained.
+    type Err;
+
+    /// Produce the next instruction byte.
+    fn next(&mut self) -> Result<u8, Self::Err>;
+}
+
+/// Outcome of decoding: either an instruction and its encoded length, or an
+/// invalid opcode (which the CPU turns into `#UD`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decoded {
+    /// Successfully decoded instruction.
+    Insn {
+        /// The instruction.
+        insn: Insn,
+        /// Encoded length in bytes.
+        len: u8,
+    },
+    /// The first opcode byte (or mandatory extension) is not a valid
+    /// instruction.
+    Invalid {
+        /// The offending opcode byte.
+        opcode: u8,
+    },
+}
+
+struct Counting<'a, S> {
+    src: &'a mut S,
+    n: u8,
+}
+
+impl<S: CodeSource> Counting<'_, S> {
+    fn u8(&mut self) -> Result<u8, S::Err> {
+        let b = self.src.next()?;
+        self.n += 1;
+        Ok(b)
+    }
+
+    fn i8(&mut self) -> Result<i32, S::Err> {
+        Ok(self.u8()? as i8 as i32)
+    }
+
+    fn u32(&mut self) -> Result<u32, S::Err> {
+        let mut v = 0u32;
+        for i in 0..4 {
+            v |= (self.u8()? as u32) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    fn i32(&mut self) -> Result<i32, S::Err> {
+        Ok(self.u32()? as i32)
+    }
+
+    /// Decode a ModRM byte (plus SIB/displacement) into `(reg_field, rm)`.
+    fn modrm(&mut self) -> Result<(u8, Rm), S::Err> {
+        let b = self.u8()?;
+        let md = b >> 6;
+        let reg = (b >> 3) & 7;
+        let rm_bits = b & 7;
+        if md == 3 {
+            return Ok((reg, Rm::Reg(Reg::from_bits(rm_bits))));
+        }
+        let mut base = None;
+        let mut index = None;
+        if rm_bits == 4 {
+            // SIB byte.
+            let sib = self.u8()?;
+            let scale = 1u8 << (sib >> 6);
+            let idx = (sib >> 3) & 7;
+            let bse = sib & 7;
+            if idx != 4 {
+                index = Some((Reg::from_bits(idx), scale));
+            }
+            if !(bse == 5 && md == 0) {
+                base = Some(Reg::from_bits(bse));
+            }
+            let disp = match md {
+                0 => {
+                    if bse == 5 {
+                        self.i32()?
+                    } else {
+                        0
+                    }
+                }
+                1 => self.i8()?,
+                _ => self.i32()?,
+            };
+            return Ok((reg, Rm::Mem(Mem { base, index, disp })));
+        }
+        if md == 0 && rm_bits == 5 {
+            let disp = self.i32()?;
+            return Ok((reg, Rm::Mem(Mem { base, index, disp })));
+        }
+        base = Some(Reg::from_bits(rm_bits));
+        let disp = match md {
+            0 => 0,
+            1 => self.i8()?,
+            _ => self.i32()?,
+        };
+        Ok((reg, Rm::Mem(Mem { base, index, disp })))
+    }
+}
+
+/// Decode one instruction from a [`CodeSource`].
+///
+/// # Errors
+///
+/// Propagates the source's error (a page fault for the CPU, end-of-input for
+/// the disassembler). An undecodable opcode is **not** an error: it is
+/// reported as [`Decoded::Invalid`] so the CPU can raise `#UD` precisely.
+pub fn decode<S: CodeSource>(src: &mut S) -> Result<Decoded, S::Err> {
+    let mut c = Counting { src, n: 0 };
+    let op = c.u8()?;
+    let insn = match op {
+        0x90 => Insn::Nop,
+        0xF4 => Insn::Hlt,
+        0xCD => Insn::Int(c.u8()?),
+        0xC3 => Insn::Ret,
+        0xC9 => Insn::Leave,
+        0x99 => Insn::Cdq,
+        0xB8..=0xBF => Insn::MovRegImm(Reg::from_bits(op - 0xB8), c.u32()?),
+        0x50..=0x57 => Insn::PushReg(Reg::from_bits(op - 0x50)),
+        0x58..=0x5F => Insn::PopReg(Reg::from_bits(op - 0x58)),
+        0x40..=0x47 => Insn::IncReg(Reg::from_bits(op - 0x40)),
+        0x48..=0x4F => Insn::DecReg(Reg::from_bits(op - 0x48)),
+        0x68 => Insn::PushImm(c.i32()?),
+        0x6A => Insn::PushImm(c.i8()?),
+        0xE8 => Insn::CallRel(c.i32()?),
+        0xE9 => Insn::JmpRel(c.i32()?),
+        0xEB => Insn::JmpRel(c.i8()?),
+        0x70..=0x7F => Insn::JccRel(Cond::from_bits(op - 0x70), c.i8()?),
+        0x0F => {
+            let op2 = c.u8()?;
+            match op2 {
+                0x80..=0x8F => Insn::JccRel(Cond::from_bits(op2 - 0x80), c.i32()?),
+                0xB6 => {
+                    let (reg, rm) = c.modrm()?;
+                    Insn::Movzx8 {
+                        dst: Reg::from_bits(reg),
+                        src: rm,
+                    }
+                }
+                _ => return Ok(Decoded::Invalid { opcode: op2 }),
+            }
+        }
+        0x88..=0x8B => {
+            let (reg, rm) = c.modrm()?;
+            Insn::MovRmReg {
+                byte: op & 1 == 0,
+                dir: if op & 2 == 0 { Dir::ToRm } else { Dir::FromRm },
+                rm,
+                reg: Reg::from_bits(reg),
+            }
+        }
+        0x8D => {
+            let (reg, rm) = c.modrm()?;
+            match rm {
+                Rm::Mem(m) => Insn::Lea(Reg::from_bits(reg), m),
+                Rm::Reg(_) => return Ok(Decoded::Invalid { opcode: op }),
+            }
+        }
+        0xC6 | 0xC7 => {
+            let byte = op == 0xC6;
+            let (ext, rm) = c.modrm()?;
+            if ext != 0 {
+                return Ok(Decoded::Invalid { opcode: op });
+            }
+            let imm = if byte { c.u8()? as u32 } else { c.u32()? };
+            Insn::MovRmImm { byte, rm, imm }
+        }
+        0x01 | 0x09 | 0x21 | 0x29 | 0x31 | 0x39 | 0x03 | 0x0B | 0x23 | 0x2B | 0x33 | 0x3B => {
+            let alu = match op & !2 {
+                0x01 => AluOp::Add,
+                0x09 => AluOp::Or,
+                0x21 => AluOp::And,
+                0x29 => AluOp::Sub,
+                0x31 => AluOp::Xor,
+                0x39 => AluOp::Cmp,
+                _ => unreachable!(),
+            };
+            let (reg, rm) = c.modrm()?;
+            Insn::Alu {
+                op: alu,
+                dir: if op & 2 == 0 { Dir::ToRm } else { Dir::FromRm },
+                rm,
+                reg: Reg::from_bits(reg),
+            }
+        }
+        0x85 => {
+            let (reg, rm) = c.modrm()?;
+            Insn::Alu {
+                op: AluOp::Test,
+                dir: Dir::ToRm,
+                rm,
+                reg: Reg::from_bits(reg),
+            }
+        }
+        0x81 | 0x83 => {
+            let (ext, rm) = c.modrm()?;
+            let alu = match ext {
+                0 => AluOp::Add,
+                1 => AluOp::Or,
+                4 => AluOp::And,
+                5 => AluOp::Sub,
+                6 => AluOp::Xor,
+                7 => AluOp::Cmp,
+                _ => return Ok(Decoded::Invalid { opcode: op }),
+            };
+            let imm = if op == 0x83 { c.i8()? } else { c.i32()? };
+            Insn::AluImm { op: alu, rm, imm }
+        }
+        0xC1 | 0xD3 => {
+            let (ext, rm) = c.modrm()?;
+            let shift = match ext {
+                4 => ShiftOp::Shl,
+                5 => ShiftOp::Shr,
+                7 => ShiftOp::Sar,
+                _ => return Ok(Decoded::Invalid { opcode: op }),
+            };
+            let count = if op == 0xC1 {
+                ShiftCount::Imm(c.u8()?)
+            } else {
+                ShiftCount::Cl
+            };
+            Insn::Shift {
+                op: shift,
+                rm,
+                count,
+            }
+        }
+        0xF7 => {
+            let (ext, rm) = c.modrm()?;
+            let un = match ext {
+                2 => UnOp::Not,
+                3 => UnOp::Neg,
+                4 => UnOp::Mul,
+                6 => UnOp::Div,
+                _ => return Ok(Decoded::Invalid { opcode: op }),
+            };
+            Insn::Grp3 { op: un, rm }
+        }
+        0xFF => {
+            let (ext, rm) = c.modrm()?;
+            let g5 = match ext {
+                0 => Grp5Op::Inc,
+                1 => Grp5Op::Dec,
+                2 => Grp5Op::Call,
+                4 => Grp5Op::Jmp,
+                6 => Grp5Op::Push,
+                _ => return Ok(Decoded::Invalid { opcode: op }),
+            };
+            Insn::Grp5 { op: g5, rm }
+        }
+        _ => return Ok(Decoded::Invalid { opcode: op }),
+    };
+    Ok(Decoded::Insn { insn, len: c.n })
+}
+
+/// [`CodeSource`] over a byte slice, for the disassembler and tests.
+#[derive(Debug)]
+pub struct SliceSource<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SliceSource<'a> {
+    /// Decode from the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> SliceSource<'a> {
+        SliceSource { bytes, pos: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+/// Error for [`SliceSource`]: the slice ended mid-instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnexpectedEof;
+
+impl fmt::Display for UnexpectedEof {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("unexpected end of code bytes")
+    }
+}
+
+impl std::error::Error for UnexpectedEof {}
+
+impl CodeSource for SliceSource<'_> {
+    type Err = UnexpectedEof;
+
+    fn next(&mut self) -> Result<u8, UnexpectedEof> {
+        let b = *self.bytes.get(self.pos).ok_or(UnexpectedEof)?;
+        self.pos += 1;
+        Ok(b)
+    }
+}
+
+/// Decode one instruction from a slice. Convenience wrapper around
+/// [`decode`] + [`SliceSource`].
+///
+/// # Errors
+///
+/// Returns [`UnexpectedEof`] if the slice ends mid-instruction.
+pub fn decode_slice(bytes: &[u8]) -> Result<Decoded, UnexpectedEof> {
+    decode(&mut SliceSource::new(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn insn(bytes: &[u8]) -> (Insn, u8) {
+        match decode_slice(bytes).expect("eof") {
+            Decoded::Insn { insn, len } => (insn, len),
+            Decoded::Invalid { opcode } => panic!("invalid opcode {opcode:#x}"),
+        }
+    }
+
+    #[test]
+    fn paper_forensic_shellcode_decodes_as_on_x86() {
+        // mov ebx, 0 ; mov eax, 1 ; int 0x80  — exit(0) from paper §6.1.3.
+        let bytes = b"\xbb\x00\x00\x00\x00\xb8\x01\x00\x00\x00\xcd\x80";
+        let (i1, l1) = insn(bytes);
+        assert_eq!(i1, Insn::MovRegImm(Reg::Ebx, 0));
+        assert_eq!(l1, 5);
+        let (i2, _) = insn(&bytes[5..]);
+        assert_eq!(i2, Insn::MovRegImm(Reg::Eax, 1));
+        let (i3, _) = insn(&bytes[10..]);
+        assert_eq!(i3, Insn::Int(0x80));
+    }
+
+    #[test]
+    fn nop_is_0x90_and_zero_is_invalid() {
+        assert_eq!(insn(&[0x90]).0, Insn::Nop);
+        assert_eq!(
+            decode_slice(&[0x00]).unwrap(),
+            Decoded::Invalid { opcode: 0x00 }
+        );
+        assert_eq!(
+            decode_slice(&[SPLIT_FILL_OPCODE]).unwrap(),
+            Decoded::Invalid {
+                opcode: SPLIT_FILL_OPCODE
+            }
+        );
+    }
+
+    #[test]
+    fn push_pop_inc_dec_families() {
+        assert_eq!(insn(&[0x50]).0, Insn::PushReg(Reg::Eax));
+        assert_eq!(insn(&[0x5D]).0, Insn::PopReg(Reg::Ebp));
+        assert_eq!(insn(&[0x41]).0, Insn::IncReg(Reg::Ecx));
+        assert_eq!(insn(&[0x4F]).0, Insn::DecReg(Reg::Edi));
+    }
+
+    #[test]
+    fn relative_branches() {
+        assert_eq!(insn(&[0xEB, 0xFE]).0, Insn::JmpRel(-2));
+        assert_eq!(
+            insn(&[0xE9, 0x10, 0x00, 0x00, 0x00]).0,
+            Insn::JmpRel(0x10)
+        );
+        assert_eq!(insn(&[0x74, 0x05]).0, Insn::JccRel(Cond::E, 5));
+        assert_eq!(
+            insn(&[0x0F, 0x85, 0xFF, 0xFF, 0xFF, 0xFF]).0,
+            Insn::JccRel(Cond::Ne, -1)
+        );
+        assert_eq!(
+            insn(&[0xE8, 0x00, 0x01, 0x00, 0x00]).0,
+            Insn::CallRel(0x100)
+        );
+    }
+
+    #[test]
+    fn modrm_register_form() {
+        // 0x89 /r with mod=11: mov edi, eax → modrm 11 000 111 = 0xC7.
+        let (i, l) = insn(&[0x89, 0xC7]);
+        assert_eq!(
+            i,
+            Insn::MovRmReg {
+                byte: false,
+                dir: Dir::ToRm,
+                rm: Rm::Reg(Reg::Edi),
+                reg: Reg::Eax
+            }
+        );
+        assert_eq!(l, 2);
+    }
+
+    #[test]
+    fn modrm_base_disp8() {
+        // mov eax, [ebp-4]: 0x8B modrm 01 000 101 = 0x45, disp8 0xFC.
+        let (i, _) = insn(&[0x8B, 0x45, 0xFC]);
+        assert_eq!(
+            i,
+            Insn::MovRmReg {
+                byte: false,
+                dir: Dir::FromRm,
+                rm: Rm::Mem(Mem::base_disp(Reg::Ebp, -4)),
+                reg: Reg::Eax
+            }
+        );
+    }
+
+    #[test]
+    fn modrm_absolute_disp32() {
+        // mov eax, [0x1234]: mod=00 rm=101.
+        let (i, _) = insn(&[0x8B, 0x05, 0x34, 0x12, 0x00, 0x00]);
+        assert_eq!(
+            i,
+            Insn::MovRmReg {
+                byte: false,
+                dir: Dir::FromRm,
+                rm: Rm::Mem(Mem::abs(0x1234)),
+                reg: Reg::Eax
+            }
+        );
+    }
+
+    #[test]
+    fn modrm_sib_scaled_index() {
+        // mov eax, [ebx+esi*4+8]: 0x8B, modrm 01 000 100 = 0x44,
+        // sib scale=10 index=110 base=011 = 0xB3, disp8 8.
+        let (i, _) = insn(&[0x8B, 0x44, 0xB3, 0x08]);
+        assert_eq!(
+            i,
+            Insn::MovRmReg {
+                byte: false,
+                dir: Dir::FromRm,
+                rm: Rm::Mem(Mem {
+                    base: Some(Reg::Ebx),
+                    index: Some((Reg::Esi, 4)),
+                    disp: 8
+                }),
+                reg: Reg::Eax
+            }
+        );
+    }
+
+    #[test]
+    fn sib_no_base_form() {
+        // mov eax, [esi*4 + 0x100]: modrm 00 000 100, sib 10 110 101, disp32.
+        let (i, _) = insn(&[0x8B, 0x04, 0xB5, 0x00, 0x01, 0x00, 0x00]);
+        assert_eq!(
+            i,
+            Insn::MovRmReg {
+                byte: false,
+                dir: Dir::FromRm,
+                rm: Rm::Mem(Mem {
+                    base: None,
+                    index: Some((Reg::Esi, 4)),
+                    disp: 0x100
+                }),
+                reg: Reg::Eax
+            }
+        );
+    }
+
+    #[test]
+    fn group1_immediate_forms() {
+        // add ebx, 0x100: 0x81 modrm 11 000 011 = 0xC3, imm32.
+        let (i, _) = insn(&[0x81, 0xC3, 0x00, 0x01, 0x00, 0x00]);
+        assert_eq!(
+            i,
+            Insn::AluImm {
+                op: AluOp::Add,
+                rm: Rm::Reg(Reg::Ebx),
+                imm: 0x100
+            }
+        );
+        // sub esp, 8 (short form): 0x83 modrm 11 101 100 = 0xEC, imm8.
+        let (i, l) = insn(&[0x83, 0xEC, 0x08]);
+        assert_eq!(
+            i,
+            Insn::AluImm {
+                op: AluOp::Sub,
+                rm: Rm::Reg(Reg::Esp),
+                imm: 8
+            }
+        );
+        assert_eq!(l, 3);
+    }
+
+    #[test]
+    fn group5_indirect_call_and_jmp() {
+        // call eax: 0xFF modrm 11 010 000 = 0xD0.
+        let (i, _) = insn(&[0xFF, 0xD0]);
+        assert_eq!(
+            i,
+            Insn::Grp5 {
+                op: Grp5Op::Call,
+                rm: Rm::Reg(Reg::Eax)
+            }
+        );
+        // jmp [ebx]: modrm 00 100 011 = 0x23.
+        let (i, _) = insn(&[0xFF, 0x23]);
+        assert_eq!(
+            i,
+            Insn::Grp5 {
+                op: Grp5Op::Jmp,
+                rm: Rm::Mem(Mem::base_disp(Reg::Ebx, 0))
+            }
+        );
+    }
+
+    #[test]
+    fn movzx_and_byte_moves() {
+        // movzx eax, byte [esi]: 0x0F 0xB6 modrm 00 000 110 = 0x06.
+        let (i, _) = insn(&[0x0F, 0xB6, 0x06]);
+        assert_eq!(
+            i,
+            Insn::Movzx8 {
+                dst: Reg::Eax,
+                src: Rm::Mem(Mem::base_disp(Reg::Esi, 0))
+            }
+        );
+        // mov [edi], al: 0x88 modrm 00 000 111 = 0x07.
+        let (i, _) = insn(&[0x88, 0x07]);
+        assert_eq!(
+            i,
+            Insn::MovRmReg {
+                byte: true,
+                dir: Dir::ToRm,
+                rm: Rm::Mem(Mem::base_disp(Reg::Edi, 0)),
+                reg: Reg::Eax
+            }
+        );
+    }
+
+    #[test]
+    fn truncated_instruction_reports_eof() {
+        assert_eq!(decode_slice(&[0xB8, 0x01]), Err(UnexpectedEof));
+        assert_eq!(decode_slice(&[]), Err(UnexpectedEof));
+    }
+
+    #[test]
+    fn invalid_group_extensions_are_ud() {
+        // 0xF7 /0 (test imm) is not implemented → invalid.
+        assert_eq!(
+            decode_slice(&[0xF7, 0xC0]).unwrap(),
+            Decoded::Invalid { opcode: 0xF7 }
+        );
+        // 0xFF /7 is undefined on x86 too.
+        assert_eq!(
+            decode_slice(&[0xFF, 0xF8]).unwrap(),
+            Decoded::Invalid { opcode: 0xFF }
+        );
+    }
+
+    #[test]
+    fn lea_requires_memory_operand() {
+        // lea with register rm is invalid.
+        assert_eq!(
+            decode_slice(&[0x8D, 0xC0]).unwrap(),
+            Decoded::Invalid { opcode: 0x8D }
+        );
+        let (i, _) = insn(&[0x8D, 0x44, 0xB3, 0x08]);
+        assert!(matches!(i, Insn::Lea(Reg::Eax, _)));
+    }
+}

@@ -1,0 +1,535 @@
+//! The machine: CPU + physical memory + split TLBs + the hardware
+//! pagetable walker, glued together with cycle accounting.
+
+use crate::costs::CycleCosts;
+use crate::cpu::{Access, Cpu, PageFaultInfo, Privilege};
+use crate::exec;
+use crate::phys::{OutOfFrames, PhysMemory};
+use crate::pte::{self, Frame, PAGE_SIZE};
+use crate::stats::MachineStats;
+use crate::tlb::{Tlb, TlbEntry};
+
+/// Construction-time machine parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineConfig {
+    /// Number of 4 KiB physical frames (default 16384 = 64 MiB).
+    pub phys_frames: u32,
+    /// Instruction-TLB capacity in entries.
+    pub itlb_entries: usize,
+    /// Data-TLB capacity in entries.
+    pub dtlb_entries: usize,
+    /// Whether the execute-disable bit is honoured by the MMU. `false`
+    /// models the legacy x86 hardware the paper's stand-alone mode targets;
+    /// `true` models the "recent hardware" of its combined mode (§6.2).
+    pub nx_enabled: bool,
+    /// Software-loaded TLBs (paper §4.7, the SPARC-style port): the
+    /// hardware never walks the pagetable — every TLB miss raises a fault
+    /// and the kernel fills the TLB explicitly via
+    /// [`Machine::fill_itlb`]/[`Machine::fill_dtlb`]. Split memory on such
+    /// an architecture needs "no complex data or instruction TLB loading
+    /// techniques".
+    pub software_tlb: bool,
+    /// Cycle cost model.
+    pub costs: CycleCosts,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            phys_frames: 16384,
+            itlb_entries: 64,
+            dtlb_entries: 64,
+            nx_enabled: false,
+            software_tlb: false,
+            costs: CycleCosts::default(),
+        }
+    }
+}
+
+/// Result of executing one instruction: either it retired normally or it
+/// trapped. Traps are returned to the embedding kernel rather than vectored
+/// through a simulated IDT — the simulated kernel is host code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trap {
+    /// Instruction retired with no event.
+    None,
+    /// `int n` executed; `eip` already points at the next instruction.
+    Syscall {
+        /// Interrupt vector (0x80 for system calls).
+        vector: u8,
+    },
+    /// Page fault; registers are rolled back to instruction start and CR2
+    /// holds the faulting address.
+    PageFault(PageFaultInfo),
+    /// Invalid opcode (`#UD`); registers are rolled back, `eip` points at
+    /// the offending instruction.
+    InvalidOpcode {
+        /// Address of the undecodable instruction.
+        eip: u32,
+        /// First offending opcode byte.
+        opcode: u8,
+    },
+    /// Single-step debug trap (`#DB`): the trap flag was set when the
+    /// just-retired instruction began.
+    DebugStep,
+    /// Divide error (`#DE`); registers rolled back.
+    DivideError,
+    /// `hlt` executed.
+    Halt,
+}
+
+impl Trap {
+    /// True for [`Trap::None`].
+    pub fn is_none(&self) -> bool {
+        matches!(self, Trap::None)
+    }
+}
+
+/// The simulated machine.
+///
+/// See the [crate documentation](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct Machine {
+    /// CPU registers.
+    pub cpu: Cpu,
+    /// Physical memory and its frame allocator.
+    pub phys: PhysMemory,
+    /// Instruction TLB (filled only by instruction fetches).
+    pub itlb: Tlb,
+    /// Data TLB (filled by loads, stores and kernel touches).
+    pub dtlb: Tlb,
+    /// Configuration (cost model is read from here on every event).
+    pub config: MachineConfig,
+    /// Simulated cycle counter; every hardware and (via
+    /// [`Machine::charge`]) kernel event advances it.
+    pub cycles: u64,
+    /// Event counters.
+    pub stats: MachineStats,
+    pending_singlestep: bool,
+}
+
+impl Machine {
+    /// Build a machine with zeroed memory and empty TLBs.
+    pub fn new(config: MachineConfig) -> Machine {
+        Machine {
+            cpu: Cpu::default(),
+            phys: PhysMemory::new(config.phys_frames),
+            itlb: Tlb::new(config.itlb_entries),
+            dtlb: Tlb::new(config.dtlb_entries),
+            config,
+            cycles: 0,
+            stats: MachineStats::default(),
+            pending_singlestep: false,
+        }
+    }
+
+    /// Advance the cycle counter (used by the kernel to charge software
+    /// handler costs from the same [`CycleCosts`] table).
+    #[inline]
+    pub fn charge(&mut self, cycles: u64) {
+        self.cycles += cycles;
+    }
+
+    /// Allocate a physical frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfFrames`] when physical memory is exhausted.
+    pub fn alloc_frame(&mut self) -> Result<Frame, OutOfFrames> {
+        self.phys.allocator.alloc()
+    }
+
+    /// Allocate a zeroed physical frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfFrames`] when physical memory is exhausted.
+    pub fn alloc_zeroed_frame(&mut self) -> Result<Frame, OutOfFrames> {
+        let f = self.phys.allocator.alloc()?;
+        self.phys.zero_frame(f);
+        Ok(f)
+    }
+
+    /// Free a physical frame.
+    pub fn free_frame(&mut self, f: Frame) {
+        self.phys.allocator.free(f);
+    }
+
+    /// Load CR3 with a new page-directory frame. As on x86, this flushes
+    /// both TLBs — the dominant overhead source for split memory under
+    /// context-switch-heavy loads (paper §4.6).
+    pub fn set_cr3(&mut self, dir: Frame) {
+        self.cpu.regs.cr3 = dir.0;
+        self.itlb.flush_all();
+        self.dtlb.flush_all();
+        self.stats.cr3_loads += 1;
+        self.charge(self.config.costs.cr3_load);
+    }
+
+    /// Current page-directory frame.
+    pub fn cr3(&self) -> Frame {
+        Frame(self.cpu.regs.cr3)
+    }
+
+    /// Invalidate any TLB entries for the page containing `vaddr`
+    /// (`invlpg`).
+    pub fn invlpg(&mut self, vaddr: u32) {
+        let vpn = pte::vpn(vaddr);
+        self.itlb.flush_page(vpn);
+        self.dtlb.flush_page(vpn);
+        self.stats.invlpgs += 1;
+        self.charge(self.config.costs.invlpg);
+    }
+
+    /// Flush both TLBs without touching CR3 (used by tests and by the
+    /// kernel when it needs a full shootdown).
+    pub fn flush_tlbs(&mut self) {
+        self.itlb.flush_all();
+        self.dtlb.flush_all();
+    }
+
+    /// True if the just-completed `int` instruction had the trap flag set,
+    /// meaning a `#DB` is architecturally due after the syscall is serviced.
+    /// Reading the flag clears it.
+    pub fn take_pending_singlestep(&mut self) -> bool {
+        std::mem::take(&mut self.pending_singlestep)
+    }
+
+    /// Translate a virtual address, consulting the access-appropriate TLB
+    /// first and walking the pagetable on a miss (filling that TLB).
+    ///
+    /// This is the heart of the simulation: rights are checked against the
+    /// *TLB entry* on a hit and against the *pagetable* only on a walk, so a
+    /// TLB entry filled under one pagetable state remains authoritative
+    /// after the pagetable changes — exactly the desynchronisation window
+    /// split memory exploits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PageFaultInfo`] (without setting CR2; the instruction path
+    /// does that) on a missing mapping or rights violation.
+    pub fn translate(
+        &mut self,
+        vaddr: u32,
+        access: Access,
+        privilege: Privilege,
+    ) -> Result<u32, PageFaultInfo> {
+        let vpn = pte::vpn(vaddr);
+        let tlb = match access {
+            Access::Fetch => &mut self.itlb,
+            _ => &mut self.dtlb,
+        };
+        if let Some(e) = tlb.lookup(vpn) {
+            if Self::check_entry_rights(&self.config, &e, vaddr, access, privilege).is_ok() {
+                return Ok((e.pfn << pte::PAGE_SHIFT) | pte::page_offset(vaddr));
+            }
+            // A rights violation on a cached entry: the hardware drops the
+            // entry and re-walks the pagetable before deciding to fault —
+            // TLB entries may be *stale-permissive* (the property split
+            // memory exploits) but are never authoritative for denial.
+            tlb.drop_entry(vpn);
+        }
+        if self.config.software_tlb {
+            // Software-loaded TLBs: the hardware raises a miss fault and
+            // the kernel is responsible for the fill (paper §4.7).
+            return Err(PageFaultInfo {
+                addr: vaddr,
+                access,
+                privilege,
+                present: false,
+            });
+        }
+        // TLB miss: hardware pagetable walk.
+        self.stats.walks += 1;
+        self.charge(self.config.costs.tlb_walk);
+        let not_present = |present| PageFaultInfo {
+            addr: vaddr,
+            access,
+            privilege,
+            present,
+        };
+        let dir_base = Frame(self.cpu.regs.cr3).base();
+        let pde_addr = dir_base + pte::dir_index(vaddr) * 4;
+        let pde = self.phys.read_u32(pde_addr);
+        if !pte::has(pde, pte::PRESENT) {
+            return Err(not_present(false));
+        }
+        let pte_addr = pte::frame(pde).base() + pte::table_index(vaddr) * 4;
+        let entry = self.phys.read_u32(pte_addr);
+        if !pte::has(entry, pte::PRESENT) {
+            return Err(not_present(false));
+        }
+        let e = TlbEntry {
+            vpn,
+            pfn: pte::frame(entry).0,
+            user: pte::has(pde, pte::USER) && pte::has(entry, pte::USER),
+            writable: pte::has(pde, pte::WRITABLE) && pte::has(entry, pte::WRITABLE),
+            nx: pte::has(entry, pte::NX),
+        };
+        Self::check_entry_rights(&self.config, &e, vaddr, access, privilege)?;
+        // Walk succeeded: update accessed/dirty bits and fill the TLB.
+        self.phys.write_u32(pde_addr, pde | pte::ACCESSED);
+        let mut new_entry = entry | pte::ACCESSED;
+        if access == Access::Write {
+            new_entry |= pte::DIRTY;
+        }
+        self.phys.write_u32(pte_addr, new_entry);
+        let paddr = (e.pfn << pte::PAGE_SHIFT) | pte::page_offset(vaddr);
+        match access {
+            Access::Fetch => self.itlb.fill(e),
+            _ => self.dtlb.fill(e),
+        }
+        Ok(paddr)
+    }
+
+    fn check_entry_rights(
+        config: &MachineConfig,
+        e: &TlbEntry,
+        vaddr: u32,
+        access: Access,
+        privilege: Privilege,
+    ) -> Result<(), PageFaultInfo> {
+        let violation = PageFaultInfo {
+            addr: vaddr,
+            access,
+            privilege,
+            present: true,
+        };
+        if privilege == Privilege::User {
+            if !e.user {
+                return Err(violation);
+            }
+            if access == Access::Write && !e.writable {
+                return Err(violation);
+            }
+        }
+        // Execute-disable applies regardless of privilege; the simulated
+        // kernel never fetches, so in practice this guards user fetches.
+        if access == Access::Fetch && e.nx && config.nx_enabled {
+            return Err(violation);
+        }
+        Ok(())
+    }
+
+    /// Kernel-managed instruction-TLB fill (software-TLB mode, §4.7).
+    pub fn fill_itlb(&mut self, entry: TlbEntry) {
+        self.itlb.fill(entry);
+    }
+
+    /// Kernel-managed data-TLB fill (software-TLB mode, §4.7).
+    pub fn fill_dtlb(&mut self, entry: TlbEntry) {
+        self.dtlb.fill(entry);
+    }
+
+    /// Read the PTE for `vaddr` under the current CR3 directly from
+    /// physical memory, bypassing the TLBs (how the kernel inspects
+    /// pagetables). Returns `None` if the directory entry is not present.
+    pub fn read_pte(&self, vaddr: u32) -> Option<u32> {
+        let pde = self
+            .phys
+            .read_u32(Frame(self.cpu.regs.cr3).base() + pte::dir_index(vaddr) * 4);
+        if !pte::has(pde, pte::PRESENT) {
+            return None;
+        }
+        Some(
+            self.phys
+                .read_u32(pte::frame(pde).base() + pte::table_index(vaddr) * 4),
+        )
+    }
+
+    // ---- data accessors ---------------------------------------------------
+
+    /// Read one byte with the given privilege (data access: fills D-TLB).
+    ///
+    /// # Errors
+    ///
+    /// Page fault per [`Machine::translate`].
+    pub fn read_u8(&mut self, vaddr: u32, privilege: Privilege) -> Result<u8, PageFaultInfo> {
+        let p = self.translate(vaddr, Access::Read, privilege)?;
+        Ok(self.phys.read_u8(p))
+    }
+
+    /// Write one byte with the given privilege.
+    ///
+    /// # Errors
+    ///
+    /// Page fault per [`Machine::translate`].
+    pub fn write_u8(
+        &mut self,
+        vaddr: u32,
+        v: u8,
+        privilege: Privilege,
+    ) -> Result<(), PageFaultInfo> {
+        let p = self.translate(vaddr, Access::Write, privilege)?;
+        self.phys.write_u8(p, v);
+        Ok(())
+    }
+
+    /// Read a little-endian u32; unaligned and page-crossing reads are
+    /// legal (as on x86).
+    ///
+    /// # Errors
+    ///
+    /// Page fault per [`Machine::translate`].
+    pub fn read_u32(&mut self, vaddr: u32, privilege: Privilege) -> Result<u32, PageFaultInfo> {
+        if pte::page_offset(vaddr) <= PAGE_SIZE - 4 {
+            let p = self.translate(vaddr, Access::Read, privilege)?;
+            return Ok(self.phys.read_u32(p));
+        }
+        let mut bytes = [0u8; 4];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            let p = self.translate(vaddr.wrapping_add(i as u32), Access::Read, privilege)?;
+            *b = self.phys.read_u8(p);
+        }
+        Ok(u32::from_le_bytes(bytes))
+    }
+
+    /// Write a little-endian u32. Page-crossing writes pre-translate both
+    /// pages before mutating memory, so a faulting store changes nothing
+    /// (precise exceptions).
+    ///
+    /// # Errors
+    ///
+    /// Page fault per [`Machine::translate`].
+    pub fn write_u32(
+        &mut self,
+        vaddr: u32,
+        v: u32,
+        privilege: Privilege,
+    ) -> Result<(), PageFaultInfo> {
+        if pte::page_offset(vaddr) <= PAGE_SIZE - 4 {
+            let p = self.translate(vaddr, Access::Write, privilege)?;
+            self.phys.write_u32(p, v);
+            return Ok(());
+        }
+        let mut paddrs = [0u32; 4];
+        for (i, pa) in paddrs.iter_mut().enumerate() {
+            *pa = self.translate(vaddr.wrapping_add(i as u32), Access::Write, privilege)?;
+        }
+        for (i, b) in v.to_le_bytes().iter().enumerate() {
+            self.phys.write_u8(paddrs[i], *b);
+        }
+        Ok(())
+    }
+
+    /// Kernel-privilege byte read. This is the primitive behind the paper's
+    /// D-TLB load: it performs a *data* access that fills the D-TLB with a
+    /// rights snapshot of the current PTE (Algorithm 1 line 9,
+    /// `read_byte(addr)`).
+    ///
+    /// # Errors
+    ///
+    /// Page fault if the page is unmapped.
+    pub fn kernel_read_u8(&mut self, vaddr: u32) -> Result<u8, PageFaultInfo> {
+        self.read_u8(vaddr, Privilege::Kernel)
+    }
+
+    /// Copy bytes from user space at kernel privilege, charging per-byte
+    /// copy cost.
+    ///
+    /// # Errors
+    ///
+    /// Page fault on the first unmapped byte (partially-read data is
+    /// discarded).
+    pub fn copy_from_user(&mut self, vaddr: u32, len: u32) -> Result<Vec<u8>, PageFaultInfo> {
+        let mut out = Vec::with_capacity(len as usize);
+        for i in 0..len {
+            out.push(self.read_u8(vaddr.wrapping_add(i), Privilege::Kernel)?);
+        }
+        self.charge(self.config.costs.copy_byte * len as u64);
+        Ok(out)
+    }
+
+    /// Copy bytes into user space at kernel privilege, charging per-byte
+    /// copy cost.
+    ///
+    /// # Errors
+    ///
+    /// Page fault on the first unmapped byte (earlier bytes stay written,
+    /// as with a faulting `copy_to_user`).
+    pub fn copy_to_user(&mut self, vaddr: u32, data: &[u8]) -> Result<(), PageFaultInfo> {
+        for (i, b) in data.iter().enumerate() {
+            self.write_u8(vaddr.wrapping_add(i as u32), *b, Privilege::Kernel)?;
+        }
+        self.charge(self.config.costs.copy_byte * data.len() as u64);
+        Ok(())
+    }
+
+    /// Read a NUL-terminated string from user space (kernel privilege),
+    /// capped at `max` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Page fault if the string runs off mapped memory.
+    pub fn read_cstr(&mut self, vaddr: u32, max: u32) -> Result<Vec<u8>, PageFaultInfo> {
+        let mut out = Vec::new();
+        for i in 0..max {
+            let b = self.read_u8(vaddr.wrapping_add(i), Privilege::Kernel)?;
+            if b == 0 {
+                break;
+            }
+            out.push(b);
+        }
+        self.charge(self.config.costs.copy_byte * out.len() as u64);
+        Ok(out)
+    }
+
+    // ---- execution ---------------------------------------------------------
+
+    /// Execute one instruction at `eip`.
+    ///
+    /// Faults are precise: on [`Trap::PageFault`], [`Trap::InvalidOpcode`]
+    /// and [`Trap::DivideError`] the register file is rolled back to the
+    /// state at instruction start (CR2 is updated for page faults). On
+    /// [`Trap::Syscall`] and [`Trap::DebugStep`] the instruction has
+    /// retired and `eip` points at the next instruction.
+    pub fn step(&mut self) -> Trap {
+        let snapshot = self.cpu.regs;
+        let tf = self.cpu.regs.flag(crate::cpu::flags::TF);
+        self.charge(self.config.costs.insn);
+        match exec::step(self) {
+            Ok(exec::Flow::Normal) => {
+                self.stats.instructions += 1;
+                if tf {
+                    self.stats.debug_traps += 1;
+                    Trap::DebugStep
+                } else {
+                    Trap::None
+                }
+            }
+            Ok(exec::Flow::Syscall { vector }) => {
+                self.stats.instructions += 1;
+                self.stats.syscalls += 1;
+                if tf {
+                    // The #DB belongs after the int completes; the kernel
+                    // services the syscall first and then polls this flag.
+                    self.pending_singlestep = true;
+                }
+                Trap::Syscall { vector }
+            }
+            Ok(exec::Flow::Halt) => {
+                self.stats.instructions += 1;
+                Trap::Halt
+            }
+            Err(exec::Exc::PageFault(pf)) => {
+                self.cpu.regs = snapshot;
+                self.cpu.regs.cr2 = pf.addr;
+                self.stats.page_faults += 1;
+                Trap::PageFault(pf)
+            }
+            Err(exec::Exc::InvalidOpcode { opcode }) => {
+                self.cpu.regs = snapshot;
+                self.stats.invalid_opcodes += 1;
+                Trap::InvalidOpcode {
+                    eip: snapshot.eip,
+                    opcode,
+                }
+            }
+            Err(exec::Exc::DivideError) => {
+                self.cpu.regs = snapshot;
+                self.stats.divide_errors += 1;
+                Trap::DivideError
+            }
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Simulated physical memory and the frame allocator.
+//!
+//! Physical memory is a flat byte array divided into 4 KiB frames. Pagetables
+//! live *inside* this memory (the hardware walker reads them from here), just
+//! like on a real machine, so every pagetable manipulation performed by the
+//! simulated kernel is observable by the simulated hardware.
+
+use crate::pte::{Frame, PAGE_SIZE};
+use std::fmt;
+
+/// Simulated physical memory plus the allocator that hands out its frames.
+///
+/// All accessors take *physical* byte addresses. Accesses beyond the end of
+/// memory panic: the simulated kernel/hardware is trusted to stay in bounds
+/// (virtual-address safety is enforced separately by the MMU).
+pub struct PhysMemory {
+    bytes: Vec<u8>,
+    /// Allocator over this memory's frames.
+    pub allocator: FrameAllocator,
+}
+
+impl PhysMemory {
+    /// Create `frames` frames of zeroed physical memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is 0 or the total size would overflow a `u32`
+    /// physical address space.
+    pub fn new(frames: u32) -> PhysMemory {
+        assert!(frames > 0, "physical memory must have at least one frame");
+        assert!(
+            (frames as u64) * (PAGE_SIZE as u64) <= u32::MAX as u64 + 1,
+            "physical memory exceeds the 32-bit physical address space"
+        );
+        PhysMemory {
+            bytes: vec![0; frames as usize * PAGE_SIZE as usize],
+            allocator: FrameAllocator::new(frames),
+        }
+    }
+
+    /// Total number of frames.
+    pub fn frame_count(&self) -> u32 {
+        (self.bytes.len() / PAGE_SIZE as usize) as u32
+    }
+
+    /// Read one byte.
+    #[inline]
+    pub fn read_u8(&self, paddr: u32) -> u8 {
+        self.bytes[paddr as usize]
+    }
+
+    /// Write one byte.
+    #[inline]
+    pub fn write_u8(&mut self, paddr: u32, v: u8) {
+        self.bytes[paddr as usize] = v;
+    }
+
+    /// Read a little-endian 32-bit word (no alignment requirement).
+    #[inline]
+    pub fn read_u32(&self, paddr: u32) -> u32 {
+        let i = paddr as usize;
+        u32::from_le_bytes(self.bytes[i..i + 4].try_into().unwrap())
+    }
+
+    /// Write a little-endian 32-bit word (no alignment requirement).
+    #[inline]
+    pub fn write_u32(&mut self, paddr: u32, v: u32) {
+        let i = paddr as usize;
+        self.bytes[i..i + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Copy `data` into memory starting at `paddr`.
+    pub fn write(&mut self, paddr: u32, data: &[u8]) {
+        let i = paddr as usize;
+        self.bytes[i..i + data.len()].copy_from_slice(data);
+    }
+
+    /// Copy `buf.len()` bytes out of memory starting at `paddr`.
+    pub fn read(&self, paddr: u32, buf: &mut [u8]) {
+        let i = paddr as usize;
+        buf.copy_from_slice(&self.bytes[i..i + buf.len()]);
+    }
+
+    /// Borrow the contents of one frame.
+    pub fn frame_bytes(&self, f: Frame) -> &[u8] {
+        let i = f.base() as usize;
+        &self.bytes[i..i + PAGE_SIZE as usize]
+    }
+
+    /// Zero an entire frame.
+    pub fn zero_frame(&mut self, f: Frame) {
+        let i = f.base() as usize;
+        self.bytes[i..i + PAGE_SIZE as usize].fill(0);
+    }
+
+    /// Fill an entire frame with one byte value.
+    pub fn fill_frame(&mut self, f: Frame, v: u8) {
+        let i = f.base() as usize;
+        self.bytes[i..i + PAGE_SIZE as usize].fill(v);
+    }
+
+    /// Copy the contents of frame `src` into frame `dst`.
+    pub fn copy_frame(&mut self, src: Frame, dst: Frame) {
+        let (s, d) = (src.base() as usize, dst.base() as usize);
+        let n = PAGE_SIZE as usize;
+        self.bytes.copy_within(s..s + n, d);
+    }
+}
+
+impl fmt::Debug for PhysMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PhysMemory")
+            .field("frames", &self.frame_count())
+            .field("free", &self.allocator.free_count())
+            .finish()
+    }
+}
+
+/// Error returned when the machine has no free physical frames left.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfFrames;
+
+impl fmt::Display for OutOfFrames {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("out of physical memory frames")
+    }
+}
+
+impl std::error::Error for OutOfFrames {}
+
+/// Free-list allocator over physical frames.
+///
+/// Frame 0 is never handed out: a zero PFN in a pagetable entry is reserved
+/// so that a completely empty entry is unambiguously "nothing".
+#[derive(Debug, Clone)]
+pub struct FrameAllocator {
+    free: Vec<Frame>,
+    total: u32,
+    allocated: u32,
+    /// High-water mark of simultaneously allocated frames.
+    peak: u32,
+}
+
+impl FrameAllocator {
+    /// Allocator over frames `1..total` (frame 0 is reserved).
+    pub fn new(total: u32) -> FrameAllocator {
+        // Popping from the back yields low frame numbers first, which keeps
+        // traces readable.
+        let free = (1..total).rev().map(Frame).collect();
+        FrameAllocator {
+            free,
+            total,
+            allocated: 0,
+            peak: 0,
+        }
+    }
+
+    /// Allocate one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfFrames`] when every frame is in use.
+    pub fn alloc(&mut self) -> Result<Frame, OutOfFrames> {
+        let f = self.free.pop().ok_or(OutOfFrames)?;
+        self.allocated += 1;
+        self.peak = self.peak.max(self.allocated);
+        Ok(f)
+    }
+
+    /// Return a frame to the free pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is frame 0 or out of range; double frees are detected in
+    /// debug builds only (the check is O(free list)).
+    pub fn free(&mut self, f: Frame) {
+        assert!(f.0 != 0 && f.0 < self.total, "freeing invalid {f}");
+        debug_assert!(!self.free.contains(&f), "double free of {f}");
+        self.allocated -= 1;
+        self.free.push(f);
+    }
+
+    /// Number of frames currently free.
+    pub fn free_count(&self) -> u32 {
+        self.free.len() as u32
+    }
+
+    /// Number of frames currently allocated.
+    pub fn allocated_count(&self) -> u32 {
+        self.allocated
+    }
+
+    /// High-water mark of simultaneously allocated frames (memory-overhead
+    /// measurements in the evaluation use this).
+    pub fn peak_allocated(&self) -> u32 {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rw_roundtrip() {
+        let mut m = PhysMemory::new(4);
+        m.write_u32(100, 0xdead_beef);
+        assert_eq!(m.read_u32(100), 0xdead_beef);
+        assert_eq!(m.read_u8(100), 0xef); // little-endian
+        m.write_u8(103, 0x01);
+        assert_eq!(m.read_u32(100), 0x01ad_beef);
+    }
+
+    #[test]
+    fn unaligned_word_access() {
+        let mut m = PhysMemory::new(1);
+        m.write_u32(1, 0x11223344);
+        assert_eq!(m.read_u32(1), 0x11223344);
+    }
+
+    #[test]
+    fn bulk_copy() {
+        let mut m = PhysMemory::new(4);
+        m.write(4096, b"hello");
+        let mut buf = [0u8; 5];
+        m.read(4096, &mut buf);
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn frame_ops() {
+        let mut m = PhysMemory::new(4);
+        m.fill_frame(Frame(1), 0xAA);
+        m.copy_frame(Frame(1), Frame(2));
+        assert_eq!(m.read_u8(Frame(2).base() + 123), 0xAA);
+        m.zero_frame(Frame(2));
+        assert_eq!(m.read_u8(Frame(2).base() + 123), 0);
+        assert_eq!(m.read_u8(Frame(1).base() + 123), 0xAA);
+    }
+
+    #[test]
+    fn allocator_never_hands_out_frame_zero_and_tracks_peak() {
+        let mut a = FrameAllocator::new(4); // frames 1,2,3 available
+        let mut got = Vec::new();
+        while let Ok(f) = a.alloc() {
+            assert_ne!(f.0, 0);
+            got.push(f);
+        }
+        assert_eq!(got.len(), 3);
+        assert_eq!(a.peak_allocated(), 3);
+        for f in got {
+            a.free(f);
+        }
+        assert_eq!(a.free_count(), 3);
+        assert_eq!(a.allocated_count(), 0);
+        assert_eq!(a.peak_allocated(), 3);
+    }
+
+    #[test]
+    fn allocator_reuses_freed_frames() {
+        let mut a = FrameAllocator::new(3);
+        let f1 = a.alloc().unwrap();
+        a.free(f1);
+        let again = a.alloc().unwrap();
+        assert_eq!(again, f1);
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing invalid")]
+    fn free_frame_zero_panics() {
+        let mut a = FrameAllocator::new(3);
+        a.free(Frame(0));
+    }
+}

@@ -1,0 +1,216 @@
+//! Pagetable entry layout and virtual-address arithmetic.
+//!
+//! The simulated MMU uses a classic two-level x86 scheme: a 32-bit virtual
+//! address is split into a 10-bit directory index, a 10-bit table index and a
+//! 12-bit page offset. Pagetable entries are 32-bit words stored in simulated
+//! physical memory and read by the hardware walker in
+//! [`crate::machine::Machine::translate`].
+//!
+//! Besides the architectural bits (present / writable / user / accessed /
+//! dirty) the layout reserves the "available to software" bits that the
+//! operating system uses, mirroring the paper's implementation:
+//!
+//! * [`COW`] marks a copy-on-write page (Linux-style `fork` support, paper
+//!   §5.4),
+//! * [`SPLIT`] is the "previously unused bit ... used to signify that the
+//!   page is being split" (paper §5.1),
+//! * [`NX`] simulates the execute-disable bit for the hardware-assisted
+//!   baseline and combined modes (paper §2, §6.2). On real IA-32 this lives
+//!   in bit 63 of a PAE entry; the simulator keeps everything in one word.
+
+use std::fmt;
+
+/// Size of one page / physical frame in bytes.
+pub const PAGE_SIZE: u32 = 4096;
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+/// Number of entries in a page directory or page table.
+pub const ENTRIES_PER_TABLE: u32 = 1024;
+
+/// Entry is present; translations through a non-present entry raise `#PF`.
+pub const PRESENT: u32 = 1 << 0;
+/// Entry permits writes (user-mode writes; the simulated kernel, like a
+/// pre-`CR0.WP` x86 kernel, may write through read-only entries).
+pub const WRITABLE: u32 = 1 << 1;
+/// Entry permits user-mode (CPL 3) access. A cleared bit means
+/// *supervisor-only*: this is the restriction bit that split memory flips.
+pub const USER: u32 = 1 << 2;
+/// Set by the hardware walker whenever the entry is used for a translation.
+pub const ACCESSED: u32 = 1 << 3;
+/// Set by the hardware walker when the translation is used for a write.
+pub const DIRTY: u32 = 1 << 4;
+/// Software: page is copy-on-write (write faults are resolved by copying).
+pub const COW: u32 = 1 << 5;
+/// Software: page is split into separate code and data frames.
+pub const SPLIT: u32 = 1 << 6;
+/// Simulated execute-disable: instruction fetches through this entry fault
+/// when [`crate::MachineConfig::nx_enabled`] is true.
+pub const NX: u32 = 1 << 7;
+
+/// Mask covering the physical frame number bits of an entry.
+pub const PFN_MASK: u32 = 0xFFFF_F000;
+/// Mask covering all flag bits of an entry.
+pub const FLAGS_MASK: u32 = !PFN_MASK;
+
+/// A physical frame number, newtyped so frames and addresses cannot be mixed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Frame(pub u32);
+
+impl Frame {
+    /// Physical byte address of the first byte of the frame.
+    #[inline]
+    pub fn base(self) -> u32 {
+        self.0 << PAGE_SHIFT
+    }
+
+    /// Frame containing the given physical address.
+    #[inline]
+    pub fn containing(paddr: u32) -> Frame {
+        Frame(paddr >> PAGE_SHIFT)
+    }
+}
+
+impl fmt::Display for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "frame#{:#x}", self.0)
+    }
+}
+
+/// Build a pagetable entry from a frame and flag bits.
+///
+/// # Panics
+///
+/// Panics (debug builds) if `flags` has bits outside [`FLAGS_MASK`].
+#[inline]
+pub fn make(frame: Frame, flags: u32) -> u32 {
+    debug_assert_eq!(flags & PFN_MASK, 0, "flags overlap the PFN field");
+    (frame.0 << PAGE_SHIFT) | flags
+}
+
+/// Frame referenced by an entry.
+#[inline]
+pub fn frame(entry: u32) -> Frame {
+    Frame(entry >> PAGE_SHIFT)
+}
+
+/// Flag bits of an entry.
+#[inline]
+pub fn flags(entry: u32) -> u32 {
+    entry & FLAGS_MASK
+}
+
+/// Replace the frame of an entry, preserving its flags.
+#[inline]
+pub fn with_frame(entry: u32, f: Frame) -> u32 {
+    (entry & FLAGS_MASK) | (f.0 << PAGE_SHIFT)
+}
+
+/// True if `entry & bit` is set for every bit in `bits`.
+#[inline]
+pub fn has(entry: u32, bits: u32) -> bool {
+    entry & bits == bits
+}
+
+/// Virtual page number of a virtual address.
+#[inline]
+pub fn vpn(vaddr: u32) -> u32 {
+    vaddr >> PAGE_SHIFT
+}
+
+/// First address of the page containing `vaddr`.
+#[inline]
+pub fn page_base(vaddr: u32) -> u32 {
+    vaddr & PFN_MASK
+}
+
+/// Offset of `vaddr` within its page.
+#[inline]
+pub fn page_offset(vaddr: u32) -> u32 {
+    vaddr & (PAGE_SIZE - 1)
+}
+
+/// Page-directory index (top 10 bits) of a virtual address.
+#[inline]
+pub fn dir_index(vaddr: u32) -> u32 {
+    vaddr >> 22
+}
+
+/// Page-table index (middle 10 bits) of a virtual address.
+#[inline]
+pub fn table_index(vaddr: u32) -> u32 {
+    (vaddr >> PAGE_SHIFT) & (ENTRIES_PER_TABLE - 1)
+}
+
+/// Round `len` up to a whole number of pages.
+#[inline]
+pub fn pages_for(len: u32) -> u32 {
+    len.div_ceil(PAGE_SIZE)
+}
+
+/// Round an address up to the next page boundary (identity on boundaries).
+#[inline]
+pub fn page_align_up(addr: u32) -> u32 {
+    (addr + PAGE_SIZE - 1) & PFN_MASK
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_decomposition() {
+        let v = 0xdead_beef_u32;
+        assert_eq!(dir_index(v), 0xdead_beef >> 22);
+        assert_eq!(table_index(v), (0xdead_beef >> 12) & 0x3ff);
+        assert_eq!(page_offset(v), 0xeef);
+        assert_eq!(page_base(v), 0xdead_b000);
+        assert_eq!(vpn(v), 0x000d_eadb);
+        // Recompose.
+        assert_eq!(
+            (dir_index(v) << 22) | (table_index(v) << 12) | page_offset(v),
+            v
+        );
+    }
+
+    #[test]
+    fn entry_roundtrip() {
+        let e = make(Frame(0x1234), PRESENT | USER | SPLIT);
+        assert_eq!(frame(e), Frame(0x1234));
+        assert_eq!(flags(e), PRESENT | USER | SPLIT);
+        assert!(has(e, PRESENT));
+        assert!(has(e, PRESENT | SPLIT));
+        assert!(!has(e, WRITABLE));
+    }
+
+    #[test]
+    fn with_frame_preserves_flags() {
+        let e = make(Frame(1), PRESENT | WRITABLE | COW);
+        let e2 = with_frame(e, Frame(99));
+        assert_eq!(frame(e2), Frame(99));
+        assert_eq!(flags(e2), PRESENT | WRITABLE | COW);
+    }
+
+    #[test]
+    fn frame_base_and_containing() {
+        assert_eq!(Frame(2).base(), 8192);
+        assert_eq!(Frame::containing(8191), Frame(1));
+        assert_eq!(Frame::containing(8192), Frame(2));
+    }
+
+    #[test]
+    fn alignment_helpers() {
+        assert_eq!(pages_for(0), 0);
+        assert_eq!(pages_for(1), 1);
+        assert_eq!(pages_for(4096), 1);
+        assert_eq!(pages_for(4097), 2);
+        assert_eq!(page_align_up(0), 0);
+        assert_eq!(page_align_up(1), 4096);
+        assert_eq!(page_align_up(4096), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "flags overlap")]
+    fn make_rejects_pfn_bits_in_flags() {
+        let _ = make(Frame(1), 0x1000);
+    }
+}

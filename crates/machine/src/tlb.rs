@@ -1,0 +1,255 @@
+//! Translation lookaside buffers.
+//!
+//! The simulator implements the two properties of real x86 TLBs that the
+//! split-memory technique depends on (paper §4.1–4.2):
+//!
+//! 1. **Split TLBs.** Instruction fetches and data accesses are served by
+//!    physically separate buffers. Nothing keeps them coherent: if the
+//!    operating system arranges for them to be filled from *different*
+//!    pagetable entries, the same virtual page translates to two different
+//!    physical frames depending on access type.
+//! 2. **Rights are cached at fill time.** A [`TlbEntry`] snapshots the
+//!    user/writable/execute-disable bits of the pagetable entry *as they were
+//!    when the walker filled the entry*. A later change to the pagetable
+//!    (e.g. re-setting the supervisor bit) does **not** affect accesses that
+//!    hit the cached entry — this is what lets the fault handler unrestrict a
+//!    PTE, touch the page to load the TLB, and restrict it again.
+//!
+//! Entries are evicted FIFO via a round-robin clock hand, which matches the
+//! pessimistic behaviour the paper assumes (any flush or capacity pressure
+//! forces a re-walk and hence a fresh page fault on restricted pages).
+
+/// One cached translation, including the rights snapshot taken at fill time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// Virtual page number this entry translates.
+    pub vpn: u32,
+    /// Physical frame number it maps to.
+    pub pfn: u32,
+    /// Snapshot of the PTE user bit: user-mode accesses allowed.
+    pub user: bool,
+    /// Snapshot of the PTE writable bit.
+    pub writable: bool,
+    /// Snapshot of the simulated execute-disable bit.
+    pub nx: bool,
+}
+
+/// Running counters for one TLB.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Lookups that found a valid entry.
+    pub hits: u64,
+    /// Lookups that missed (a hardware pagetable walk follows).
+    pub misses: u64,
+    /// Entries inserted by the walker.
+    pub fills: u64,
+    /// Whole-TLB flushes (CR3 loads).
+    pub flushes: u64,
+    /// Single-page invalidations (`invlpg`).
+    pub page_invalidations: u64,
+    /// Valid entries discarded to make room for a new fill.
+    pub evictions: u64,
+}
+
+/// A single TLB (the machine instantiates one for instructions and one for
+/// data).
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: Vec<Option<TlbEntry>>,
+    hand: usize,
+    /// Counters; reset with [`TlbStats::default`] assignment if needed.
+    pub stats: TlbStats,
+}
+
+impl Tlb {
+    /// Create a TLB with space for `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Tlb {
+        assert!(capacity > 0, "TLB capacity must be non-zero");
+        Tlb {
+            entries: vec![None; capacity],
+            hand: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Number of entry slots.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Look up a virtual page number, updating hit/miss statistics.
+    pub fn lookup(&mut self, vpn: u32) -> Option<TlbEntry> {
+        let found = self.peek(vpn);
+        if found.is_some() {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        found
+    }
+
+    /// Look up a virtual page number without touching statistics (used by
+    /// tests and by the kernel when it inspects — rather than simulates —
+    /// TLB state).
+    pub fn peek(&self, vpn: u32) -> Option<TlbEntry> {
+        self.entries
+            .iter()
+            .flatten()
+            .find(|e| e.vpn == vpn)
+            .copied()
+    }
+
+    /// Insert an entry, replacing any existing entry for the same page and
+    /// otherwise evicting FIFO.
+    pub fn fill(&mut self, entry: TlbEntry) {
+        self.stats.fills += 1;
+        if let Some(slot) = self
+            .entries
+            .iter_mut()
+            .find(|s| matches!(s, Some(e) if e.vpn == entry.vpn))
+        {
+            *slot = Some(entry);
+            return;
+        }
+        if let Some(free) = self.entries.iter_mut().find(|s| s.is_none()) {
+            *free = Some(entry);
+            return;
+        }
+        self.stats.evictions += 1;
+        self.entries[self.hand] = Some(entry);
+        self.hand = (self.hand + 1) % self.entries.len();
+    }
+
+    /// Drop every entry (a CR3 load — e.g. a context switch — does this).
+    pub fn flush_all(&mut self) {
+        self.stats.flushes += 1;
+        self.entries.iter_mut().for_each(|e| *e = None);
+    }
+
+    /// Drop any entry for `vpn` (`invlpg`). Returns whether one was present.
+    pub fn flush_page(&mut self, vpn: u32) -> bool {
+        self.stats.page_invalidations += 1;
+        self.drop_entry(vpn)
+    }
+
+    /// Drop any entry for `vpn` without counting it as a software
+    /// invalidation (hardware-initiated eviction on a rights violation).
+    pub fn drop_entry(&mut self, vpn: u32) -> bool {
+        let mut dropped = false;
+        for slot in &mut self.entries {
+            if matches!(slot, Some(e) if e.vpn == vpn) {
+                *slot = None;
+                dropped = true;
+            }
+        }
+        dropped
+    }
+
+    /// Number of currently valid entries.
+    pub fn len(&self) -> usize {
+        self.entries.iter().flatten().count()
+    }
+
+    /// True if no entry is valid.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate over the valid entries (diagnostics / assertions in tests).
+    pub fn iter(&self) -> impl Iterator<Item = &TlbEntry> {
+        self.entries.iter().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(vpn: u32, pfn: u32) -> TlbEntry {
+        TlbEntry {
+            vpn,
+            pfn,
+            user: true,
+            writable: true,
+            nx: false,
+        }
+    }
+
+    #[test]
+    fn fill_then_hit() {
+        let mut t = Tlb::new(4);
+        t.fill(entry(7, 42));
+        assert_eq!(t.lookup(7).unwrap().pfn, 42);
+        assert_eq!(t.stats.hits, 1);
+        assert_eq!(t.stats.misses, 0);
+    }
+
+    #[test]
+    fn miss_is_counted() {
+        let mut t = Tlb::new(4);
+        assert!(t.lookup(9).is_none());
+        assert_eq!(t.stats.misses, 1);
+    }
+
+    #[test]
+    fn refill_same_page_replaces_in_place() {
+        let mut t = Tlb::new(2);
+        t.fill(entry(1, 10));
+        t.fill(entry(1, 20));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(1).unwrap().pfn, 20);
+    }
+
+    #[test]
+    fn rights_snapshot_is_what_was_filled() {
+        // The core of the split-memory trick: the entry keeps the rights it
+        // was filled with even if "the pagetable" would now disagree.
+        let mut t = Tlb::new(4);
+        t.fill(TlbEntry {
+            vpn: 5,
+            pfn: 50,
+            user: true,
+            writable: false,
+            nx: false,
+        });
+        let e = t.lookup(5).unwrap();
+        assert!(e.user);
+        assert!(!e.writable);
+    }
+
+    #[test]
+    fn fifo_eviction_when_full() {
+        let mut t = Tlb::new(2);
+        t.fill(entry(1, 1));
+        t.fill(entry(2, 2));
+        t.fill(entry(3, 3)); // evicts vpn 1 (first slot, clock hand 0)
+        assert!(t.peek(1).is_none());
+        assert!(t.peek(2).is_some());
+        assert!(t.peek(3).is_some());
+        assert_eq!(t.stats.evictions, 1);
+    }
+
+    #[test]
+    fn flush_all_clears_and_counts() {
+        let mut t = Tlb::new(4);
+        t.fill(entry(1, 1));
+        t.fill(entry(2, 2));
+        t.flush_all();
+        assert!(t.is_empty());
+        assert_eq!(t.stats.flushes, 1);
+    }
+
+    #[test]
+    fn flush_page_only_drops_target() {
+        let mut t = Tlb::new(4);
+        t.fill(entry(1, 1));
+        t.fill(entry(2, 2));
+        assert!(t.flush_page(1));
+        assert!(!t.flush_page(1)); // already gone
+        assert!(t.peek(2).is_some());
+    }
+}

@@ -1,0 +1,135 @@
+//! Workload measurement plumbing.
+//!
+//! Every performance experiment in the paper reports *relative* throughput:
+//! a workload's useful work divided by the time it took, protected vs.
+//! unprotected. The runner measures simulated cycles (deterministic — no
+//! host timing noise) between "processes spawned" and "all processes
+//! exited", together with the machine/kernel counters that explain the
+//! overhead (TLB flushes, reload faults, context switches).
+
+use sm_core::setup::Protection;
+use sm_kernel::kernel::{Kernel, KernelConfig, RunExit};
+use sm_kernel::stats::KernelStats;
+use sm_machine::stats::MachineStats;
+
+/// One measured workload run.
+#[derive(Debug, Clone)]
+pub struct WorkloadResult {
+    /// Workload label (e.g. `"apache-32k"`).
+    pub name: String,
+    /// Protection label it ran under.
+    pub protection: String,
+    /// Simulated cycles consumed.
+    pub cycles: u64,
+    /// Useful work units completed (requests, bytes, iterations — the
+    /// workload defines the unit; only ratios matter).
+    pub units: u64,
+    /// Hardware counter deltas.
+    pub machine: MachineStats,
+    /// Kernel counter deltas.
+    pub kernel: KernelStats,
+    /// Peak physical frames in use (the paper's §5.1 memory-doubling
+    /// discussion).
+    pub peak_frames: u32,
+}
+
+impl WorkloadResult {
+    /// Work per cycle.
+    pub fn throughput(&self) -> f64 {
+        self.units as f64 / self.cycles as f64
+    }
+}
+
+/// Normalised performance: `this` relative to `baseline` (1.0 = no
+/// overhead; the paper's Figs. 6–9 plot exactly this).
+pub fn normalized(this: &WorkloadResult, baseline: &WorkloadResult) -> f64 {
+    this.throughput() / baseline.throughput()
+}
+
+/// Geometric mean (the Unixbench index).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of nothing");
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Kernel configuration used by all performance workloads (bigger stacks
+/// or custom quanta would just be another sensitivity axis; the paper uses
+/// one system configuration for everything).
+pub fn workload_kconfig() -> KernelConfig {
+    KernelConfig::default()
+}
+
+/// Run a prepared kernel to completion and package the measurement.
+///
+/// # Panics
+///
+/// Panics if the workload deadlocks or fails to finish within
+/// `max_cycles` — a workload bug, not a measurement outcome.
+pub fn measure(
+    mut kernel: Kernel,
+    name: impl Into<String>,
+    protection: &Protection,
+    units: u64,
+    max_cycles: u64,
+) -> WorkloadResult {
+    let name = name.into();
+    let c0 = kernel.sys.machine.cycles;
+    let m0 = kernel.sys.machine.stats;
+    let k0 = kernel.sys.stats;
+    let exit = kernel.run(max_cycles);
+    assert_eq!(
+        exit,
+        RunExit::AllExited,
+        "workload `{name}` under {} did not finish: {exit:?}",
+        protection.label()
+    );
+    // Surface guest failures loudly: a workload whose processes crashed
+    // would otherwise report nonsense cycles.
+    for p in kernel.sys.procs.values() {
+        assert_eq!(
+            p.exit_code,
+            Some(0),
+            "workload `{name}` process {} exited with {:?} (output: {})",
+            p.name,
+            p.exit_code,
+            p.output_string()
+        );
+    }
+    WorkloadResult {
+        name,
+        protection: protection.label(),
+        cycles: kernel.sys.machine.cycles - c0,
+        units,
+        machine: kernel.sys.machine.stats.since(&m0),
+        kernel: kernel.sys.stats.since(&k0),
+        peak_frames: kernel.sys.machine.phys.allocator.peak_allocated(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[4.0, 1.0]) - 2.0).abs() < 1e-9);
+        assert!((geometric_mean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_is_throughput_ratio() {
+        let mk = |cycles, units| WorkloadResult {
+            name: "t".into(),
+            protection: "p".into(),
+            cycles,
+            units,
+            machine: MachineStats::default(),
+            kernel: KernelStats::default(),
+            peak_frames: 0,
+        };
+        let base = mk(100, 10);
+        let slow = mk(200, 10);
+        assert!((normalized(&slow, &base) - 0.5).abs() < 1e-12);
+    }
+}

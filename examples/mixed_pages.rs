@@ -1,0 +1,113 @@
+//! Mixed pages: where the execute-disable bit fails and split memory
+//! doesn't (paper §2, Fig. 1b).
+//!
+//! Three demonstrations on a page holding both code and data:
+//!  1. a *legitimate* mixed-page program runs correctly under split memory
+//!     (the loader copies real code onto the code frame);
+//!  2. runtime injection into the mixed page SUCCEEDS under the NX bit —
+//!     the page must stay executable, so DEP has nothing to deny;
+//!  3. the same injection is FOILED by split memory — the injected bytes
+//!     exist only on the data frame.
+//!
+//! Run with: `cargo run -p sm-bench --example mixed_pages`
+
+use sm_core::engine::SplitMemEngine;
+use sm_core::nx::NxEngine;
+use sm_kernel::events::ResponseMode;
+use sm_kernel::kernel::{Kernel, KernelConfig};
+use sm_kernel::userlib::{BuiltProgram, ProgramBuilder};
+use sm_machine::MachineConfig;
+
+/// A JavaVM-like program: one writable+executable segment holding both its
+/// code and its data (paper: "Sun's JavaVM loads some system library pages
+/// as both writable and executable").
+fn legit_mixed_program() -> BuiltProgram {
+    ProgramBuilder::new("/bin/jvm-like")
+        .mixed_segment()
+        .code(
+            "_start:
+                mov eax, [counter]
+                add eax, 41
+                inc eax
+                mov [counter], eax
+                mov ebx, eax          ; exit 42 if arithmetic worked
+                call exit
+            counter: .word 0",
+        )
+        .build()
+        .expect("assembles")
+}
+
+/// The same shape, but it copies bytes into a buffer *on the mixed page*
+/// at runtime and jumps to them — the injection NX cannot stop.
+fn injecting_mixed_program() -> BuiltProgram {
+    ProgramBuilder::new("/bin/jvm-pwned")
+        .mixed_segment()
+        .code(
+            "_start:
+                mov edi, buf
+                mov esi, payload
+                mov ecx, 12
+                call memcpy
+                mov eax, buf
+                jmp eax
+            ; exit(99) payload, arriving at buf as DATA WRITES
+            payload: .byte 0xbb, 0x63, 0x00, 0x00, 0x00, 0xb8, 0x01, 0x00, 0x00, 0x00, 0xcd, 0x80
+            buf: .space 16",
+        )
+        .build()
+        .expect("assembles")
+}
+
+fn nx_kernel() -> Kernel {
+    Kernel::new(
+        MachineConfig {
+            nx_enabled: true,
+            ..MachineConfig::default()
+        },
+        KernelConfig::default(),
+        Box::new(NxEngine::new()),
+    )
+}
+
+fn split_kernel() -> Kernel {
+    Kernel::with_engine(Box::new(SplitMemEngine::stand_alone(ResponseMode::Break)))
+}
+
+fn run(mut k: Kernel, prog: &BuiltProgram) -> (Option<i32>, bool) {
+    let pid = k.spawn(&prog.image).expect("spawn");
+    k.run(20_000_000);
+    (
+        k.sys.proc(pid).exit_code,
+        k.sys.events.first_detection().is_some(),
+    )
+}
+
+fn main() {
+    println!("mixed code+data pages: NX vs split memory\n");
+
+    println!("1. legitimate mixed-page program under split memory:");
+    let (code, detected) = run(split_kernel(), &legit_mixed_program());
+    println!("   exit status {code:?}, detections: {detected}");
+    assert_eq!(code, Some(42), "legit mixed-page code must still run");
+    assert!(!detected);
+    println!("   -> runs correctly: the loader put the real code on the code frame\n");
+
+    println!("2. runtime injection into the mixed page, NX bit only:");
+    let (code, _) = run(nx_kernel(), &injecting_mixed_program());
+    println!("   exit status {code:?}");
+    assert_eq!(
+        code,
+        Some(99),
+        "NX cannot protect a page that must stay executable"
+    );
+    println!("   -> ATTACK SUCCEEDS: the page is executable, DEP has nothing to deny\n");
+
+    println!("3. the same injection under split memory:");
+    let (code, detected) = run(split_kernel(), &injecting_mixed_program());
+    println!("   exit status {code:?}, detections: {detected}");
+    assert_ne!(code, Some(99));
+    assert!(detected);
+    println!("   -> FOILED: the written bytes live on the data frame; the fetch");
+    println!("      found the loader's copy of the page (which has no code there)");
+}
