@@ -3,9 +3,7 @@
 //! Used by the forensics response mode to render captured shellcode (the
 //! paper's Fig. 5c shows exactly such a dump) and by debugging helpers.
 
-use sm_machine::isa::{
-    decode_slice, AluOp, Decoded, Dir, Grp5Op, Insn, Rm, ShiftCount, UnOp,
-};
+use sm_machine::isa::{decode_slice, AluOp, Decoded, Dir, Grp5Op, Insn, Rm, ShiftCount, UnOp};
 
 /// One disassembled line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,7 +19,13 @@ pub struct DisLine {
 impl std::fmt::Display for DisLine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let hex: Vec<String> = self.bytes.iter().map(|b| format!("{b:02x}")).collect();
-        write!(f, "{:#010x}:  {:<24} {}", self.addr, hex.join(" "), self.text)
+        write!(
+            f,
+            "{:#010x}:  {:<24} {}",
+            self.addr,
+            hex.join(" "),
+            self.text
+        )
     }
 }
 
@@ -49,9 +53,8 @@ fn byte_rm_str(rm: &Rm) -> String {
 }
 
 fn format_insn_at(insn: &Insn, addr: u32, len: u32) -> String {
-    let target = |rel: i32| -> String {
-        format!("{:#x}", addr.wrapping_add(len).wrapping_add(rel as u32))
-    };
+    let target =
+        |rel: i32| -> String { format!("{:#x}", addr.wrapping_add(len).wrapping_add(rel as u32)) };
     match insn {
         Insn::Nop => "nop".into(),
         Insn::Hlt => "hlt".into(),

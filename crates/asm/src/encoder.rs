@@ -53,9 +53,7 @@ pub fn assemble(src: &str, base: u32) -> Result<AsmOutput, AsmError> {
                 }
             }
             Stmt::Equ(name, e) => {
-                let v = e
-                    .eval(&syms)
-                    .map_err(|m| AsmError::new(line.no, m))?;
+                let v = e.eval(&syms).map_err(|m| AsmError::new(line.no, m))?;
                 if syms.insert(name.clone(), v).is_some() {
                     return Err(AsmError::new(line.no, format!("duplicate symbol `{name}`")));
                 }
@@ -73,10 +71,7 @@ pub fn assemble(src: &str, base: u32) -> Result<AsmOutput, AsmError> {
         debug_assert_eq!(base + bytes.len() as u32, at);
         encode_stmt(&line.stmt, at, &syms, line.no, &mut bytes, true)?;
     }
-    let symbols = syms
-        .into_iter()
-        .map(|(k, v)| (k, v as u32))
-        .collect();
+    let symbols = syms.into_iter().map(|(k, v)| (k, v as u32)).collect();
     Ok(AsmOutput { bytes, symbols })
 }
 
@@ -93,7 +88,12 @@ fn stmt_size(
 
 /// Resolve an expression; in the sizing pass unknown symbols read as 0
 /// (widths never depend on symbol values, only on whether one is present).
-fn resolve(e: &Expr, syms: &HashMap<String, i64>, no: usize, strict: bool) -> Result<i64, AsmError> {
+fn resolve(
+    e: &Expr,
+    syms: &HashMap<String, i64>,
+    no: usize,
+    strict: bool,
+) -> Result<i64, AsmError> {
     match e.eval(syms) {
         Ok(v) => Ok(v),
         Err(m) if strict => Err(AsmError::new(no, m)),
@@ -375,7 +375,10 @@ fn encode_insn(
         }
         ("mov", [Operand::Reg(dst), m @ Operand::Mem { size, .. }]) => {
             if *size == Some(OpSize::Byte) {
-                return Err(AsmError::new(no, "use a byte register or movzx for byte loads"));
+                return Err(AsmError::new(
+                    no,
+                    "use a byte register or movzx for byte loads",
+                ));
             }
             let (rm, _) = as_rm(m, no)?;
             out.push(0x8B);

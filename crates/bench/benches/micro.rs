@@ -118,9 +118,8 @@ fn bench_split(c: &mut Criterion) {
     g.bench_function("run_program_split_memory", |b| {
         b.iter_batched(
             || {
-                let mut k = Kernel::with_engine(Box::new(SplitMemEngine::new(
-                    SplitMemConfig::default(),
-                )));
+                let mut k =
+                    Kernel::with_engine(Box::new(SplitMemEngine::new(SplitMemConfig::default())));
                 k.spawn(&prog.image).unwrap();
                 k
             },
@@ -139,9 +138,7 @@ fn bench_attack(c: &mut Criterion) {
             technique: sm_attacks::wilander::Technique::ReturnAddress,
             location: sm_attacks::wilander::InjectLocation::Stack,
         };
-        b.iter(|| {
-            sm_attacks::wilander::run_case(case, &Protection::SplitMem(ResponseMode::Break))
-        });
+        b.iter(|| sm_attacks::wilander::run_case(case, &Protection::SplitMem(ResponseMode::Break)));
     });
     g.finish();
 }

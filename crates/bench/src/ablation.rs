@@ -156,8 +156,14 @@ pub fn render_all(
 ) -> String {
     let mut out = render(itlb, sens);
     out.push_str("\nsoftware-loaded-TLB port (paper §4.7, pipe-ctxsw normalized):\n");
-    out.push_str(&format!("  x86 (hardware walk + single-step):  {:.3}\n", soft.x86));
-    out.push_str(&format!("  SPARC-style (direct kernel fills):  {:.3}\n", soft.soft_tlb));
+    out.push_str(&format!(
+        "  x86 (hardware walk + single-step):  {:.3}\n",
+        soft.x86
+    ));
+    out.push_str(&format!(
+        "  SPARC-style (direct kernel fills):  {:.3}\n",
+        soft.soft_tlb
+    ));
     out.push_str("  paper: \"the performance overhead imposed on such a system would be\n  noticeably lower\"\n");
     out
 }

@@ -1,0 +1,347 @@
+//! Deterministic fault-injection ("chaos") sweep.
+//!
+//! The split-memory protection must not *depend* on TLB residency, timing,
+//! or allocation luck: spurious flushes, seeded evictions, forced
+//! preemptions and frame exhaustion are exactly the events real hardware
+//! produces at arbitrary points (context switches, shootdowns, capacity
+//! pressure, memory pressure). This module sweeps seeds × fault plans ×
+//! scenarios and demands:
+//!
+//! * **verdict stability** — under every *perturbation* plan (flushes,
+//!   evictions, preemptions, window faults) the outcome is byte-identical
+//!   to the fault-free run: attacks stay foiled, benign programs exit with
+//!   the same status;
+//! * **graceful OOM** — under frame-exhaustion plans the kernel never
+//!   panics: processes die cleanly (SIGKILL semantics) or pages degrade to
+//!   execute-disable-only protection, and attacks still never succeed
+//!   (OOM plans run under combined mode, where NX backstops degraded
+//!   pages);
+//! * **invariants hold** — [`sm_core::invariants::check`] passes between
+//!   every execution slice of every run.
+
+use sm_attacks::harness::{classify_marker, kernel_with, AttackOutcome};
+use sm_attacks::wilander::{self, Case, MARKER};
+use sm_core::invariants::{self, Violation};
+use sm_core::setup::Protection;
+use sm_kernel::kernel::{KernelConfig, RunExit};
+use sm_kernel::userlib::{BuiltProgram, ProgramBuilder};
+use sm_machine::chaos::FaultPlan;
+
+/// A fault plan with a human-readable name for reports.
+#[derive(Debug, Clone, Copy)]
+pub struct NamedPlan {
+    /// Label used in reports and mismatch messages.
+    pub name: &'static str,
+    /// The plan itself.
+    pub plan: FaultPlan,
+}
+
+/// The perturbation plans (no OOM): every one of these must leave
+/// protection verdicts byte-identical to the fault-free run.
+pub fn perturbation_plans(seed: u64) -> Vec<NamedPlan> {
+    let base = FaultPlan {
+        seed,
+        ..FaultPlan::default()
+    };
+    vec![
+        NamedPlan {
+            name: "inert",
+            plan: base,
+        },
+        NamedPlan {
+            name: "flush-97",
+            plan: FaultPlan {
+                flush_every: Some(97),
+                ..base
+            },
+        },
+        NamedPlan {
+            name: "evict-13",
+            plan: FaultPlan {
+                evict_every: Some(13),
+                ..base
+            },
+        },
+        NamedPlan {
+            name: "preempt-53",
+            plan: FaultPlan {
+                preempt_every: Some(53),
+                ..base
+            },
+        },
+        NamedPlan {
+            name: "window-flush",
+            plan: FaultPlan {
+                flush_in_window: true,
+                ..base
+            },
+        },
+        NamedPlan {
+            name: "window-signal",
+            plan: FaultPlan {
+                signal_in_window: true,
+                ..base
+            },
+        },
+        NamedPlan {
+            name: "kitchen-sink",
+            plan: FaultPlan {
+                flush_every: Some(101),
+                evict_every: Some(17),
+                preempt_every: Some(29),
+                flush_in_window: true,
+                ..base
+            },
+        },
+    ]
+}
+
+/// Frame-exhaustion plans: the k-th allocation (and optionally every n-th
+/// after it) fails. Verdicts may legitimately change (processes die
+/// cleanly, pages degrade) but attacks must never succeed and the kernel
+/// must never panic.
+pub fn oom_plans(seed: u64) -> Vec<NamedPlan> {
+    let base = FaultPlan {
+        seed,
+        ..FaultPlan::default()
+    };
+    vec![
+        NamedPlan {
+            name: "oom-at-5",
+            plan: FaultPlan {
+                oom_at: Some(5),
+                ..base
+            },
+        },
+        NamedPlan {
+            name: "oom-at-40",
+            plan: FaultPlan {
+                oom_at: Some(40),
+                ..base
+            },
+        },
+        NamedPlan {
+            name: "oom-at-90",
+            plan: FaultPlan {
+                oom_at: Some(90),
+                ..base
+            },
+        },
+        NamedPlan {
+            name: "oom-at-40-every-7",
+            plan: FaultPlan {
+                oom_at: Some(40),
+                oom_every_after: Some(7),
+                ..base
+            },
+        },
+    ]
+}
+
+/// What to run under a fault plan.
+#[derive(Debug, Clone, Copy)]
+pub enum Scenario {
+    /// One cell of the Wilander-style injection matrix; the verdict is the
+    /// [`AttackOutcome`].
+    Wilander(Case),
+    /// A benign compute loop (writes data on split pages every iteration);
+    /// the verdict is its exit status.
+    Benign,
+    /// A benign *mixed-segment* self-patching program: every store to its
+    /// own page crosses the Algorithm-1 single-step machinery; under split
+    /// memory the patch must silently NOT take effect (paper §7), under
+    /// any fault plan whatsoever.
+    MixedPatch,
+}
+
+impl Scenario {
+    /// Report label.
+    pub fn name(&self) -> String {
+        match self {
+            Scenario::Wilander(c) => format!("wilander-{:?}-{:?}", c.technique, c.location),
+            Scenario::Benign => "benign".into(),
+            Scenario::MixedPatch => "mixed-patch".into(),
+        }
+    }
+}
+
+fn benign_program() -> BuiltProgram {
+    ProgramBuilder::new("/bin/benign")
+        .code(
+            "_start:
+                mov ecx, 40
+            top:
+                mov [counter], ecx
+                mov eax, [counter]
+                cmp eax, 0
+                je done
+                dec ecx
+                jmp top
+            done:
+                mov ebx, 0
+                call exit",
+        )
+        .data("counter: .word 0")
+        .build()
+        .expect("benign program assembles")
+}
+
+fn mixed_patch_program() -> BuiltProgram {
+    // The limitations.rs single-step-window shape: a mixed page whose
+    // store targets its own page. Under split memory the store lands on
+    // the data frame, the fetch keeps seeing `mov ebx, 9`.
+    ProgramBuilder::new("/bin/mixedpatch")
+        .mixed_segment()
+        .code(
+            "_start:
+                nop
+                mov byte [patchsite+1], 7
+            patchsite:
+                mov ebx, 9
+                call exit",
+        )
+        .build()
+        .expect("mixed-patch program assembles")
+}
+
+/// Outcome of one `(scenario, plan)` run.
+#[derive(Debug, Clone)]
+pub struct ChaosRun {
+    /// Compact verdict label (compared across plans for stability).
+    pub verdict: String,
+    /// True if the attacker got code execution (always false for benign
+    /// scenarios).
+    pub attack_succeeded: bool,
+    /// How the kernel run ended.
+    pub exit: RunExit,
+    /// Invariant violations observed between slices (must be empty).
+    pub violations: Vec<Violation>,
+}
+
+/// Run one scenario under one plan, checking invariants between slices.
+pub fn run_scenario(scenario: Scenario, protection: &Protection, plan: FaultPlan) -> ChaosRun {
+    let kconfig = KernelConfig {
+        aslr_stack: false,
+        chaos: plan,
+        ..KernelConfig::default()
+    };
+    let mut k = kernel_with(protection, kconfig);
+    let (image, marker) = match scenario {
+        Scenario::Wilander(case) => (
+            wilander::build_case(case).expect("applicable case").image,
+            Some(MARKER),
+        ),
+        Scenario::Benign => (benign_program().image, None),
+        Scenario::MixedPatch => (mixed_patch_program().image, None),
+    };
+    let pid = match k.spawn(&image) {
+        Ok(pid) => pid,
+        Err(sm_kernel::kernel::SpawnError::OutOfMemory) => {
+            // A clean refusal at load time is a legitimate OOM-plan
+            // outcome: nothing ran, nothing leaked.
+            return ChaosRun {
+                verdict: "spawn-oom".into(),
+                attack_succeeded: false,
+                exit: RunExit::AllExited,
+                violations: invariants::check(&k),
+            };
+        }
+        Err(e) => panic!("spawn failed: {e:?}"),
+    };
+    let (exit, violations) = invariants::run_with_checks(&mut k, 80_000_000, 100_000);
+    let (verdict, attack_succeeded) = match marker {
+        Some(m) => {
+            let outcome = classify_marker(&k, pid, m);
+            let label = match &outcome {
+                AttackOutcome::ShellSpawned => "shell".to_string(),
+                AttackOutcome::PayloadExecuted => "payload".to_string(),
+                AttackOutcome::Foiled { detected } => format!("foiled(detected={detected})"),
+            };
+            (label, outcome.succeeded())
+        }
+        None => (
+            format!(
+                "exit={:?}",
+                k.sys.procs.get(&pid.0).and_then(|p| p.exit_code)
+            ),
+            false,
+        ),
+    };
+    ChaosRun {
+        verdict,
+        attack_succeeded,
+        exit,
+        violations,
+    }
+}
+
+/// One line of a sweep report.
+#[derive(Debug, Clone)]
+pub struct ComboResult {
+    /// Scenario label.
+    pub scenario: String,
+    /// Plan label.
+    pub plan: &'static str,
+    /// Plan seed.
+    pub seed: u64,
+    /// The run itself.
+    pub run: ChaosRun,
+    /// The fault-free verdict this combo was compared against.
+    pub baseline: String,
+    /// `verdict == baseline` (only enforced for perturbation plans).
+    pub verdict_stable: bool,
+}
+
+/// Sweep `seeds × perturbation_plans × scenarios` under `protection`,
+/// comparing every verdict to the fault-free baseline, then run the OOM
+/// plans under combined mode (NX backstops degraded pages) demanding
+/// attacks never succeed. Returns every combo result; the caller asserts.
+pub fn sweep(seeds: &[u64], scenarios: &[Scenario], protection: &Protection) -> Vec<ComboResult> {
+    let mut out = Vec::new();
+    for &scenario in scenarios {
+        let baseline = run_scenario(scenario, protection, FaultPlan::default());
+        for &seed in seeds {
+            for np in perturbation_plans(seed) {
+                let run = run_scenario(scenario, protection, np.plan);
+                let stable = run.verdict == baseline.verdict;
+                out.push(ComboResult {
+                    scenario: scenario.name(),
+                    plan: np.name,
+                    seed,
+                    verdict_stable: stable,
+                    baseline: baseline.verdict.clone(),
+                    run,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Sweep the OOM plans. Verdicts may change; attack success and invariant
+/// violations may not. Runs under the given protection (use combined mode
+/// so the execute-disable bit backstops degraded pages).
+pub fn sweep_oom(
+    seeds: &[u64],
+    scenarios: &[Scenario],
+    protection: &Protection,
+) -> Vec<ComboResult> {
+    let mut out = Vec::new();
+    for &scenario in scenarios {
+        let baseline = run_scenario(scenario, protection, FaultPlan::default());
+        for &seed in seeds {
+            for np in oom_plans(seed) {
+                let run = run_scenario(scenario, protection, np.plan);
+                out.push(ComboResult {
+                    scenario: scenario.name(),
+                    plan: np.name,
+                    seed,
+                    verdict_stable: true, // not enforced for OOM plans
+                    baseline: baseline.verdict.clone(),
+                    run,
+                });
+            }
+        }
+    }
+    out
+}

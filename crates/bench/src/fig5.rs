@@ -54,8 +54,7 @@ pub fn run() -> Fig5 {
         honeypot_on_detect: true,
         ..SplitMemConfig::default()
     };
-    let (observe_report, mut k, conn) =
-        run_wuftpd_with(&Protection::SplitMemCustom(observe_cfg));
+    let (observe_report, mut k, conn) = run_wuftpd_with(&Protection::SplitMemCustom(observe_cfg));
     let observe_transcript = match (&observe_report.outcome, conn) {
         (AttackOutcome::ShellSpawned, Some(c)) => {
             // The report already drove `id`/`whoami`; type some more for the
@@ -118,14 +117,10 @@ pub fn run() -> Fig5 {
         ..SplitMemConfig::default()
     };
     let (_, ks, _) = run_wuftpd_with(&Protection::SplitMemCustom(subst_cfg));
-    let forensic_substitution_exit = ks
-        .sys
-        .events
-        .iter()
-        .find_map(|e| match e {
-            Event::ProcessExit { code, .. } => Some(*code),
-            _ => None,
-        });
+    let forensic_substitution_exit = ks.sys.events.iter().find_map(|e| match e {
+        Event::ProcessExit { code, .. } => Some(*code),
+        _ => None,
+    });
 
     Fig5 {
         break_outcome: break_report.outcome,

@@ -57,11 +57,7 @@ pub fn render(bars: &[Bar]) -> String {
             ]
         })
         .collect();
-    let table = crate::report::render_table(
-        &["stress test", "measured", "ctx switches / unit"],
-        &rows,
-    );
-    format!(
-        "{table}\npaper: both stress tests at or below 0.50 of unprotected speed\n"
-    )
+    let table =
+        crate::report::render_table(&["stress test", "measured", "ctx switches / unit"], &rows);
+    format!("{table}\npaper: both stress tests at or below 0.50 of unprotected speed\n")
 }

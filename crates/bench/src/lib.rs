@@ -17,6 +17,7 @@
 //! Run everything with `cargo run --release -p sm-bench --bin all_experiments`.
 
 pub mod ablation;
+pub mod chaos;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;

@@ -68,7 +68,12 @@ pub fn render(rows: &[MemoryRow]) -> String {
         })
         .collect();
     let table = crate::report::render_table(
-        &["configuration", "peak frames", "memory vs base", "perf vs base"],
+        &[
+            "configuration",
+            "peak frames",
+            "memory vs base",
+            "perf vs base",
+        ],
         &body,
     );
     format!(

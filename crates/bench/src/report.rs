@@ -49,10 +49,7 @@ pub fn render_series(title: &str, xlabel: &str, points: &[(String, f64)]) -> Str
         .max(xlabel.len());
     for (x, y) in points {
         let bar_len = (y.clamp(0.0, 1.0) * 40.0).round() as usize;
-        out.push_str(&format!(
-            "  {x:<wx$}  {y:>6.3}  {}\n",
-            "#".repeat(bar_len)
-        ));
+        out.push_str(&format!("  {x:<wx$}  {y:>6.3}  {}\n", "#".repeat(bar_len)));
     }
     out
 }
@@ -79,11 +76,7 @@ mod tests {
 
     #[test]
     fn series_bars_scale() {
-        let s = render_series(
-            "fig",
-            "x",
-            &[("1k".into(), 0.5), ("32k".into(), 1.0)],
-        );
+        let s = render_series("fig", "x", &[("1k".into(), 0.5), ("32k".into(), 1.0)]);
         let half = s.lines().nth(1).unwrap().matches('#').count();
         let full = s.lines().nth(2).unwrap().matches('#').count();
         assert_eq!(half, 20);

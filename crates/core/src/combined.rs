@@ -85,7 +85,12 @@ impl ProtectionEngine for CombinedEngine {
         self.nx_mark(sys, pid, vaddr, vaddr + 1);
     }
 
-    fn on_protection_fault(&mut self, sys: &mut System, pid: Pid, pf: PageFaultInfo) -> FaultOutcome {
+    fn on_protection_fault(
+        &mut self,
+        sys: &mut System,
+        pid: Pid,
+        pf: PageFaultInfo,
+    ) -> FaultOutcome {
         match self.split.on_protection_fault(sys, pid, pf) {
             FaultOutcome::Handled => FaultOutcome::Handled,
             FaultOutcome::Unhandled => self.nx.detect(sys, pid, pf),
@@ -116,7 +121,12 @@ impl ProtectionEngine for CombinedEngine {
         self.split.on_teardown(sys, pid);
     }
 
-    fn verify_library(&mut self, sys: &mut System, pid: Pid, image: &ExecImage) -> Result<(), String> {
+    fn verify_library(
+        &mut self,
+        sys: &mut System,
+        pid: Pid,
+        image: &ExecImage,
+    ) -> Result<(), String> {
         self.split.verify_library(sys, pid, image)
     }
 

@@ -13,9 +13,10 @@
 //! * fork/COW/teardown integration (§5.4), signal-trampoline support
 //!   (§5.5) and DigSig-style library verification (§4.3).
 
-use crate::split::{page_is_executable, page_is_mixed, SplitPages, SplitPolicy, SplitStats, SplitTable};
+use crate::split::{
+    page_is_executable, page_is_mixed, SplitPages, SplitPolicy, SplitStats, SplitTable,
+};
 use crate::verify::Verifier;
-use rand::Rng;
 use sm_kernel::engine::{FaultOutcome, ProtectionEngine, UdOutcome};
 use sm_kernel::events::{Event, ResponseMode};
 use sm_kernel::image::ExecImage;
@@ -23,8 +24,30 @@ use sm_kernel::kernel::System;
 use sm_kernel::process::Pid;
 use sm_machine::cpu::{flags, Access, PageFaultInfo};
 use sm_machine::isa::SPLIT_FILL_OPCODE;
+use sm_machine::phys::OutOfFrames;
 use sm_machine::pte::{self, Frame, PAGE_SIZE};
 use std::collections::HashMap;
+use std::fmt;
+
+/// Why an engine operation could not complete. The engine never panics on
+/// these: every caller either degrades the page's protection or lets the
+/// kernel terminate the offending process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// The page is not (or no longer) split.
+    NotSplit,
+    /// Physical frame allocation failed.
+    OutOfMemory,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EngineError::NotSplit => "page is not split",
+            EngineError::OutOfMemory => "out of physical frames",
+        })
+    }
+}
 
 /// How the instruction-TLB is reloaded on a code fault (paper §4.2.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -152,12 +175,19 @@ impl SplitMemEngine {
             return false;
         }
         let data_frame = pte::frame(entry);
-        let code_frame = if page_is_executable(sys, pid, base) {
+        let executable = page_is_executable(sys, pid, base);
+        let code_frame = if executable {
             // Executable content must be snapshotted now, before any data
             // write can diverge the halves.
             let cost = sys.machine.config.costs.cow_copy;
             sys.charge(cost);
-            Some(sys.alloc_copy(data_frame))
+            match sys.alloc_copy(data_frame) {
+                Ok(f) => Some(f),
+                Err(OutOfFrames) => {
+                    self.degrade_unsplit(sys, pid, base, true, "splitting executable page");
+                    return false;
+                }
+            }
         } else if self.config.lazy_code_frames {
             // §5.1 optimisation: defer the second frame until an
             // instruction fetch actually needs it.
@@ -168,7 +198,13 @@ impl SplitMemEngine {
             // the original page is copied").
             let cost = sys.machine.config.costs.cow_copy;
             sys.charge(cost);
-            Some(self.fresh_filler_frame(sys))
+            match self.fresh_filler_frame(sys) {
+                Ok(f) => Some(f),
+                Err(OutOfFrames) => {
+                    self.degrade_unsplit(sys, pid, base, false, "splitting data page");
+                    return false;
+                }
+            }
         };
         let new_entry = (entry & !pte::USER) | pte::SPLIT;
         sys.set_pte(pid, base, new_entry);
@@ -178,6 +214,9 @@ impl SplitMemEngine {
             SplitPages {
                 code: code_frame,
                 data: data_frame,
+                // Executable snapshots hold real instructions; everything
+                // else holds (or will lazily hold) pristine filler.
+                filler: !executable,
             },
         );
         self.stats.pages_split += 1;
@@ -186,34 +225,90 @@ impl SplitMemEngine {
 
     /// Allocate a filler code frame whose content encodes the response
     /// mode (zeros for break, invalid-opcode filler otherwise — §4.5.2).
-    fn fresh_filler_frame(&self, sys: &mut System) -> Frame {
-        let f = sys.alloc_zeroed();
+    fn fresh_filler_frame(&self, sys: &mut System) -> Result<Frame, OutOfFrames> {
+        let f = sys.alloc_zeroed()?;
         if self.config.response != ResponseMode::Break {
             sys.machine.phys.fill_frame(f, SPLIT_FILL_OPCODE);
         }
-        f
+        Ok(f)
     }
 
     /// The code half of a split page, materialising it on first use under
     /// the lazy policy.
-    fn code_frame(&mut self, sys: &mut System, pid: Pid, vpn: u32) -> Frame {
+    fn code_frame(&mut self, sys: &mut System, pid: Pid, vpn: u32) -> Result<Frame, EngineError> {
         let sp = self
             .tables
             .get(&pid.0)
             .and_then(|t| t.get(vpn))
-            .expect("caller verified the page is split");
+            .ok_or(EngineError::NotSplit)?;
         if let Some(c) = sp.code {
-            return c;
+            return Ok(c);
         }
-        let f = self.fresh_filler_frame(sys);
+        let f = self
+            .fresh_filler_frame(sys)
+            .map_err(|OutOfFrames| EngineError::OutOfMemory)?;
         let cost = sys.machine.config.costs.demand_page;
         sys.charge(cost);
         self.stats.lazy_materializations += 1;
-        self.tables
-            .get_mut(&pid.0)
-            .expect("checked")
-            .set_code_frame(vpn, Some(f));
-        f
+        if let Some(t) = self.tables.get_mut(&pid.0) {
+            t.set_code_frame(vpn, Some(f));
+        }
+        Ok(f)
+    }
+
+    /// Out-of-memory fallback while *creating* a split: leave the page
+    /// unsplit and mark non-executable pages no-execute instead, so the
+    /// execute-disable bit (where the machine honours it) still blocks
+    /// injected fetches. Executable pages must stay runnable and are left
+    /// unprotected. Logged, counted, never a panic.
+    fn degrade_unsplit(
+        &mut self,
+        sys: &mut System,
+        pid: Pid,
+        base: u32,
+        executable: bool,
+        reason: &'static str,
+    ) {
+        if !executable {
+            let entry = sys.pte_of(pid, base);
+            sys.set_pte(pid, base, entry | pte::NX);
+            sys.machine.invlpg(base);
+        }
+        self.stats.oom_degraded += 1;
+        sys.log(Event::SplitDegraded {
+            pid,
+            vaddr: base,
+            reason,
+        });
+    }
+
+    /// Out-of-memory fallback on an *already split* page (lazy code-frame
+    /// materialisation, COW duplication): unsplit it — drop the table
+    /// entry, restore a user-accessible PTE (keeping whatever frame the
+    /// kernel left there, which is the data half at rest), release the code
+    /// half, and fall back to the execute-disable bit for non-executable
+    /// pages. Logged, counted, never a panic.
+    fn degrade_page(&mut self, sys: &mut System, pid: Pid, vpn: u32, reason: &'static str) {
+        let Some(sp) = self.tables.get_mut(&pid.0).and_then(|t| t.remove(vpn)) else {
+            return;
+        };
+        let base = vpn << pte::PAGE_SHIFT;
+        let entry = sys.pte_of(pid, base);
+        let mut unlocked = (entry | pte::USER) & !pte::SPLIT;
+        if !page_is_executable(sys, pid, base) {
+            unlocked |= pte::NX;
+        }
+        sys.set_pte(pid, base, unlocked);
+        sys.machine.invlpg(base);
+        if let Some(c) = sp.code {
+            sys.release_frame(c);
+        }
+        self.stats.oom_degraded += 1;
+        sys.log(Event::SplitDegraded {
+            pid,
+            vaddr: base,
+            reason,
+        });
     }
 
     /// Apply the splitting policy to every present page of `[start, end)`.
@@ -326,7 +421,12 @@ impl ProtectionEngine for SplitMemEngine {
     /// counter; the simulator reports the access type directly, which is
     /// the same signal without the corner case of an instruction that
     /// *reads* its own address.
-    fn on_protection_fault(&mut self, sys: &mut System, pid: Pid, pf: PageFaultInfo) -> FaultOutcome {
+    fn on_protection_fault(
+        &mut self,
+        sys: &mut System,
+        pid: Pid,
+        pf: PageFaultInfo,
+    ) -> FaultOutcome {
         let vpn = pte::vpn(pf.addr);
         let base = pte::page_base(pf.addr);
         let Some(sp) = self.tables.get(&pid.0).and_then(|t| t.get(vpn)) else {
@@ -348,7 +448,12 @@ impl ProtectionEngine for SplitMemEngine {
                 Access::Fetch => {
                     sys.charge(fill_cost);
                     self.stats.code_reloads += 1;
-                    let code = self.code_frame(sys, pid, vpn);
+                    let Ok(code) = self.code_frame(sys, pid, vpn) else {
+                        // No frame for the code half: degrade the page and
+                        // let the retry walk the now-unsplit PTE.
+                        self.degrade_page(sys, pid, vpn, "materialising code frame");
+                        return FaultOutcome::Handled;
+                    };
                     sys.machine.fill_itlb(sm_machine::tlb::TlbEntry {
                         vpn,
                         pfn: code.0,
@@ -376,7 +481,13 @@ impl ProtectionEngine for SplitMemEngine {
                 let cost = sys.machine.config.costs.split_code_reload;
                 sys.charge(cost);
                 self.stats.code_reloads += 1;
-                let code = self.code_frame(sys, pid, vpn);
+                let Ok(code) = self.code_frame(sys, pid, vpn) else {
+                    // No frame for the code half: degrade the page and let
+                    // the retried fetch walk the now-unsplit PTE (where the
+                    // execute-disable bit, if honoured, still blocks it).
+                    self.degrade_page(sys, pid, vpn, "materialising code frame");
+                    return FaultOutcome::Handled;
+                };
                 let reload = pte::with_frame(entry | pte::USER, code);
                 sys.set_pte(pid, base, reload);
                 match self.config.itlb_load {
@@ -403,11 +514,7 @@ impl ProtectionEngine for SplitMemEngine {
                         // data half (as the debug handler does for the
                         // single-step loader) so kernel copies, COW and
                         // teardown see a consistent mapping.
-                        sys.set_pte(
-                            pid,
-                            base,
-                            pte::with_frame(reload & !pte::USER, sp.data),
-                        );
+                        sys.set_pte(pid, base, pte::with_frame(reload & !pte::USER, sp.data));
                     }
                 }
                 FaultOutcome::Handled
@@ -550,8 +657,16 @@ impl ProtectionEngine for SplitMemEngine {
                         // code page being executed from and point EIP at
                         // the start of the page.
                         let n = code.len().min(PAGE_SIZE as usize);
-                        let frame = self.code_frame(sys, pid, vpn);
+                        let Ok(frame) = self.code_frame(sys, pid, vpn) else {
+                            // Cannot materialise a frame to plant the
+                            // forensic payload on: fall back to terminating
+                            // the compromised process.
+                            return UdOutcome::Terminate;
+                        };
                         sys.machine.phys.write(frame.base(), &code[..n]);
+                        if let Some(t) = self.tables.get_mut(&pid.0) {
+                            t.set_filler(vpn, false);
+                        }
                         sys.machine.cpu.regs.eip = pte::page_base(eip);
                         // The I-TLB already maps the code frame; execution
                         // resumes directly in the forensic payload.
@@ -573,14 +688,28 @@ impl ProtectionEngine for SplitMemEngine {
         }
         // The kernel duplicated the data half; duplicate the code half so
         // the processes stop sharing it too (paper §5.4's COW update).
-        let new_code = sp.code.map(|c| {
-            let copy = sys.alloc_copy(c);
-            sys.release_frame(c);
-            copy
-        });
-        let table = self.tables.get_mut(&pid.0).expect("checked above");
-        table.set_data_frame(vpn, new_frame);
-        table.set_code_frame(vpn, new_code);
+        let new_code = match sp.code {
+            None => None,
+            Some(c) => match sys.alloc_copy(c) {
+                Ok(copy) => {
+                    sys.release_frame(c);
+                    Some(copy)
+                }
+                Err(OutOfFrames) => {
+                    // Cannot duplicate the code half: degrade this page in
+                    // the writing process rather than panic. The kernel has
+                    // already pointed the PTE at `new_frame`, so dropping
+                    // the split (and this process's reference to the shared
+                    // code half) leaves a consistent, unprotected page.
+                    self.degrade_page(sys, pid, vpn, "cow code-half copy");
+                    return;
+                }
+            },
+        };
+        if let Some(table) = self.tables.get_mut(&pid.0) {
+            table.set_data_frame(vpn, new_frame);
+            table.set_code_frame(vpn, new_code);
+        }
         self.stats.cow_splits += 1;
     }
 
@@ -605,7 +734,12 @@ impl ProtectionEngine for SplitMemEngine {
         self.release_range(sys, pid, None);
     }
 
-    fn verify_library(&mut self, _sys: &mut System, _pid: Pid, image: &ExecImage) -> Result<(), String> {
+    fn verify_library(
+        &mut self,
+        _sys: &mut System,
+        _pid: Pid,
+        image: &ExecImage,
+    ) -> Result<(), String> {
         match &self.config.verifier {
             Some(v) => v.verify(image).map_err(|e| e.to_string()),
             None => Ok(()),
@@ -635,10 +769,23 @@ impl ProtectionEngine for SplitMemEngine {
                 .get(&pid.0)
                 .is_some_and(|t| t.get(vpn).is_some())
             {
-                let code = self.code_frame(sys, pid, vpn);
-                sys.machine
-                    .phys
-                    .write_u8(code.base() + pte::page_offset(a), *b);
+                match self.code_frame(sys, pid, vpn) {
+                    Ok(code) => {
+                        sys.machine
+                            .phys
+                            .write_u8(code.base() + pte::page_offset(a), *b);
+                        if let Some(t) = self.tables.get_mut(&pid.0) {
+                            t.set_filler(vpn, false);
+                        }
+                    }
+                    Err(_) => {
+                        // Cannot mirror onto a code half: degrade the page.
+                        // The copy above already reached the data frame,
+                        // which is now the page's only frame, so the
+                        // trampoline stays fetchable.
+                        self.degrade_page(sys, pid, vpn, "mirroring kernel code");
+                    }
+                }
             }
         }
         Ok(())

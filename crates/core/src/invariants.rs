@@ -1,0 +1,294 @@
+//! Split-memory invariant checker.
+//!
+//! The fault-injection (chaos) harness perturbs the machine — spurious TLB
+//! flushes, seeded evictions, forced preemption, OOM — and the protection
+//! guarantees must survive every perturbation. This module states the
+//! engine's structural invariants and checks them against a live kernel
+//! *between* execution slices (never mid-instruction):
+//!
+//! 1. **Frame accounting** — every allocated physical frame is tracked by
+//!    the kernel's refcounting [`FrameTable`](sm_kernel::addrspace::FrameTable);
+//!    nothing leaks, nothing is double-freed.
+//! 2. **At-rest restriction** — outside the Algorithm-1 single-step
+//!    window, every split page's PTE is supervisor-only, carries the
+//!    `SPLIT` bit and points at the *data* frame (paper §5.1: the
+//!    pagetable at rest must never expose the code frame to data walks).
+//! 3. **No D-TLB code leak** — the data-TLB of the running process never
+//!    maps a split page to its *code* frame (that would let loads read
+//!    the code half, defeating the desynchronisation).
+//! 4. **Pristine filler** — the code half of a never-written data page
+//!    still holds exactly the response-mode filler (zeros for break,
+//!    [`SPLIT_FILL_OPCODE`] otherwise): nothing silently deposited
+//!    executable bytes where injected code would run.
+//! 5. **Code-frame liveness** — every code frame recorded in a split
+//!    table is still tracked with a positive refcount.
+//!
+//! [`check`] returns every violation found; [`run_with_checks`] interleaves
+//! checking with execution so a whole workload can be swept.
+
+use crate::combined::CombinedEngine;
+use crate::engine::SplitMemEngine;
+use sm_kernel::events::ResponseMode;
+use sm_kernel::kernel::{Kernel, RunExit};
+use sm_kernel::process::{Pid, ProcState};
+use sm_machine::isa::SPLIT_FILL_OPCODE;
+use sm_machine::pte::{self, PAGE_SIZE};
+use std::fmt;
+
+/// One invariant violation, with enough context to debug it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Allocator and frame-table disagree about how many frames are live.
+    FrameAccounting {
+        /// Frames the physical allocator says are handed out.
+        allocated: u32,
+        /// Frames the kernel's refcount table is tracking.
+        tracked: usize,
+    },
+    /// A split page's at-rest PTE is user-visible, lost its `SPLIT` bit,
+    /// or points somewhere other than the data frame.
+    AtRestPte {
+        /// Owning process.
+        pid: Pid,
+        /// Page base address.
+        vaddr: u32,
+        /// The offending raw PTE.
+        entry: u32,
+    },
+    /// The running process's D-TLB maps a split page to its code frame.
+    DtlbCodeLeak {
+        /// Owning process.
+        pid: Pid,
+        /// Page base address.
+        vaddr: u32,
+    },
+    /// A pristine filler code frame holds a byte that is not the filler.
+    FillerTampered {
+        /// Owning process.
+        pid: Pid,
+        /// Page base address.
+        vaddr: u32,
+        /// Offset of the first bad byte within the frame.
+        offset: u32,
+        /// The bad byte.
+        byte: u8,
+    },
+    /// A split table references a code frame the frame table no longer
+    /// tracks (dangling — a use-after-free in waiting).
+    CodeFrameUntracked {
+        /// Owning process.
+        pid: Pid,
+        /// Page base address.
+        vaddr: u32,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::FrameAccounting { allocated, tracked } => write!(
+                f,
+                "frame accounting skew: allocator has {allocated} live, frame table tracks {tracked}"
+            ),
+            Violation::AtRestPte { pid, vaddr, entry } => write!(
+                f,
+                "{pid} split page {vaddr:#010x}: at-rest PTE {entry:#010x} is not restricted to the data frame"
+            ),
+            Violation::DtlbCodeLeak { pid, vaddr } => write!(
+                f,
+                "{pid} split page {vaddr:#010x}: D-TLB maps the code frame"
+            ),
+            Violation::FillerTampered {
+                pid,
+                vaddr,
+                offset,
+                byte,
+            } => write!(
+                f,
+                "{pid} split page {vaddr:#010x}: filler byte at +{offset:#x} is {byte:#04x}"
+            ),
+            Violation::CodeFrameUntracked { pid, vaddr } => write!(
+                f,
+                "{pid} split page {vaddr:#010x}: code frame untracked by the frame table"
+            ),
+        }
+    }
+}
+
+/// The split half of whatever engine the kernel runs, if any.
+fn split_engine(k: &Kernel) -> Option<&SplitMemEngine> {
+    let any = k.engine.as_any();
+    if let Some(e) = any.downcast_ref::<SplitMemEngine>() {
+        return Some(e);
+    }
+    if let Some(c) = any.downcast_ref::<CombinedEngine>() {
+        return Some(&c.split);
+    }
+    None
+}
+
+/// Check every invariant against the kernel's current state. Call between
+/// [`Kernel::run`] slices — the state is only meant to be consistent at
+/// instruction boundaries. Returns all violations found (empty = healthy).
+pub fn check(k: &Kernel) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    // 1. Frame accounting.
+    let allocated = k.sys.machine.phys.allocator.allocated_count();
+    let tracked = k.sys.frames.tracked();
+    if allocated as usize != tracked {
+        out.push(Violation::FrameAccounting { allocated, tracked });
+    }
+
+    let Some(engine) = split_engine(k) else {
+        return out;
+    };
+    let fill = if engine.config.response == ResponseMode::Break {
+        0x00
+    } else {
+        SPLIT_FILL_OPCODE
+    };
+
+    for (raw_pid, proc) in &k.sys.procs {
+        if proc.state == ProcState::Zombie {
+            continue;
+        }
+        let pid = Pid(*raw_pid);
+        let Some(table) = engine.table(pid) else {
+            continue;
+        };
+        // The one page allowed to be unrestricted: the page an Algorithm-1
+        // single-step reload is currently traversing.
+        let window = proc.pending_step_addr;
+        for (vpn, sp) in table.iter() {
+            let base = vpn << pte::PAGE_SHIFT;
+            if window == Some(base) {
+                continue;
+            }
+            // 2. At-rest restriction.
+            let entry = k.sys.pte_of(pid, base);
+            if pte::has(entry, pte::PRESENT)
+                && (pte::has(entry, pte::USER)
+                    || !pte::has(entry, pte::SPLIT)
+                    || pte::frame(entry) != sp.data)
+            {
+                out.push(Violation::AtRestPte {
+                    pid,
+                    vaddr: base,
+                    entry,
+                });
+            }
+            let Some(code) = sp.code else {
+                continue;
+            };
+            // 3. No D-TLB code leak (only the running process's address
+            // space is in the TLBs).
+            if k.sys.current == Some(pid)
+                && k.sys
+                    .machine
+                    .dtlb
+                    .peek(vpn)
+                    .is_some_and(|e| e.pfn == code.0)
+            {
+                out.push(Violation::DtlbCodeLeak { pid, vaddr: base });
+            }
+            // 5. Code-frame liveness.
+            if k.sys.frames.refcount(code) == 0 {
+                out.push(Violation::CodeFrameUntracked { pid, vaddr: base });
+            }
+            // 4. Pristine filler.
+            if sp.filler {
+                let mut buf = vec![0u8; PAGE_SIZE as usize];
+                k.sys.machine.phys.read(code.base(), &mut buf);
+                if let Some((i, b)) = buf.iter().enumerate().find(|(_, b)| **b != fill) {
+                    out.push(Violation::FillerTampered {
+                        pid,
+                        vaddr: base,
+                        offset: i as u32,
+                        byte: *b,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Run the kernel in `stride`-cycle slices up to `max_cycles`, checking
+/// every invariant between slices. Stops early (returning what was found)
+/// as soon as a slice ends with violations, or when the kernel exits.
+pub fn run_with_checks(k: &mut Kernel, max_cycles: u64, stride: u64) -> (RunExit, Vec<Violation>) {
+    let stride = stride.max(1);
+    let deadline = k.sys.machine.cycles.saturating_add(max_cycles);
+    loop {
+        let remaining = deadline.saturating_sub(k.sys.machine.cycles);
+        let exit = k.run(stride.min(remaining));
+        let violations = check(k);
+        if !violations.is_empty() || exit != RunExit::CyclesExhausted || remaining <= stride {
+            return (exit, violations);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{SplitMemConfig, SplitMemEngine};
+    use sm_kernel::kernel::Kernel;
+    use sm_kernel::userlib::ProgramBuilder;
+
+    fn split_kernel() -> Kernel {
+        Kernel::with_engine(Box::new(SplitMemEngine::new(SplitMemConfig::default())))
+    }
+
+    #[test]
+    fn healthy_run_has_no_violations() {
+        let mut k = split_kernel();
+        let prog = ProgramBuilder::new("/bin/ok")
+            .code("_start: mov eax, 7\n mov ebx, eax\n call exit")
+            .data("v: .word 3")
+            .build()
+            .unwrap();
+        k.spawn(&prog.image).unwrap();
+        let (exit, violations) = run_with_checks(&mut k, 10_000_000, 500);
+        assert_eq!(exit, RunExit::AllExited);
+        assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+
+    #[test]
+    fn tampered_filler_is_caught() {
+        let mut k = split_kernel();
+        let prog = ProgramBuilder::new("/bin/t")
+            .code("_start: mov ebx, 0\n call exit")
+            .data("v: .word 7")
+            .build()
+            .unwrap();
+        let pid = k.spawn(&prog.image).unwrap();
+        // Corrupt a filler code frame behind the engine's back.
+        let engine = k
+            .engine
+            .as_any()
+            .downcast_ref::<SplitMemEngine>()
+            .expect("split engine");
+        let (_, sp) = engine
+            .table(pid)
+            .expect("table")
+            .iter()
+            .find(|(_, sp)| sp.filler && sp.code.is_some())
+            .expect("a filler page");
+        let frame = sp.code.expect("code half");
+        k.sys.machine.phys.write_u8(frame.base() + 5, 0x90);
+        let violations = check(&k);
+        assert!(
+            violations.iter().any(|v| matches!(
+                v,
+                Violation::FillerTampered {
+                    offset: 5,
+                    byte: 0x90,
+                    ..
+                }
+            )),
+            "violations: {violations:?}"
+        );
+    }
+}

@@ -53,6 +53,7 @@
 pub mod combined;
 pub mod engine;
 pub mod forensics;
+pub mod invariants;
 pub mod nx;
 pub mod setup;
 pub mod sha256;
@@ -108,7 +109,10 @@ mod tests {
             .unwrap()
     }
 
-    fn run_with(engine: Box<dyn sm_kernel::engine::ProtectionEngine>, prog: &BuiltProgram) -> (Kernel, Pid) {
+    fn run_with(
+        engine: Box<dyn sm_kernel::engine::ProtectionEngine>,
+        prog: &BuiltProgram,
+    ) -> (Kernel, Pid) {
         let mut k = Kernel::with_engine(engine);
         let pid = k.spawn(&prog.image).expect("spawn");
         k.run(20_000_000);
@@ -180,7 +184,9 @@ mod tests {
         assert_eq!(k.sys.proc(pid).exit_code, Some(42));
         // ...but was detected first, with the payload captured.
         match k.sys.events.first_detection() {
-            Some(Event::AttackDetected { mode, shellcode, .. }) => {
+            Some(Event::AttackDetected {
+                mode, shellcode, ..
+            }) => {
                 assert_eq!(*mode, ResponseMode::Observe);
                 assert_eq!(&shellcode[..2], &[0xbb, 0x2a]);
             }
@@ -196,15 +202,17 @@ mod tests {
             ..SplitMemConfig::default()
         };
         // The paper's forensic shellcode: exit(0).
-        cfg.forensic_shellcode =
-            Some(b"\xbb\x00\x00\x00\x00\xb8\x01\x00\x00\x00\xcd\x80".to_vec());
+        cfg.forensic_shellcode = Some(b"\xbb\x00\x00\x00\x00\xb8\x01\x00\x00\x00\xcd\x80".to_vec());
         let (k, pid) = run_with(Box::new(SplitMemEngine::new(cfg)), &prog);
         // Process exits *gracefully* with 0 — the forensic payload ran
         // instead of the attacker's exit(42).
         assert_eq!(k.sys.proc(pid).exit_code, Some(0));
         match k.sys.events.first_detection() {
             Some(Event::AttackDetected { shellcode, .. }) => {
-                assert_eq!(&shellcode[..12], b"\xbb\x2a\x00\x00\x00\xb8\x01\x00\x00\x00\xcd\x80");
+                assert_eq!(
+                    &shellcode[..12],
+                    b"\xbb\x2a\x00\x00\x00\xb8\x01\x00\x00\x00\xcd\x80"
+                );
             }
             other => panic!("{other:?}"),
         }
@@ -410,11 +418,13 @@ mod tests {
             Err(sm_kernel::SpawnError::VerificationFailed(_)) => {}
             other => panic!("expected verification failure, got {other:?}"),
         }
-        assert!(k
-            .sys
-            .events
-            .iter()
-            .any(|e| matches!(e, Event::Library { verified: false, .. })));
+        assert!(k.sys.events.iter().any(|e| matches!(
+            e,
+            Event::Library {
+                verified: false,
+                ..
+            }
+        )));
     }
 
     #[test]

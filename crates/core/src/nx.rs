@@ -137,7 +137,12 @@ impl ProtectionEngine for NxEngine {
         self.mark_range(sys, pid, vaddr, vaddr + 1, |_| false);
     }
 
-    fn on_protection_fault(&mut self, sys: &mut System, pid: Pid, pf: PageFaultInfo) -> FaultOutcome {
+    fn on_protection_fault(
+        &mut self,
+        sys: &mut System,
+        pid: Pid,
+        pf: PageFaultInfo,
+    ) -> FaultOutcome {
         self.detect(sys, pid, pf)
     }
 

@@ -98,20 +98,23 @@ mod tests {
             Protection::Combined(ResponseMode::Break),
             Protection::CombinedFraction(0.25),
         ];
-        let labels: std::collections::HashSet<String> =
-            ps.iter().map(Protection::label).collect();
+        let labels: std::collections::HashSet<String> = ps.iter().map(Protection::label).collect();
         assert_eq!(labels.len(), ps.len());
     }
 
     #[test]
     fn nx_configs_enable_the_bit() {
         assert!(Protection::Nx.machine_config().nx_enabled);
-        assert!(Protection::Combined(ResponseMode::Break)
-            .machine_config()
-            .nx_enabled);
-        assert!(!Protection::SplitMem(ResponseMode::Break)
-            .machine_config()
-            .nx_enabled);
+        assert!(
+            Protection::Combined(ResponseMode::Break)
+                .machine_config()
+                .nx_enabled
+        );
+        assert!(
+            !Protection::SplitMem(ResponseMode::Break)
+                .machine_config()
+                .nx_enabled
+        );
     }
 
     #[test]

@@ -23,6 +23,11 @@ pub struct SplitPages {
     pub code: Option<Frame>,
     /// Frame data accesses are routed to.
     pub data: Frame,
+    /// True while the code half still holds pristine filler bytes — i.e.
+    /// nothing (kernel mirror, forensics planting) has written real
+    /// instructions into it. Invariant checkers use this to assert the
+    /// filler is untouched.
+    pub filler: bool,
 }
 
 /// Per-process map of split pages, keyed by virtual page number.
@@ -63,6 +68,13 @@ impl SplitTable {
     pub fn set_code_frame(&mut self, vpn: u32, code: Option<Frame>) {
         if let Some(p) = self.pages.get_mut(&vpn) {
             p.code = code;
+        }
+    }
+
+    /// Record whether the code half still holds pristine filler bytes.
+    pub fn set_filler(&mut self, vpn: u32, filler: bool) {
+        if let Some(p) = self.pages.get_mut(&vpn) {
+            p.filler = filler;
         }
     }
 
@@ -164,6 +176,9 @@ pub struct SplitStats {
     /// Code frames materialised on first fetch under the lazy policy
     /// (paper §5.1's envisioned demand-paging optimisation).
     pub lazy_materializations: u64,
+    /// Pages whose split protection was degraded (unsplit, NX-only where
+    /// possible) because a code-frame allocation hit out-of-memory.
+    pub oom_degraded: u64,
 }
 
 #[cfg(test)]
@@ -179,6 +194,7 @@ mod tests {
             SplitPages {
                 code: Some(Frame(10)),
                 data: Frame(11),
+                filler: false,
             },
         );
         assert_eq!(t.get(5).unwrap().code, Some(Frame(10)));

@@ -47,11 +47,7 @@ fn itlb_and_dtlb_disagree_on_a_split_page() {
     } else {
         // Timing may have flushed one of them; the engine bookkeeping
         // still proves the split.
-        let engine = k
-            .engine
-            .as_any()
-            .downcast_ref::<SplitMemEngine>()
-            .unwrap();
+        let engine = k.engine.as_any().downcast_ref::<SplitMemEngine>().unwrap();
         let sp = engine.table(pid).and_then(|t| t.get(code_vpn)).unwrap();
         assert_ne!(sp.code.unwrap(), sp.data);
     }
@@ -82,11 +78,7 @@ fn data_reload_leaves_pte_restricted_but_tlb_permissive() {
         "PTE stays supervisor-restricted at rest"
     );
     assert!(pte::has(entry, pte::SPLIT));
-    let engine = k
-        .engine
-        .as_any()
-        .downcast_ref::<SplitMemEngine>()
-        .unwrap();
+    let engine = k.engine.as_any().downcast_ref::<SplitMemEngine>().unwrap();
     assert!(engine.stats.data_reloads >= 1);
     assert_eq!(
         engine.stats.detections, 0,
@@ -142,11 +134,15 @@ fn runtime_dlopen_respects_the_verifier() {
     let pid = k.spawn(&prog.image).unwrap();
     assert_eq!(k.run(50_000_000), RunExit::AllExited);
     assert_eq!(k.sys.proc(pid).exit_code, Some(0));
-    let rejected = k
-        .sys
-        .events
-        .iter()
-        .any(|e| matches!(e, Event::Library { verified: false, .. }));
+    let rejected = k.sys.events.iter().any(|e| {
+        matches!(
+            e,
+            Event::Library {
+                verified: false,
+                ..
+            }
+        )
+    });
     assert!(rejected, "the tampered library must be logged as rejected");
 }
 
@@ -193,11 +189,7 @@ fn fraction_policy_is_deterministic_per_seed() {
             .build()
             .unwrap();
         let pid = k.spawn(&prog.image).unwrap();
-        let e = k
-            .engine
-            .as_any()
-            .downcast_ref::<SplitMemEngine>()
-            .unwrap();
+        let e = k.engine.as_any().downcast_ref::<SplitMemEngine>().unwrap();
         e.table(pid).map_or(0, |t| t.len())
     };
     assert_eq!(count_split(7), count_split(7), "same seed, same draw");

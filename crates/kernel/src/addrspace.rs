@@ -140,7 +140,12 @@ impl AddressSpace {
     /// # Errors
     ///
     /// [`OutOfFrames`] when a new pagetable frame cannot be allocated.
-    pub fn pte_slot(&mut self, m: &mut Machine, ft: &mut FrameTable, vaddr: u32) -> Result<u32, OutOfFrames> {
+    pub fn pte_slot(
+        &mut self,
+        m: &mut Machine,
+        ft: &mut FrameTable,
+        vaddr: u32,
+    ) -> Result<u32, OutOfFrames> {
         let pde_addr = self.dir.base() + pte::dir_index(vaddr) * 4;
         let pde = m.phys.read_u32(pde_addr);
         let table = if pte::has(pde, pte::PRESENT) {
@@ -255,7 +260,12 @@ impl AddressSpace {
     /// Release every mapped frame, pagetable frame and the directory.
     /// The protection engine must have released its auxiliary frames (the
     /// second halves of split pages) *before* this runs (paper §5.4).
+    /// Idempotent: a second call (e.g. `execve` rebuild failure followed
+    /// by process exit) is a no-op.
     pub fn free_all(&mut self, m: &mut Machine, ft: &mut FrameTable) {
+        if self.dir == Frame(0) {
+            return;
+        }
         for vma in std::mem::take(&mut self.vmas) {
             let mut addr = pte::page_base(vma.start);
             while addr < vma.end {
@@ -309,14 +319,23 @@ impl AddressSpace {
                 if pte::has(e, pte::WRITABLE) {
                     e = (e & !pte::WRITABLE) | pte::COW;
                     // Rewrite the parent PTE too and drop its stale TLB
-                    // mapping so its next write faults.
+                    // mapping so its next write faults. The parent's
+                    // pagetable for a present page exists, so this cannot
+                    // allocate; it is fallible only in the type system.
                     self.set_pte(m, ft, vaddr, e)?;
                     m.invlpg(vaddr);
                 }
                 // Per-page fork bookkeeping cost.
                 m.charge(m.config.costs.tlb_walk);
+                // Child PTE first, share second: if pagetable growth for
+                // the child fails mid-fork, the partial child is unwound
+                // without leaking a reference (the parent keeps its COW
+                // markings, which are semantically inert).
+                if child.set_pte(m, ft, vaddr, e).is_err() {
+                    child.free_all(m, ft);
+                    return Err(OutOfFrames);
+                }
                 ft.share(pte::frame(e));
-                child.set_pte(m, ft, vaddr, e)?;
             }
         }
         Ok(child)

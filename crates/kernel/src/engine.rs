@@ -69,7 +69,12 @@ pub trait ProtectionEngine {
     /// A protection (present-entry) page fault the generic handler cannot
     /// explain: the page-fault-handler patch point (paper §5.2,
     /// Algorithm 1).
-    fn on_protection_fault(&mut self, sys: &mut System, pid: Pid, pf: PageFaultInfo) -> FaultOutcome {
+    fn on_protection_fault(
+        &mut self,
+        sys: &mut System,
+        pid: Pid,
+        pf: PageFaultInfo,
+    ) -> FaultOutcome {
         let _ = (sys, pid, pf);
         FaultOutcome::Unhandled
     }
@@ -119,7 +124,12 @@ pub trait ProtectionEngine {
     /// # Errors
     ///
     /// An error string describing why verification failed.
-    fn verify_library(&mut self, sys: &mut System, pid: Pid, image: &ExecImage) -> Result<(), String> {
+    fn verify_library(
+        &mut self,
+        sys: &mut System,
+        pid: Pid,
+        image: &ExecImage,
+    ) -> Result<(), String> {
         let _ = (sys, pid, image);
         Ok(())
     }

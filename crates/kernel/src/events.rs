@@ -97,6 +97,18 @@ pub enum Event {
         /// Handler address.
         handler: u32,
     },
+    /// A split page lost its code/data separation because a code-frame
+    /// allocation hit out-of-memory; protection fell back to the
+    /// execute-disable bit where the page layout allows it. Never fatal:
+    /// degradation is the engine's no-panic OOM policy.
+    SplitDegraded {
+        /// Owning process.
+        pid: Pid,
+        /// Page base address of the degraded page.
+        vaddr: u32,
+        /// What the engine was doing when the allocation failed.
+        reason: &'static str,
+    },
     /// Free-form annotation (used by examples and tests).
     Note(String),
 }
@@ -180,7 +192,10 @@ mod tests {
         assert!(!log.execed("/bin/ls"));
         assert!(matches!(
             log.first_detection(),
-            Some(Event::AttackDetected { eip: 0xbf00_0000, .. })
+            Some(Event::AttackDetected {
+                eip: 0xbf00_0000,
+                ..
+            })
         ));
         assert_eq!(log.entries()[1].0, 20);
     }

@@ -150,7 +150,9 @@ impl ExecImage {
         let name = r.string()?;
         let nseg = r.u32()?;
         if nseg > 1024 {
-            return Err(ImageFormatError(format!("implausible segment count {nseg}")));
+            return Err(ImageFormatError(format!(
+                "implausible segment count {nseg}"
+            )));
         }
         let mut segments = Vec::with_capacity(nseg as usize);
         for _ in 0..nseg {

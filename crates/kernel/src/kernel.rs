@@ -17,12 +17,13 @@ use crate::process::{FdObject, Pid, ProcState, Process, WaitReason};
 use crate::signal::{self, SigAction};
 use crate::stats::KernelStats;
 use crate::syscall;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use sm_machine::chaos::{ChaosState, FaultPlan, StepFaults};
 use sm_machine::cpu::{flags, PageFaultInfo, Privilege};
+use sm_machine::phys::OutOfFrames;
 use sm_machine::pte::{self, Frame};
 use sm_machine::tlb::TlbEntry;
 use sm_machine::{Machine, MachineConfig, Trap};
+use sm_rng::StdRng;
 use std::collections::{BTreeMap, VecDeque};
 
 /// Kernel construction parameters.
@@ -45,6 +46,15 @@ pub struct KernelConfig {
     /// network always uses the default). Workloads use this to model
     /// different I/O batching regimes.
     pub pipe_capacity: usize,
+    /// Deterministic fault-injection plan (inert by default); see
+    /// [`sm_machine::chaos`].
+    pub chaos: FaultPlan,
+    /// Livelock watchdog: how many *consecutive* page faults at one EIP —
+    /// with no instruction retiring in between — the kernel tolerates
+    /// before giving up with [`RunExit::Livelock`]. Normal split-memory
+    /// reloads fault the same instruction a handful of times; anything in
+    /// the tens means the fault handler's work is being undone each round.
+    pub livelock_threshold: u64,
 }
 
 impl Default for KernelConfig {
@@ -57,6 +67,8 @@ impl Default for KernelConfig {
             seed: 42,
             heap_limit: 4 * 1024 * 1024,
             pipe_capacity: crate::fs::PIPE_CAPACITY,
+            chaos: FaultPlan::default(),
+            livelock_threshold: 64,
         }
     }
 }
@@ -70,6 +82,14 @@ pub enum RunExit {
     CyclesExhausted,
     /// No process is runnable and no event can unblock one.
     Deadlock,
+    /// The livelock watchdog tripped: `pid` kept faulting at `eip` without
+    /// retiring anything (see [`KernelConfig::livelock_threshold`]).
+    Livelock {
+        /// The spinning process.
+        pid: Pid,
+        /// The instruction that kept faulting.
+        eip: u32,
+    },
 }
 
 /// Error spawning a process.
@@ -115,36 +135,56 @@ pub struct System {
     pub events: EventLog,
     /// Configuration.
     pub config: KernelConfig,
-    /// Deterministic randomness (ASLR, workload jitter).
-    pub rng: SmallRng,
+    /// Deterministic randomness (ASLR, split-policy draws, workload
+    /// jitter): the single seeded stream everything replays from.
+    pub rng: StdRng,
     /// Kernel counters.
     pub stats: KernelStats,
     /// Currently scheduled process.
     pub current: Option<Pid>,
+    /// Live fault-injection stream (`None` when the configured plan is
+    /// inert, which keeps the fault-free hot path untouched).
+    pub chaos: Option<ChaosState>,
     pub(crate) run_queue: VecDeque<Pid>,
     pub(crate) next_pid: u32,
     pub(crate) loaded_cr3_for: Option<Pid>,
     pub(crate) preempt: bool,
+    /// Livelock watchdog: (pid, eip, consecutive unretired faults).
+    pub(crate) watchdog: Option<(Pid, u32, u64)>,
+    pub(crate) livelocked: Option<(Pid, u32)>,
 }
 
 impl System {
     fn new(mconfig: MachineConfig, config: KernelConfig) -> System {
+        let mut machine = Machine::new(mconfig);
+        if let Some(at) = config.chaos.oom_at {
+            machine
+                .phys
+                .allocator
+                .inject_oom(at, config.chaos.oom_every_after);
+        }
         System {
-            machine: Machine::new(mconfig),
+            machine,
             frames: FrameTable::new(),
             procs: BTreeMap::new(),
             pipes: PipeTable::new(),
             fs: RamFs::new(),
             net: NetStack::new(),
             events: EventLog::new(),
-            rng: SmallRng::seed_from_u64(config.seed),
+            rng: StdRng::seed_from_u64(config.seed),
             config,
             stats: KernelStats::default(),
             current: None,
+            chaos: config
+                .chaos
+                .is_active()
+                .then(|| ChaosState::new(config.chaos)),
             run_queue: VecDeque::new(),
             next_pid: 1,
             loaded_cr3_for: None,
             preempt: false,
+            watchdog: None,
+            livelocked: None,
         }
     }
 
@@ -185,7 +225,10 @@ impl System {
     /// Overwrite the PTE of `vaddr` in `pid`'s address space (no TLB
     /// shootdown — deliberate; see [`crate::addrspace::AddressSpace::set_pte`]).
     pub fn set_pte(&mut self, pid: Pid, vaddr: u32, value: u32) {
-        let p = self.procs.get_mut(&pid.0).unwrap_or_else(|| panic!("no {pid}"));
+        let p = self
+            .procs
+            .get_mut(&pid.0)
+            .unwrap_or_else(|| panic!("no {pid}"));
         p.aspace
             .set_pte(&mut self.machine, &mut self.frames, vaddr, value)
             .expect("pagetable allocation failed");
@@ -193,25 +236,23 @@ impl System {
 
     /// Allocate a zeroed, refcounted frame.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when physical memory is exhausted (the experiments size
-    /// memory generously; exhaustion is a configuration bug).
-    pub fn alloc_zeroed(&mut self) -> Frame {
-        self.frames
-            .alloc_zeroed(&mut self.machine)
-            .expect("out of physical memory")
+    /// [`OutOfFrames`] when physical memory is exhausted (or an injected
+    /// chaos OOM is due). Every caller must degrade gracefully — kill the
+    /// offending process, fall back to weaker protection — never panic.
+    pub fn alloc_zeroed(&mut self) -> Result<Frame, OutOfFrames> {
+        self.frames.alloc_zeroed(&mut self.machine)
     }
 
     /// Allocate a refcounted copy of `src`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when physical memory is exhausted.
-    pub fn alloc_copy(&mut self, src: Frame) -> Frame {
-        self.frames
-            .alloc_copy(&mut self.machine, src)
-            .expect("out of physical memory")
+    /// [`OutOfFrames`] when physical memory is exhausted (or an injected
+    /// chaos OOM is due).
+    pub fn alloc_copy(&mut self, src: Frame) -> Result<Frame, OutOfFrames> {
+        self.frames.alloc_copy(&mut self.machine, src)
     }
 
     /// Release one reference to a tracked frame.
@@ -301,15 +342,17 @@ impl Kernel {
     /// libraries is malformed, or a library fails verification.
     pub fn spawn(&mut self, image: &ExecImage) -> Result<Pid, SpawnError> {
         let pid = self.sys.alloc_pid();
-        let aspace = crate::addrspace::AddressSpace::new(&mut self.sys.machine, &mut self.sys.frames)
-            .map_err(|_| SpawnError::OutOfMemory)?;
+        let aspace =
+            crate::addrspace::AddressSpace::new(&mut self.sys.machine, &mut self.sys.frames)
+                .map_err(|_| SpawnError::OutOfMemory)?;
         let proc = Process::new(pid, pid, image.name.clone(), aspace);
         self.sys.procs.insert(pid.0, proc);
         if let Err(e) = loader::load_into(self, pid, image) {
             // Roll the half-born process back out.
             self.engine.on_teardown(&mut self.sys, pid);
             let mut p = self.sys.procs.remove(&pid.0).expect("just inserted");
-            p.aspace.free_all(&mut self.sys.machine, &mut self.sys.frames);
+            p.aspace
+                .free_all(&mut self.sys.machine, &mut self.sys.frames);
             return Err(e);
         }
         self.sys.stats.processes_spawned += 1;
@@ -329,9 +372,13 @@ impl Kernel {
                 return RunExit::Deadlock;
             };
             self.switch_to(pid);
-            let slice_end = (self.sys.machine.cycles + self.sys.config.quantum_cycles).min(deadline);
+            let slice_end =
+                (self.sys.machine.cycles + self.sys.config.quantum_cycles).min(deadline);
             self.run_slice(pid, slice_end);
             self.save_current();
+            if let Some((lp, eip)) = self.sys.livelocked.take() {
+                return RunExit::Livelock { pid: lp, eip };
+            }
             // Re-queue if still runnable.
             if self
                 .sys
@@ -450,6 +497,69 @@ impl Kernel {
                     self.raise_signal(pid, signal::SIGSEGV);
                 }
             }
+            self.after_step(pid, trap);
+        }
+    }
+
+    /// Post-step housekeeping: the livelock watchdog, then any fault
+    /// injection the chaos plan schedules for this step.
+    fn after_step(&mut self, pid: Pid, trap: Trap) {
+        // Watchdog: consecutive page faults at one EIP with nothing
+        // retiring in between mean the fault handler's work is being
+        // undone every round (e.g. its TLB fill keeps getting flushed) —
+        // the reload dance will never converge.
+        if matches!(trap, Trap::PageFault(_)) {
+            let eip = self.sys.machine.cpu.regs.eip;
+            let count = match self.sys.watchdog {
+                Some((p, e, c)) if p == pid && e == eip => c + 1,
+                _ => 1,
+            };
+            self.sys.watchdog = Some((pid, eip, count));
+            if count > self.sys.config.livelock_threshold {
+                self.sys.log(Event::Note(format!(
+                    "livelock: {pid} faulted {count} times at {eip:#010x} without retiring"
+                )));
+                self.sys.livelocked = Some((pid, eip));
+                self.sys.preempt = true;
+                return;
+            }
+        } else {
+            self.sys.watchdog = None;
+        }
+        let in_window = self
+            .sys
+            .procs
+            .get(&pid.0)
+            .is_some_and(|p| p.pending_step_addr.is_some());
+        let faults = match self.sys.chaos.as_mut() {
+            Some(c) => c.on_step(in_window),
+            None => StepFaults::default(),
+        };
+        if faults.flush {
+            self.sys.machine.flush_tlbs();
+        }
+        if faults.evict {
+            self.sys.machine.itlb.evict_one(faults.evict_draw);
+            self.sys.machine.dtlb.evict_one(faults.evict_draw >> 32);
+        }
+        if faults.preempt {
+            // A real preemption: route the next switch_to through the full
+            // CR3 reload (and its TLB flush) even for the same process.
+            self.sys.preempt = true;
+            self.sys.loaded_cr3_for = None;
+        }
+        if faults.signal {
+            // Only processes that opted into SIGUSR1 get the mid-window
+            // signal — the default disposition is fatal, and chaos must
+            // perturb *timing*, never protection verdicts. Nested frames
+            // (already in a handler) are skipped for the same reason.
+            let eligible = self.sys.procs.get(&pid.0).is_some_and(|p| {
+                matches!(p.signals.action(signal::SIGUSR1), SigAction::Handler(_))
+                    && p.signals.saved_context.is_none()
+            });
+            if eligible {
+                self.raise_signal(pid, signal::SIGUSR1);
+            }
         }
     }
 
@@ -473,7 +583,9 @@ impl Kernel {
             if !covered {
                 return false;
             }
-            self.demand_page(pid, vaddr);
+            if !self.demand_page(pid, vaddr) {
+                return self.oom_kill(pid, "demand paging");
+            }
             return true;
         }
         // Present entry: a protection fault.
@@ -487,7 +599,9 @@ impl Kernel {
             if !writable_region {
                 return false;
             }
-            self.cow_break(pid, vaddr, entry);
+            if !self.cow_break(pid, vaddr, entry) {
+                return self.oom_kill(pid, "copy-on-write");
+            }
             return true;
         }
         if self.sys.machine.config.software_tlb {
@@ -539,54 +653,85 @@ impl Kernel {
         false
     }
 
-    fn demand_page(&mut self, pid: Pid, vaddr: u32) {
+    /// Map a fresh zeroed page for `vaddr`. Returns `false` on memory
+    /// exhaustion, leaking nothing — a half-done mapping is rolled back.
+    fn demand_page(&mut self, pid: Pid, vaddr: u32) -> bool {
         let base = pte::page_base(vaddr);
-        let vma = self
-            .sys
-            .proc(pid)
-            .aspace
-            .find_vma(vaddr)
-            .expect("caller checked");
+        let Some(vma) = self.sys.proc(pid).aspace.find_vma(vaddr) else {
+            return false;
+        };
         let mut flags = pte::USER;
         if vma.writable() {
             flags |= pte::WRITABLE;
         }
-        let frame = self.sys.alloc_zeroed();
+        let Ok(frame) = self.sys.alloc_zeroed() else {
+            return false;
+        };
         {
             let sys = &mut self.sys;
             let p = sys.procs.get_mut(&pid.0).expect("pid");
-            p.aspace
+            if p.aspace
                 .map_frame(&mut sys.machine, &mut sys.frames, base, frame, flags)
-                .expect("pagetable alloc");
+                .is_err()
+            {
+                // Pagetable growth failed after the data frame was handed
+                // out: give the frame back before reporting the OOM.
+                sys.frames.release(&mut sys.machine, frame);
+                return false;
+            }
         }
         let dp = self.sys.machine.config.costs.demand_page;
         self.sys.charge(dp);
         self.sys.stats.demand_pages += 1;
         self.engine.on_page_mapped(&mut self.sys, pid, base);
+        true
     }
 
-    fn cow_break(&mut self, pid: Pid, vaddr: u32, entry: u32) {
+    /// Break a copy-on-write share. Returns `false` on memory exhaustion
+    /// (the PTE is left untouched, so nothing is lost or leaked).
+    fn cow_break(&mut self, pid: Pid, vaddr: u32, entry: u32) -> bool {
         let base = pte::page_base(vaddr);
         let old = pte::frame(entry);
         let cost = self.sys.machine.config.costs.cow_copy;
         self.sys.charge(cost);
         self.sys.stats.cow_breaks += 1;
         let new_frame = if self.sys.frames.refcount(old) > 1 {
-            let f = self.sys.alloc_copy(old);
+            let Ok(f) = self.sys.alloc_copy(old) else {
+                return false;
+            };
             self.sys.frames.release(&mut self.sys.machine, old);
             f
         } else {
             old
         };
-        let new_entry =
-            pte::with_frame((entry & !pte::COW) | pte::WRITABLE | pte::PRESENT, new_frame);
+        let new_entry = pte::with_frame(
+            (entry & !pte::COW) | pte::WRITABLE | pte::PRESENT,
+            new_frame,
+        );
         self.sys.set_pte(pid, base, new_entry);
         self.sys.machine.invlpg(base);
-        self.engine.on_cow_copied(&mut self.sys, pid, base, new_frame);
+        self.engine
+            .on_cow_copied(&mut self.sys, pid, base, new_frame);
+        true
+    }
+
+    /// Out-of-memory policy for fault-time allocations: terminate the
+    /// offending process cleanly (SIGKILL, never a kernel panic). Always
+    /// returns `true` so fault handlers can report "handled" — the
+    /// process will be reaped before it runs again.
+    fn oom_kill(&mut self, pid: Pid, what: &str) -> bool {
+        self.sys
+            .log(Event::Note(format!("oom during {what}: killing {pid}")));
+        self.sys.stats.fatal_signals += 1;
+        self.do_exit(pid, 128 + signal::SIGKILL as i32);
+        true
     }
 
     fn handle_ud(&mut self, pid: Pid, eip: u32, opcode: u8) {
-        match self.engine.on_invalid_opcode(&mut self.sys, pid, eip, opcode) {
+        match self
+            .engine
+            .on_invalid_opcode(&mut self.sys, pid, eip, opcode)
+        {
             UdOutcome::Resume => {}
             UdOutcome::Unhandled => self.raise_signal(pid, signal::SIGILL),
             UdOutcome::Terminate => {
@@ -702,8 +847,7 @@ impl Kernel {
         if self.sys.proc(pid).aspace.find_vma(addr).is_none() {
             return false;
         }
-        self.demand_page(pid, addr);
-        true
+        self.demand_page(pid, addr)
     }
 
     /// Copy bytes from the current process's memory, resolving demand-page
@@ -779,8 +923,7 @@ impl Kernel {
             self.sys.loaded_cr3_for = None;
         }
         // Wake anyone in waitpid.
-        self.sys
-            .wake_where(|r| matches!(r, WaitReason::Child));
+        self.sys.wake_where(|r| matches!(r, WaitReason::Child));
     }
 
     /// Drop one fd object, adjusting pipe endpoint counts and waking

@@ -11,7 +11,6 @@ use crate::image::{ExecImage, Segment};
 use crate::kernel::{Kernel, SpawnError};
 use crate::process::Pid;
 use crate::vma::{Vma, VmaKind};
-use rand::Rng;
 use sm_machine::cpu::Regs;
 use sm_machine::pte::{self, PAGE_SIZE};
 
@@ -63,11 +62,11 @@ pub(crate) fn load_into(k: &mut Kernel, pid: Pid, image: &ExecImage) -> Result<(
     // Eagerly map the top stack page so program entry doesn't immediately
     // fault.
     let top_page = stack_high - PAGE_SIZE;
-    let frame = k.sys.alloc_zeroed();
+    let frame = k.sys.alloc_zeroed().map_err(|_| SpawnError::OutOfMemory)?;
     {
         let sys = &mut k.sys;
         let p = sys.procs.get_mut(&pid.0).expect("pid");
-        p.aspace
+        if p.aspace
             .map_frame(
                 &mut sys.machine,
                 &mut sys.frames,
@@ -75,7 +74,13 @@ pub(crate) fn load_into(k: &mut Kernel, pid: Pid, image: &ExecImage) -> Result<(
                 frame,
                 pte::USER | pte::WRITABLE,
             )
-            .map_err(|_| SpawnError::OutOfMemory)?;
+            .is_err()
+        {
+            // The frame was never mapped, so the teardown walk in `spawn`
+            // cannot find it — release it here or it leaks.
+            sys.frames.release(&mut sys.machine, frame);
+            return Err(SpawnError::OutOfMemory);
+        }
     }
     regions.push((top_page, stack_high));
 
@@ -179,7 +184,7 @@ fn map_segment(
                 k.sys.set_pte(pid, addr, entry | pte::WRITABLE);
             }
         } else {
-            let frame = k.sys.alloc_zeroed();
+            let frame = k.sys.alloc_zeroed().map_err(|_| SpawnError::OutOfMemory)?;
             let mut flags = pte::USER;
             if writable {
                 flags |= pte::WRITABLE;
@@ -187,9 +192,14 @@ fn map_segment(
             {
                 let sys = &mut k.sys;
                 let p = sys.procs.get_mut(&pid.0).expect("pid");
-                p.aspace
+                if p.aspace
                     .map_frame(&mut sys.machine, &mut sys.frames, addr, frame, flags)
-                    .map_err(|_| SpawnError::OutOfMemory)?;
+                    .is_err()
+                {
+                    // Unmapped frames are invisible to the teardown walk.
+                    sys.frames.release(&mut sys.machine, frame);
+                    return Err(SpawnError::OutOfMemory);
+                }
             }
             // Loading is not free: allocating + preparing a page costs what
             // demand paging costs.

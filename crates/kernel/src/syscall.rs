@@ -185,20 +185,17 @@ fn dispatch(k: &mut Kernel, pid: Pid, nr: u32, a1: u32, a2: u32, a3: u32) -> Out
         }
         SYS_MMAP => sys_mmap(k, pid, a1, a2),
         SYS_MUNMAP => sys_munmap(k, pid, a1, a2),
-        SYS_SIGRETURN => {
-            match k.sys.proc_mut(pid).signals.saved_context.take() {
-                Some(saved) => {
-                    k.sys.machine.cpu.regs = saved;
-                    Outcome::NoReturn
-                }
-                None => Outcome::Ret(EINVAL),
+        SYS_SIGRETURN => match k.sys.proc_mut(pid).signals.saved_context.take() {
+            Some(saved) => {
+                k.sys.machine.cpu.regs = saved;
+                Outcome::NoReturn
             }
-        }
+            None => Outcome::Ret(EINVAL),
+        },
         SYS_YIELD => Outcome::Yield,
         SYS_LISTEN => {
             if k.sys.net.listen(a1 as u16) {
-                k.sys
-                    .wake_where(|r| *r == WaitReason::Connect(a1 as u16));
+                k.sys.wake_where(|r| *r == WaitReason::Connect(a1 as u16));
                 Outcome::Ret(0)
             } else {
                 Outcome::Ret(EADDRINUSE)
@@ -220,10 +217,7 @@ fn sys_fork(k: &mut Kernel, pid: Pid) -> Outcome {
     let child_aspace = {
         let sys = &mut k.sys;
         let parent = sys.procs.get_mut(&pid.0).expect("pid");
-        match parent
-            .aspace
-            .fork_copy(&mut sys.machine, &mut sys.frames)
-        {
+        match parent.aspace.fork_copy(&mut sys.machine, &mut sys.frames) {
             Ok(a) => a,
             Err(_) => return Outcome::Ret(ENOMEM),
         }
@@ -458,12 +452,21 @@ fn sys_execve(k: &mut Kernel, pid: Pid, path_ptr: u32) -> Outcome {
     };
     // Tear down the old address space (engine first: split frames).
     k.engine.on_teardown(&mut k.sys, pid);
-    {
+    let rebuilt = {
         let sys = &mut k.sys;
         let p = sys.procs.get_mut(&pid.0).expect("pid");
         p.aspace.free_all(&mut sys.machine, &mut sys.frames);
-        p.aspace = AddressSpace::new(&mut sys.machine, &mut sys.frames)
-            .expect("out of memory rebuilding address space");
+        AddressSpace::new(&mut sys.machine, &mut sys.frames)
+    };
+    let Ok(aspace) = rebuilt else {
+        // The old image is gone and no new address space can be built:
+        // nothing to return to — exit the process cleanly.
+        k.do_exit(pid, 127);
+        return Outcome::NoReturn;
+    };
+    {
+        let p = k.sys.procs.get_mut(&pid.0).expect("pid");
+        p.aspace = aspace;
         p.signals.reset_on_exec();
         p.pending_step_addr = None;
         p.recovery_handler = None;
@@ -485,7 +488,6 @@ fn sys_execve(k: &mut Kernel, pid: Pid, path_ptr: u32) -> Outcome {
     k.sys.loaded_cr3_for = Some(pid);
     Outcome::NoReturn
 }
-
 
 fn sys_lseek(k: &mut Kernel, pid: Pid, fd: u32, off: i32, whence: u32) -> Outcome {
     let Some(FdObject::File {
@@ -618,13 +620,8 @@ fn sys_mmap(k: &mut Kernel, pid: Pid, len: u32, prot: u32) -> Outcome {
     let base = p.aspace.mmap_next;
     p.aspace.mmap_next = base + size + PAGE_SIZE; // guard gap
     let flags = (prot & 7) as u8; // PROT_READ/WRITE/EXEC match SEG_R/W/X
-    p.aspace.add_vma(Vma::new(
-        base,
-        base + size,
-        flags,
-        VmaKind::Mmap,
-        "mmap",
-    ));
+    p.aspace
+        .add_vma(Vma::new(base, base + size, flags, VmaKind::Mmap, "mmap"));
     Outcome::Ret(base as i32)
 }
 

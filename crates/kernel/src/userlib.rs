@@ -561,7 +561,12 @@ mod tests {
             .build()
             .unwrap();
         let (k, pid) = run_program(&prog);
-        assert_eq!(k.sys.proc(pid).exit_code, Some(0), "{}", k.sys.proc(pid).output_string());
+        assert_eq!(
+            k.sys.proc(pid).exit_code,
+            Some(0),
+            "{}",
+            k.sys.proc(pid).output_string()
+        );
     }
 
     #[test]

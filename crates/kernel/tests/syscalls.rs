@@ -692,7 +692,10 @@ fn softtlb_machine_runs_the_same_guests() {
     };
     assert_eq!(code, Some(0));
     assert_eq!(k.sys.proc(pid).output_string(), "soft tlb");
-    assert_eq!(k.sys.machine.stats.walks, 0, "no hardware walks in soft mode");
+    assert_eq!(
+        k.sys.machine.stats.walks, 0,
+        "no hardware walks in soft mode"
+    );
     assert!(k.sys.stats.soft_tlb_fills > 0);
 }
 

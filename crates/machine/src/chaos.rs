@@ -1,0 +1,249 @@
+//! Deterministic fault injection ("chaos") for the simulated machine.
+//!
+//! A [`FaultPlan`] describes *which* architectural misfortunes to inject —
+//! spurious whole-TLB flushes, seeded single-entry evictions, forced
+//! preemptions, frame-allocator exhaustion at the k-th allocation, and
+//! perturbations aimed specifically at the Algorithm 1→2 single-step
+//! window — and [`ChaosState`] turns the plan into a per-step decision
+//! stream that is a pure function of `(plan, seed)`, so every run replays
+//! byte-for-byte.
+//!
+//! The machine crate owns the plan and the decision stream; the kernel
+//! applies the decisions (it is the layer that knows what a "step", a
+//! "window" and a "preemption" are). None of the split-memory machinery
+//! may *rely* on TLB residency for correctness — these faults are exactly
+//! the events (context switches, capacity evictions, NMIs) that real
+//! hardware produces at arbitrary points, so a protection verdict must be
+//! identical under any plan.
+
+use sm_rng::StdRng;
+
+/// What to inject, and when. All counters are in *kernel steps* (one
+/// executed-or-trapped instruction of the current process). `None` / `false`
+/// disables a fault class; [`FaultPlan::default`] is fully inert.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Flush both TLBs every N steps (a spurious shootdown).
+    pub flush_every: Option<u64>,
+    /// Evict one seeded-random entry from each TLB every N steps
+    /// (capacity pressure).
+    pub evict_every: Option<u64>,
+    /// Force a preemption (real context switch, CR3 reload, TLB flush)
+    /// every N steps — including inside the single-step window.
+    pub preempt_every: Option<u64>,
+    /// Make the k-th frame allocation (1-based, counted from machine
+    /// construction) fail with `OutOfFrames`.
+    pub oom_at: Option<u64>,
+    /// After the first injected OOM, keep failing every N-th allocation.
+    pub oom_every_after: Option<u64>,
+    /// Deliver a signal (the kernel uses SIGUSR1, only to processes with a
+    /// registered handler) the first time the current process sits in the
+    /// single-step window — the mixed-page trampoline case. One-shot by
+    /// design: the signal handler consumes the arming (its first
+    /// instruction takes the debug trap), so the armed instruction only
+    /// retires on a signal-free pass — injecting on *every* window entry
+    /// would be a genuine livelock, not a test of one.
+    pub signal_in_window: bool,
+    /// Flush both TLBs whenever the current process sits in the
+    /// single-step window.
+    pub flush_in_window: bool,
+    /// Seed for the fault stream's own randomness (eviction draws). Kept
+    /// separate from the kernel seed so the same workload can be replayed
+    /// under many fault streams.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// True if the plan injects anything at all.
+    pub fn is_active(&self) -> bool {
+        self.flush_every.is_some()
+            || self.evict_every.is_some()
+            || self.preempt_every.is_some()
+            || self.oom_at.is_some()
+            || self.signal_in_window
+            || self.flush_in_window
+    }
+}
+
+/// The faults due on one step, as decided by [`ChaosState::on_step`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepFaults {
+    /// Flush both TLBs.
+    pub flush: bool,
+    /// Evict one entry from each TLB using [`StepFaults::evict_draw`].
+    pub evict: bool,
+    /// Seeded draw for the evictions (one per TLB, split by the callee).
+    pub evict_draw: u64,
+    /// Force a real context switch at the next scheduling point.
+    pub preempt: bool,
+    /// Deliver the window signal (plan had `signal_in_window` and the
+    /// process is in the window).
+    pub signal: bool,
+}
+
+/// Counters for injected faults (replay diagnostics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Steps observed.
+    pub steps: u64,
+    /// Spurious whole-TLB flushes (periodic + in-window).
+    pub flushes: u64,
+    /// Periodic eviction rounds.
+    pub evictions: u64,
+    /// Forced preemptions.
+    pub preemptions: u64,
+    /// Flushes fired specifically inside the single-step window.
+    pub window_flushes: u64,
+    /// Signals fired inside the single-step window.
+    pub window_signals: u64,
+}
+
+/// The live decision stream for one [`FaultPlan`].
+#[derive(Debug)]
+pub struct ChaosState {
+    /// The plan being executed (immutable once constructed).
+    pub plan: FaultPlan,
+    rng: StdRng,
+    /// Injection counters.
+    pub stats: ChaosStats,
+    /// Whether the previous step was inside the window (edge detector for
+    /// the per-window-entry faults).
+    was_in_window: bool,
+}
+
+impl ChaosState {
+    /// Start the decision stream for `plan`.
+    pub fn new(plan: FaultPlan) -> ChaosState {
+        ChaosState {
+            plan,
+            rng: StdRng::seed_from_u64(plan.seed),
+            stats: ChaosStats::default(),
+            was_in_window: false,
+        }
+    }
+
+    /// Advance one step and report which faults are due. `in_window` is
+    /// true when the current process has an armed single-step reload
+    /// pending (the Algorithm 1→2 window).
+    pub fn on_step(&mut self, in_window: bool) -> StepFaults {
+        self.stats.steps += 1;
+        let steps = self.stats.steps;
+        let due = move |every: Option<u64>| every.is_some_and(|n| steps.is_multiple_of(n.max(1)));
+        let mut f = StepFaults {
+            flush: due(self.plan.flush_every),
+            evict: due(self.plan.evict_every),
+            evict_draw: 0,
+            preempt: due(self.plan.preempt_every),
+            signal: false,
+        };
+        // Window faults fire on window *entry*, not on every in-window
+        // step: a spurious flush is a one-off event that happens to land
+        // in the window. (Flushing every in-window step would wipe the
+        // armed instruction's own data reload each round — a guaranteed
+        // livelock by construction, like `flush_every = 1`, rather than a
+        // perturbation the reload dance can be expected to absorb.)
+        let entered_window = in_window && !self.was_in_window;
+        self.was_in_window = in_window;
+        if entered_window && self.plan.flush_in_window {
+            f.flush = true;
+            self.stats.window_flushes += 1;
+        }
+        if entered_window && self.plan.signal_in_window && self.stats.window_signals == 0 {
+            f.signal = true;
+            self.stats.window_signals += 1;
+        }
+        if f.flush {
+            self.stats.flushes += 1;
+        }
+        if f.evict {
+            // Draw even when the TLBs turn out to be empty: the stream must
+            // not depend on machine state, only on the step count.
+            f.evict_draw = self.rng.next_u64();
+            self.stats.evictions += 1;
+        }
+        if f.preempt {
+            self.stats.preemptions += 1;
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let plan = FaultPlan::default();
+        assert!(!plan.is_active());
+        let mut c = ChaosState::new(plan);
+        for _ in 0..100 {
+            assert_eq!(c.on_step(false), StepFaults::default());
+        }
+        assert_eq!(c.stats.flushes, 0);
+        assert_eq!(c.stats.steps, 100);
+    }
+
+    #[test]
+    fn periodic_faults_fire_on_schedule() {
+        let mut c = ChaosState::new(FaultPlan {
+            flush_every: Some(3),
+            preempt_every: Some(5),
+            ..FaultPlan::default()
+        });
+        let fired: Vec<(bool, bool)> = (0..15)
+            .map(|_| {
+                let f = c.on_step(false);
+                (f.flush, f.preempt)
+            })
+            .collect();
+        let flushes = fired.iter().filter(|(f, _)| *f).count();
+        let preempts = fired.iter().filter(|(_, p)| *p).count();
+        assert_eq!(flushes, 5); // steps 3,6,9,12,15
+        assert_eq!(preempts, 3); // steps 5,10,15
+    }
+
+    #[test]
+    fn window_faults_only_fire_in_window() {
+        let mut c = ChaosState::new(FaultPlan {
+            flush_in_window: true,
+            signal_in_window: true,
+            ..FaultPlan::default()
+        });
+        let out = c.on_step(false);
+        assert!(!out.flush && !out.signal);
+        let inw = c.on_step(true);
+        assert!(inw.flush && inw.signal);
+        assert_eq!(c.stats.window_flushes, 1);
+        assert_eq!(c.stats.window_signals, 1);
+        // Window faults are edge-triggered: staying in the window (the
+        // armed instruction's own data access may fault for several
+        // rounds) injects nothing further.
+        let again = c.on_step(true);
+        assert!(!again.flush && !again.signal);
+        // Leaving and re-entering the window fires the flush again; the
+        // signal stays one-shot for the whole run.
+        let out = c.on_step(false);
+        assert!(!out.flush && !out.signal);
+        let reentry = c.on_step(true);
+        assert!(reentry.flush && !reentry.signal);
+        assert_eq!(c.stats.window_flushes, 2);
+        assert_eq!(c.stats.window_signals, 1);
+    }
+
+    #[test]
+    fn decision_stream_is_deterministic() {
+        let plan = FaultPlan {
+            flush_every: Some(7),
+            evict_every: Some(4),
+            seed: 1234,
+            ..FaultPlan::default()
+        };
+        let run = |mut c: ChaosState| -> Vec<StepFaults> {
+            (0..200).map(|i| c.on_step(i % 13 == 0)).collect()
+        };
+        let a = run(ChaosState::new(plan));
+        let b = run(ChaosState::new(plan));
+        assert_eq!(a, b);
+    }
+}

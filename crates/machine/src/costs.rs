@@ -97,7 +97,10 @@ impl CycleCosts {
     /// Total price of one split-memory instruction-TLB reload event: a page
     /// fault trap, the reload work, then a debug trap and its handler.
     pub fn code_reload_total(&self) -> u64 {
-        self.exception + self.pf_handler + self.split_code_reload + self.exception
+        self.exception
+            + self.pf_handler
+            + self.split_code_reload
+            + self.exception
             + self.debug_handler
     }
 }

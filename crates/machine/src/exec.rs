@@ -57,7 +57,9 @@ impl CodeSource for FetchSource<'_> {
     type Err = PageFaultInfo;
 
     fn next(&mut self) -> Result<u8, PageFaultInfo> {
-        let p = self.m.translate(self.addr, Access::Fetch, Privilege::User)?;
+        let p = self
+            .m
+            .translate(self.addr, Access::Fetch, Privilege::User)?;
         self.addr = self.addr.wrapping_add(1);
         Ok(self.m.phys.read_u8(p))
     }
@@ -230,8 +232,8 @@ fn exec_insn(m: &mut Machine, insn: Insn, next_eip: u32) -> Result<Flow, Exc> {
                 if divisor == 0 {
                     return Err(Exc::DivideError);
                 }
-                let dividend = ((m.cpu.regs.get(Reg::Edx) as u64) << 32)
-                    | m.cpu.regs.get(Reg::Eax) as u64;
+                let dividend =
+                    ((m.cpu.regs.get(Reg::Edx) as u64) << 32) | m.cpu.regs.get(Reg::Eax) as u64;
                 let q = dividend / divisor;
                 if q > u32::MAX as u64 {
                     return Err(Exc::DivideError);

@@ -814,10 +814,7 @@ mod tests {
     #[test]
     fn relative_branches() {
         assert_eq!(insn(&[0xEB, 0xFE]).0, Insn::JmpRel(-2));
-        assert_eq!(
-            insn(&[0xE9, 0x10, 0x00, 0x00, 0x00]).0,
-            Insn::JmpRel(0x10)
-        );
+        assert_eq!(insn(&[0xE9, 0x10, 0x00, 0x00, 0x00]).0, Insn::JmpRel(0x10));
         assert_eq!(insn(&[0x74, 0x05]).0, Insn::JccRel(Cond::E, 5));
         assert_eq!(
             insn(&[0x0F, 0x85, 0xFF, 0xFF, 0xFF, 0xFF]).0,

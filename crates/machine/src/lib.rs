@@ -40,6 +40,7 @@
 //! assert_eq!(trap, sm_machine::Trap::None);
 //! ```
 
+pub mod chaos;
 pub mod costs;
 pub mod cpu;
 pub mod exec;

@@ -139,6 +139,14 @@ pub struct FrameAllocator {
     allocated: u32,
     /// High-water mark of simultaneously allocated frames.
     peak: u32,
+    /// Total `alloc` calls, successful or not (the fault-injection clock).
+    alloc_calls: u64,
+    /// Absolute call number at which the next injected failure fires.
+    inject_next: Option<u64>,
+    /// After the first injected failure, keep failing every N-th call.
+    inject_every: Option<u64>,
+    /// Failures injected so far.
+    pub injected_failures: u64,
 }
 
 impl FrameAllocator {
@@ -152,19 +160,44 @@ impl FrameAllocator {
             total,
             allocated: 0,
             peak: 0,
+            alloc_calls: 0,
+            inject_next: None,
+            inject_every: None,
+            injected_failures: 0,
         }
+    }
+
+    /// Arrange for the `at`-th allocation from now (1-based) to fail with
+    /// [`OutOfFrames`], and — if `every` is set — every `every`-th call
+    /// after that. The chaos harness uses this to exercise OOM paths
+    /// (two-frame splits, COW, fork, pagetable growth) deterministically.
+    pub fn inject_oom(&mut self, at: u64, every: Option<u64>) {
+        self.inject_next = Some(self.alloc_calls + at.max(1));
+        self.inject_every = every;
     }
 
     /// Allocate one frame.
     ///
     /// # Errors
     ///
-    /// Returns [`OutOfFrames`] when every frame is in use.
+    /// Returns [`OutOfFrames`] when every frame is in use, or when a fault
+    /// scheduled via [`FrameAllocator::inject_oom`] is due.
     pub fn alloc(&mut self) -> Result<Frame, OutOfFrames> {
+        self.alloc_calls += 1;
+        if self.inject_next.is_some_and(|n| self.alloc_calls >= n) {
+            self.injected_failures += 1;
+            self.inject_next = self.inject_every.map(|e| self.alloc_calls + e.max(1));
+            return Err(OutOfFrames);
+        }
         let f = self.free.pop().ok_or(OutOfFrames)?;
         self.allocated += 1;
         self.peak = self.peak.max(self.allocated);
         Ok(f)
+    }
+
+    /// Total `alloc` calls so far (successful or failed).
+    pub fn alloc_calls(&self) -> u64 {
+        self.alloc_calls
     }
 
     /// Return a frame to the free pool.
@@ -263,6 +296,21 @@ mod tests {
         a.free(f1);
         let again = a.alloc().unwrap();
         assert_eq!(again, f1);
+    }
+
+    #[test]
+    fn injected_oom_fires_at_the_kth_call_then_periodically() {
+        let mut a = FrameAllocator::new(64);
+        a.inject_oom(3, Some(2));
+        assert!(a.alloc().is_ok()); // call 1
+        assert!(a.alloc().is_ok()); // call 2
+        assert!(a.alloc().is_err()); // call 3: injected
+        assert!(a.alloc().is_ok()); // call 4
+        assert!(a.alloc().is_err()); // call 5: periodic
+        assert_eq!(a.injected_failures, 2);
+        assert_eq!(a.alloc_calls(), 5);
+        // Injected failures never leak frames.
+        assert_eq!(a.allocated_count(), 3);
     }
 
     #[test]

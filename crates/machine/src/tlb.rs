@@ -149,6 +149,26 @@ impl Tlb {
         dropped
     }
 
+    /// Evict one valid entry chosen by `draw` (any u64; reduced modulo the
+    /// current occupancy), counting it as a capacity eviction. Returns the
+    /// evicted entry's vpn, or `None` if the TLB is empty. Used by the
+    /// chaos harness to model seeded capacity pressure.
+    pub fn evict_one(&mut self, draw: u64) -> Option<u32> {
+        let valid: Vec<usize> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.is_some().then_some(i))
+            .collect();
+        if valid.is_empty() {
+            return None;
+        }
+        let idx = valid[(draw % valid.len() as u64) as usize];
+        let vpn = self.entries[idx].take().map(|e| e.vpn);
+        self.stats.evictions += 1;
+        vpn
+    }
+
     /// Number of currently valid entries.
     pub fn len(&self) -> usize {
         self.entries.iter().flatten().count()
@@ -241,6 +261,20 @@ mod tests {
         t.flush_all();
         assert!(t.is_empty());
         assert_eq!(t.stats.flushes, 1);
+    }
+
+    #[test]
+    fn evict_one_is_seeded_and_bounded() {
+        let mut t = Tlb::new(4);
+        assert!(t.evict_one(99).is_none());
+        t.fill(entry(1, 1));
+        t.fill(entry(2, 2));
+        let vpn = t.evict_one(1).unwrap();
+        assert!(vpn == 1 || vpn == 2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.stats.evictions, 1);
+        t.evict_one(0).unwrap();
+        assert!(t.is_empty());
     }
 
     #[test]

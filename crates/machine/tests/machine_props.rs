@@ -54,7 +54,9 @@ fn page_crossing_write_is_precise_when_second_page_unmapped() {
     let mut m = harness(&[0x90], 1, MachineConfig::default());
     // 0x1FFE..0x2002 crosses into unmapped 0x2000.
     let before = m.read_u32(0x1FFC, Privilege::User).unwrap();
-    let err = m.write_u32(0x1FFE, 0xDEADBEEF, Privilege::User).unwrap_err();
+    let err = m
+        .write_u32(0x1FFE, 0xDEADBEEF, Privilege::User)
+        .unwrap_err();
     assert_eq!(err.addr & !0xFFF, 0x2000);
     // Nothing was partially written.
     assert_eq!(m.read_u32(0x1FFC, Privilege::User).unwrap(), before);
@@ -62,10 +64,14 @@ fn page_crossing_write_is_precise_when_second_page_unmapped() {
 
 #[test]
 fn nx_bit_blocks_fetch_but_not_data() {
-    let mut m = harness(&[0x90], 4, MachineConfig {
-        nx_enabled: true,
-        ..MachineConfig::default()
-    });
+    let mut m = harness(
+        &[0x90],
+        4,
+        MachineConfig {
+            nx_enabled: true,
+            ..MachineConfig::default()
+        },
+    );
     // Mark page 2 (0x2000) NX.
     let e = m.read_pte(0x2000).unwrap();
     let tab = pte::frame(m.phys.read_u32(Frame(m.cpu.regs.cr3).base()));
@@ -73,7 +79,9 @@ fn nx_bit_blocks_fetch_but_not_data() {
     // Data access fine.
     assert!(m.read_u8(0x2000, Privilege::User).is_ok());
     // Fetch faults with a protection error.
-    let err = m.translate(0x2000, Access::Fetch, Privilege::User).unwrap_err();
+    let err = m
+        .translate(0x2000, Access::Fetch, Privilege::User)
+        .unwrap_err();
     assert!(err.present);
     assert_eq!(err.access, Access::Fetch);
     // With the bit disabled, the same fetch succeeds.
@@ -141,10 +149,14 @@ fn cr3_load_flushes_both_tlbs() {
 
 #[test]
 fn softtlb_mode_never_walks() {
-    let mut m = harness(&[0x90], 4, MachineConfig {
-        software_tlb: true,
-        ..MachineConfig::default()
-    });
+    let mut m = harness(
+        &[0x90],
+        4,
+        MachineConfig {
+            software_tlb: true,
+            ..MachineConfig::default()
+        },
+    );
     // Every access misses until the "kernel" fills the TLB.
     let err = m.read_u8(0x2000, Privilege::User).unwrap_err();
     assert!(!err.present);

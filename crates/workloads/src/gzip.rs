@@ -9,9 +9,8 @@
 //! compute between them.
 
 use crate::runner::{measure, workload_kconfig, WorkloadResult};
-use sm_kernel::kernel::KernelConfig;
-use rand::{Rng, SeedableRng};
 use sm_core::setup::Protection;
+use sm_kernel::kernel::KernelConfig;
 use sm_kernel::userlib::{BuiltProgram, ProgramBuilder};
 
 /// Path of the input file in the ram fs.
@@ -146,8 +145,9 @@ pub fn run_gzip(protection: &Protection, kilobytes: u32) -> WorkloadResult {
         ..workload_kconfig()
     });
     // Deterministic "file" contents with some repetition (so the match
-    // path is exercised too).
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+    // path is exercised too). The input stream forks off the kernel's own
+    // seeded rng so one `KernelConfig::seed` replays the whole run.
+    let mut rng = kernel.sys.rng.fork();
     let data: Vec<u8> = (0..kilobytes as usize * 1024)
         .map(|i| {
             if i % 7 == 0 {

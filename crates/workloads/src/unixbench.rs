@@ -403,7 +403,11 @@ mod tests {
 
     #[test]
     fn ctxsw_actually_switches() {
-        let r = run_unixbench(&Protection::Unprotected, UnixbenchTest::PipeContextSwitch, 25);
+        let r = run_unixbench(
+            &Protection::Unprotected,
+            UnixbenchTest::PipeContextSwitch,
+            25,
+        );
         assert!(
             r.kernel.context_switches >= 40,
             "expected ≥2 switches/iteration, got {:?}",
@@ -415,7 +419,11 @@ mod tests {
     fn ctxsw_is_the_split_memory_worst_case() {
         // Fig. 7: pipe-based context switching under stand-alone split
         // memory is at or below 50% of unprotected speed.
-        let base = run_unixbench(&Protection::Unprotected, UnixbenchTest::PipeContextSwitch, 25);
+        let base = run_unixbench(
+            &Protection::Unprotected,
+            UnixbenchTest::PipeContextSwitch,
+            25,
+        );
         let prot = run_unixbench(
             &Protection::SplitMem(ResponseMode::Break),
             UnixbenchTest::PipeContextSwitch,

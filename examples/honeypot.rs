@@ -28,7 +28,10 @@ fn main() {
         "observe mode should let the attack proceed"
     );
     println!("exploit outcome: root shell obtained (as intended for a honeypot)");
-    println!("detections logged before the shell: {}\n", report.detections);
+    println!(
+        "detections logged before the shell: {}\n",
+        report.detections
+    );
 
     // Let the "attacker" poke around.
     let transcript = match conn {

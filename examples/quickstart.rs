@@ -79,10 +79,7 @@ fn run_attack(mut kernel: Kernel, label: &str) -> Kernel {
     println!("   victim exit status: {:?}", p.exit_code);
     println!("   victim output:      {:?}", p.output_string());
     for event in kernel.sys.events.iter() {
-        if let Event::AttackDetected {
-            eip, shellcode, ..
-        } = event
-        {
+        if let Event::AttackDetected { eip, shellcode, .. } = event {
             println!("   DETECTED injected code about to run at {eip:#010x}");
             if !shellcode.is_empty() {
                 println!("   captured payload:");

@@ -31,11 +31,7 @@ fn clean_binaries_get_nx_only() {
         .unwrap();
     let mut k = combined_kernel();
     let pid = k.spawn(&prog.image).unwrap();
-    let engine = k
-        .engine
-        .as_any()
-        .downcast_ref::<CombinedEngine>()
-        .unwrap();
+    let engine = k.engine.as_any().downcast_ref::<CombinedEngine>().unwrap();
     assert!(engine.split.table(pid).is_none_or(|t| t.is_empty()));
     assert!(engine.nx.stats.pages_marked > 0);
     k.run(10_000_000);
@@ -51,11 +47,7 @@ fn mixed_binaries_get_their_mixed_pages_split() {
         .unwrap();
     let mut k = combined_kernel();
     let pid = k.spawn(&prog.image).unwrap();
-    let engine = k
-        .engine
-        .as_any()
-        .downcast_ref::<CombinedEngine>()
-        .unwrap();
+    let engine = k.engine.as_any().downcast_ref::<CombinedEngine>().unwrap();
     let split_pages = engine.split.table(pid).map_or(0, |t| t.len());
     assert!(split_pages > 0, "mixed pages must be split");
     k.run(10_000_000);
@@ -153,11 +145,7 @@ fn fraction_policy_splits_roughly_the_requested_share() {
             Protection::CombinedFraction(0.5).engine(),
         );
         let pid = k.spawn(&prog.image).unwrap();
-        let engine = k
-            .engine
-            .as_any()
-            .downcast_ref::<CombinedEngine>()
-            .unwrap();
+        let engine = k.engine.as_any().downcast_ref::<CombinedEngine>().unwrap();
         split_pages += engine.split.table(pid).map_or(0, |t| t.len());
         // ~17 data pages + 1 code page + 1 stack page eagerly mapped.
         total_pages += 19;

@@ -49,7 +49,10 @@ fn self_modifying_program() -> BuiltProgram {
 
 #[test]
 fn self_modifying_code_works_unprotected() {
-    let (_, code) = run(Kernel::with_engine(Box::new(NullEngine)), &self_modifying_program());
+    let (_, code) = run(
+        Kernel::with_engine(Box::new(NullEngine)),
+        &self_modifying_program(),
+    );
     assert_eq!(code, Some(7), "the self-patch must take effect");
 }
 

@@ -109,7 +109,11 @@ fn context_switch_overhead_is_the_dominant_mechanism() {
         20,
     );
     let compute = normalized(&prot_c, &base_c);
-    let base_s = run_unixbench(&Protection::Unprotected, UnixbenchTest::PipeContextSwitch, 25);
+    let base_s = run_unixbench(
+        &Protection::Unprotected,
+        UnixbenchTest::PipeContextSwitch,
+        25,
+    );
     let prot_s = run_unixbench(
         &Protection::SplitMem(ResponseMode::Break),
         UnixbenchTest::PipeContextSwitch,
@@ -211,10 +215,6 @@ fn lazy_mode_still_foils_injection() {
     assert_ne!(k.sys.proc(pid).exit_code, Some(42));
     assert!(k.sys.events.first_detection().is_some());
     // The detection required materialising the stack page's code half.
-    let engine = k
-        .engine
-        .as_any()
-        .downcast_ref::<SplitMemEngine>()
-        .unwrap();
+    let engine = k.engine.as_any().downcast_ref::<SplitMemEngine>().unwrap();
     assert!(engine.stats.lazy_materializations > 0);
 }

@@ -38,7 +38,11 @@ fn identical_runs_are_cycle_exact() {
         let pid = k.spawn(&echo_program().image).unwrap();
         k.sys.proc_mut(pid).input = b"determinism\n".to_vec();
         assert_eq!(k.run(50_000_000), RunExit::AllExited);
-        (k.sys.machine.cycles, k.sys.events.len(), k.sys.proc(pid).output_string())
+        (
+            k.sys.machine.cycles,
+            k.sys.events.len(),
+            k.sys.proc(pid).output_string(),
+        )
     };
     assert_eq!(run(), run());
 }
@@ -129,11 +133,7 @@ fn tlb_snapshot_survives_pte_restriction() {
     assert_eq!(k.sys.proc(pid).exit_code, Some(42));
     // The engine recorded exactly one data reload for that page even
     // though it was read twice.
-    let engine = k
-        .engine
-        .as_any()
-        .downcast_ref::<SplitMemEngine>()
-        .unwrap();
+    let engine = k.engine.as_any().downcast_ref::<SplitMemEngine>().unwrap();
     assert!(engine.stats.data_reloads >= 1);
     let _ = data_page;
 }

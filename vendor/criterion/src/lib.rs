@@ -1,0 +1,253 @@
+//! In-tree stand-in for the `criterion` crate.
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors the subset of the criterion API its benches use: benchmark
+//! groups, `iter`/`iter_batched`, throughput annotation, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is a plain
+//! warmup + timed-loop mean/min report — enough to compare hot paths
+//! release-to-release without statistical machinery.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup (accepted, not acted on: every batch
+/// here is per-iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine input.
+    SmallInput,
+    /// Large routine input.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Units for per-iteration throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Criterion {
+        run_benchmark(name, self.sample_size, None, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    let Some(&min) = b
+        .samples
+        .iter()
+        .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+    else {
+        println!("{name:<44} (no samples)");
+        return;
+    };
+    let mean = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  {:>12.0} elem/s", n as f64 / mean),
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.0} MiB/s", n as f64 / mean / (1 << 20) as f64)
+        }
+        None => String::new(),
+    };
+    println!(
+        "{name:<44} mean {:>12}  min {:>12}{rate}",
+        fmt_secs(mean),
+        fmt_secs(min),
+    );
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+/// Passed to each benchmark closure; runs and times the measured routine.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: find an iteration count that takes ≥ ~1 ms
+        // so Instant overhead stays negligible.
+        let mut iters = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            if t.elapsed() >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup())); // warmup
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Bundle benchmark functions into one named runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test --benches` runs the binary with `--test`; there is
+            // nothing to unit-test here, so exit cleanly without timing.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("count", |b| {
+            let mut n = 0u64;
+            b.iter(|| {
+                n = n.wrapping_add(1);
+                n
+            });
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn iter_batched_uses_fresh_inputs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        g.bench_function("sum", |b| {
+            b.iter_batched(
+                || vec![1u8, 2, 3],
+                |v| v.into_iter().map(u64::from).sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+        g.finish();
+    }
+}
