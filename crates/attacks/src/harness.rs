@@ -18,7 +18,18 @@ pub use sm_core::setup::Protection;
 /// Build a kernel configured for `protection`, with the shell installed
 /// (so successful exploits have something to exec).
 pub fn kernel_with(protection: &Protection, kconfig: KernelConfig) -> Kernel {
-    let mut k = protection.kernel(kconfig);
+    kernel_with_on(protection, sm_machine::TlbPreset::default(), kconfig)
+}
+
+/// [`kernel_with`] on an explicit TLB geometry (the attack corpus must
+/// hold on the paper's real testbed hardware, not just the idealised
+/// fully-associative model).
+pub fn kernel_with_on(
+    protection: &Protection,
+    tlb: sm_machine::TlbPreset,
+    kconfig: KernelConfig,
+) -> Kernel {
+    let mut k = protection.kernel_on(tlb, kconfig);
     install_shell(&mut k.sys.fs);
     k
 }

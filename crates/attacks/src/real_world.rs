@@ -17,13 +17,14 @@
 //! from an attacker machine.
 
 use crate::harness::{
-    classify_shell, drive_shell, ext_recv_wait, ext_send, external_connect_patiently, kernel_with,
-    AttackOutcome, Protection,
+    classify_shell, drive_shell, ext_recv_wait, ext_send, external_connect_patiently,
+    kernel_with_on, AttackOutcome, Protection,
 };
 use crate::shellcode;
 use sm_kernel::kernel::{Kernel, KernelConfig};
 use sm_kernel::process::Pid;
 use sm_kernel::userlib::{BuiltProgram, ProgramBuilder};
+use sm_machine::TlbPreset;
 
 /// The five emulated attacks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -104,12 +105,23 @@ pub struct ScenarioReport {
 
 /// Run one scenario under a protection configuration.
 pub fn run_scenario(scenario: Scenario, protection: &Protection) -> ScenarioReport {
+    run_scenario_on(scenario, protection, TlbPreset::default())
+}
+
+/// [`run_scenario`] on an explicit TLB geometry. Verdicts must not depend
+/// on TLB shape: the split check fires on the miss path regardless of why
+/// the entry was absent.
+pub fn run_scenario_on(
+    scenario: Scenario,
+    protection: &Protection,
+    tlb: TlbPreset,
+) -> ScenarioReport {
     match scenario {
-        Scenario::ApacheSsl => run_apache(protection),
-        Scenario::BindTsig => run_bind(protection),
-        Scenario::ProftpdAscii => run_proftpd(protection),
-        Scenario::SambaTrans2 => run_samba(protection),
-        Scenario::WuFtpdGlob => run_wuftpd(protection),
+        Scenario::ApacheSsl => run_apache(protection, tlb),
+        Scenario::BindTsig => run_bind(protection, tlb),
+        Scenario::ProftpdAscii => run_proftpd(protection, tlb),
+        Scenario::SambaTrans2 => run_samba(protection, tlb),
+        Scenario::WuFtpdGlob => run_wuftpd(protection, tlb),
     }
 }
 
@@ -118,9 +130,15 @@ pub fn run_scenario(scenario: Scenario, protection: &Protection) -> ScenarioRepo
 
 const BUDGET: u64 = 4_000_000;
 
-fn spawn_server(protection: &Protection, prog: &BuiltProgram, aslr: bool) -> (Kernel, Pid) {
-    let mut k = kernel_with(
+fn spawn_server(
+    protection: &Protection,
+    tlb: TlbPreset,
+    prog: &BuiltProgram,
+    aslr: bool,
+) -> (Kernel, Pid) {
+    let mut k = kernel_with_on(
         protection,
+        tlb,
         KernelConfig {
             aslr_stack: aslr,
             ..KernelConfig::default()
@@ -231,9 +249,9 @@ pub fn apache_server() -> BuiltProgram {
         .expect("apache server assembles")
 }
 
-fn run_apache(protection: &Protection) -> ScenarioReport {
+fn run_apache(protection: &Protection, tlb: TlbPreset) -> ScenarioReport {
     let prog = apache_server();
-    let (mut k, _pid) = spawn_server(protection, &prog, false);
+    let (mut k, _pid) = spawn_server(protection, tlb, &prog, false);
     let conn = external_connect_patiently(&mut k, 443, BUDGET).expect("server listening");
     let banner = String::from_utf8_lossy(&ext_recv_wait(&mut k, &conn, BUDGET)).into_owned();
     let keybuf = parse_leak(&banner, 0).expect("leak in banner");
@@ -307,9 +325,9 @@ pub fn bind_server() -> BuiltProgram {
         .expect("bind server assembles")
 }
 
-fn run_bind(protection: &Protection) -> ScenarioReport {
+fn run_bind(protection: &Protection, tlb: TlbPreset) -> ScenarioReport {
     let prog = bind_server();
-    let (mut k, _pid) = spawn_server(protection, &prog, false);
+    let (mut k, _pid) = spawn_server(protection, tlb, &prog, false);
     let conn = external_connect_patiently(&mut k, 53, BUDGET).expect("server listening");
     let banner = String::from_utf8_lossy(&ext_recv_wait(&mut k, &conn, BUDGET)).into_owned();
     let bufaddr = parse_leak(&banner, 0).expect("leak in banner");
@@ -443,9 +461,9 @@ pub fn proftpd_server() -> BuiltProgram {
         .expect("proftpd server assembles")
 }
 
-fn run_proftpd(protection: &Protection) -> ScenarioReport {
+fn run_proftpd(protection: &Protection, tlb: TlbPreset) -> ScenarioReport {
     let prog = proftpd_server();
-    let (mut k, _pid) = spawn_server(protection, &prog, false);
+    let (mut k, _pid) = spawn_server(protection, tlb, &prog, false);
     let conn = external_connect_patiently(&mut k, 21, BUDGET).expect("server listening");
     let banner = String::from_utf8_lossy(&ext_recv_wait(&mut k, &conn, BUDGET)).into_owned();
     let xlbuf = parse_leak(&banner, 1).expect("leak in banner"); // 0 is "220"
@@ -527,11 +545,11 @@ pub fn samba_server() -> BuiltProgram {
         .expect("samba server assembles")
 }
 
-fn run_samba(protection: &Protection) -> ScenarioReport {
+fn run_samba(protection: &Protection, tlb: TlbPreset) -> ScenarioReport {
     let prog = samba_server();
     // Stack ASLR on: this is the 2.6-kernel randomisation the eSDee
     // exploit brute-forces (paper §6.1.2).
-    let (mut k, pid) = spawn_server(protection, &prog, true);
+    let (mut k, pid) = spawn_server(protection, tlb, &prog, true);
     k.run(BUDGET);
     // "The exploit was helped by providing a better first guess using
     // insider information about the stack location" — we read the
@@ -654,8 +672,8 @@ pub fn wuftpd_server() -> BuiltProgram {
         .expect("wuftpd server assembles")
 }
 
-fn run_wuftpd(protection: &Protection) -> ScenarioReport {
-    run_wuftpd_with(protection).0
+fn run_wuftpd(protection: &Protection, tlb: TlbPreset) -> ScenarioReport {
+    run_wuftpd_with_on(protection, tlb).0
 }
 
 /// Like [`run_scenario`] for WU-FTPD, but also returns the kernel and the
@@ -663,8 +681,16 @@ fn run_wuftpd(protection: &Protection) -> ScenarioReport {
 pub fn run_wuftpd_with(
     protection: &Protection,
 ) -> (ScenarioReport, Kernel, Option<crate::harness::ExternalConn>) {
+    run_wuftpd_with_on(protection, TlbPreset::default())
+}
+
+/// [`run_wuftpd_with`] on an explicit TLB geometry.
+pub fn run_wuftpd_with_on(
+    protection: &Protection,
+    tlb: TlbPreset,
+) -> (ScenarioReport, Kernel, Option<crate::harness::ExternalConn>) {
     let prog = wuftpd_server();
-    let (mut k, _pid) = spawn_server(protection, &prog, false);
+    let (mut k, _pid) = spawn_server(protection, tlb, &prog, false);
     let conn = external_connect_patiently(&mut k, 2121, BUDGET).expect("server listening");
     let banner = String::from_utf8_lossy(&ext_recv_wait(&mut k, &conn, BUDGET)).into_owned();
     let gbuf = parse_leak(&banner, 1).expect("gbuf leak");

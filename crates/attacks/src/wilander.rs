@@ -15,7 +15,7 @@
 //! address, and the trigger transfers control. The payload is an
 //! `exit(42)` marker, so "attack succeeded" is an exit status of 42.
 
-use crate::harness::{classify_marker, kernel_with, AttackOutcome, Protection};
+use crate::harness::{classify_marker, kernel_with_on, AttackOutcome, Protection};
 use crate::shellcode::{self, as_byte_directive};
 use sm_kernel::kernel::KernelConfig;
 use sm_kernel::userlib::{BuiltProgram, ProgramBuilder};
@@ -267,9 +267,21 @@ pub fn build_case(case: Case) -> Option<BuiltProgram> {
 
 /// Run one cell under a protection configuration. `None` for N/A cells.
 pub fn run_case(case: Case, protection: &Protection) -> Option<AttackOutcome> {
+    run_case_on(case, protection, sm_machine::TlbPreset::default())
+}
+
+/// [`run_case`] on an explicit TLB geometry. The protection verdict must
+/// not depend on TLB shape — set conflicts change *when* the split check
+/// runs, never *whether* it runs before a fetch from an unblessed page.
+pub fn run_case_on(
+    case: Case,
+    protection: &Protection,
+    tlb: sm_machine::TlbPreset,
+) -> Option<AttackOutcome> {
     let prog = build_case(case)?;
-    let mut k = kernel_with(
+    let mut k = kernel_with_on(
         protection,
+        tlb,
         KernelConfig {
             aslr_stack: false, // the benchmark assumes known addresses
             ..KernelConfig::default()

@@ -1,4 +1,8 @@
-//! Runs every table and figure in sequence (the paper's full evaluation).
+//! Runs every table and figure in sequence (the paper's full evaluation),
+//! then re-runs the performance figures on the paper's Pentium III TLB
+//! geometry (32-entry 4-way I-TLB, 64-entry 4-way D-TLB).
+use sm_machine::TlbPreset;
+
 fn main() {
     println!("==== Table 1 ====================================================\n");
     let t1 = sm_bench::table1::run();
@@ -39,4 +43,23 @@ fn main() {
     let sens = sm_bench::ablation::trap_cost_sensitivity(60);
     let soft = sm_bench::ablation::softtlb_port(60);
     println!("{}", sm_bench::ablation::render_all(&itlb, &sens, &soft));
+
+    let p3 = TlbPreset::pentium3();
+    println!("==== Fig. 6 (pentium3 geometry) =================================\n");
+    let f6 = sm_bench::fig6::run(sm_bench::fig6::Fig6Params::default().on(p3));
+    println!("{}", sm_bench::fig6::render(&f6));
+
+    println!("==== Fig. 7 (pentium3 geometry) =================================\n");
+    let f7 = sm_bench::fig7::run_on(p3, 60);
+    println!("{}", sm_bench::fig7::render(&f7));
+    let diags = sm_bench::fig7::tlb_diagnostics(p3, 60);
+    println!("{}", sm_bench::fig7::render_diagnostics(&diags));
+
+    println!("==== Fig. 8 (pentium3 geometry) =================================\n");
+    let f8 = sm_bench::fig8::run_on(p3, 30);
+    println!("{}", sm_bench::fig8::render(&f8));
+
+    println!("==== Fig. 9 (pentium3 geometry) =================================\n");
+    let f9 = sm_bench::fig9::run_on(p3, 50, 8);
+    println!("{}", sm_bench::fig9::render(&f9));
 }

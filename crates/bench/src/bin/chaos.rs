@@ -9,6 +9,7 @@ use sm_bench::chaos::{self, Scenario};
 use sm_core::setup::Protection;
 use sm_kernel::events::ResponseMode;
 use sm_kernel::kernel::RunExit;
+use sm_machine::TlbPreset;
 
 fn main() {
     // One wilander column per technique (plus the benign loop) keeps the
@@ -85,6 +86,44 @@ fn main() {
     }
 
     let oom = chaos::sweep_oom(&seeds, &scenarios, &combined);
+    for r in &oom {
+        combos += 1;
+        let mut bad = Vec::new();
+        if r.run.attack_succeeded {
+            bad.push(format!("attack succeeded under OOM: {}", r.run.verdict));
+        }
+        if !r.run.violations.is_empty() {
+            bad.push(format!("{} invariant violations", r.run.violations.len()));
+        }
+        report(r, &mut failures, bad);
+    }
+
+    // Set-associative pass: the same guarantees must hold when chaos
+    // evictions pick a victim set then a way (paper-testbed geometry). A
+    // reduced seed set keeps the sweep inside its runtime budget — the
+    // geometry changes which entries evictions hit, not the fault stream.
+    println!("\npentium3 geometry (32-entry 4-way I-TLB, 64-entry 4-way D-TLB):");
+    let p3 = TlbPreset::pentium3();
+    let p3_seeds = [1u64];
+    let perturbed = chaos::sweep_on(&p3_seeds, &scenarios, &split, p3);
+    for r in &perturbed {
+        combos += 1;
+        let mut bad = Vec::new();
+        if !r.verdict_stable {
+            bad.push(format!(
+                "verdict {:?} != baseline {:?}",
+                r.run.verdict, r.baseline
+            ));
+        }
+        if !r.run.violations.is_empty() {
+            bad.push(format!("{} invariant violations", r.run.violations.len()));
+        }
+        if matches!(r.run.exit, RunExit::Livelock { .. }) {
+            bad.push("livelock".into());
+        }
+        report(r, &mut failures, bad);
+    }
+    let oom = chaos::sweep_oom_on(&p3_seeds, &scenarios, &combined, p3);
     for r in &oom {
         combos += 1;
         let mut bad = Vec::new();

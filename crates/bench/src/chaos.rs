@@ -19,13 +19,14 @@
 //! * **invariants hold** — [`sm_core::invariants::check`] passes between
 //!   every execution slice of every run.
 
-use sm_attacks::harness::{classify_marker, kernel_with, AttackOutcome};
+use sm_attacks::harness::{classify_marker, kernel_with_on, AttackOutcome};
 use sm_attacks::wilander::{self, Case, MARKER};
 use sm_core::invariants::{self, Violation};
 use sm_core::setup::Protection;
 use sm_kernel::kernel::{KernelConfig, RunExit};
 use sm_kernel::userlib::{BuiltProgram, ProgramBuilder};
 use sm_machine::chaos::FaultPlan;
+use sm_machine::TlbPreset;
 
 /// A fault plan with a human-readable name for reports.
 #[derive(Debug, Clone, Copy)]
@@ -220,12 +221,24 @@ pub struct ChaosRun {
 
 /// Run one scenario under one plan, checking invariants between slices.
 pub fn run_scenario(scenario: Scenario, protection: &Protection, plan: FaultPlan) -> ChaosRun {
+    run_scenario_on(scenario, protection, TlbPreset::default(), plan)
+}
+
+/// [`run_scenario`] on an explicit TLB geometry — chaos evictions become
+/// set-aware, so determinism and verdict stability must hold per
+/// `(plan, seed, geometry)`.
+pub fn run_scenario_on(
+    scenario: Scenario,
+    protection: &Protection,
+    tlb: TlbPreset,
+    plan: FaultPlan,
+) -> ChaosRun {
     let kconfig = KernelConfig {
         aslr_stack: false,
         chaos: plan,
         ..KernelConfig::default()
     };
-    let mut k = kernel_with(protection, kconfig);
+    let mut k = kernel_with_on(protection, tlb, kconfig);
     let (image, marker) = match scenario {
         Scenario::Wilander(case) => (
             wilander::build_case(case).expect("applicable case").image,
@@ -297,12 +310,22 @@ pub struct ComboResult {
 /// plans under combined mode (NX backstops degraded pages) demanding
 /// attacks never succeed. Returns every combo result; the caller asserts.
 pub fn sweep(seeds: &[u64], scenarios: &[Scenario], protection: &Protection) -> Vec<ComboResult> {
+    sweep_on(seeds, scenarios, protection, TlbPreset::default())
+}
+
+/// [`sweep`] on an explicit TLB geometry.
+pub fn sweep_on(
+    seeds: &[u64],
+    scenarios: &[Scenario],
+    protection: &Protection,
+    tlb: TlbPreset,
+) -> Vec<ComboResult> {
     let mut out = Vec::new();
     for &scenario in scenarios {
-        let baseline = run_scenario(scenario, protection, FaultPlan::default());
+        let baseline = run_scenario_on(scenario, protection, tlb, FaultPlan::default());
         for &seed in seeds {
             for np in perturbation_plans(seed) {
-                let run = run_scenario(scenario, protection, np.plan);
+                let run = run_scenario_on(scenario, protection, tlb, np.plan);
                 let stable = run.verdict == baseline.verdict;
                 out.push(ComboResult {
                     scenario: scenario.name(),
@@ -326,12 +349,22 @@ pub fn sweep_oom(
     scenarios: &[Scenario],
     protection: &Protection,
 ) -> Vec<ComboResult> {
+    sweep_oom_on(seeds, scenarios, protection, TlbPreset::default())
+}
+
+/// [`sweep_oom`] on an explicit TLB geometry.
+pub fn sweep_oom_on(
+    seeds: &[u64],
+    scenarios: &[Scenario],
+    protection: &Protection,
+    tlb: TlbPreset,
+) -> Vec<ComboResult> {
     let mut out = Vec::new();
     for &scenario in scenarios {
-        let baseline = run_scenario(scenario, protection, FaultPlan::default());
+        let baseline = run_scenario_on(scenario, protection, tlb, FaultPlan::default());
         for &seed in seeds {
             for np in oom_plans(seed) {
-                let run = run_scenario(scenario, protection, np.plan);
+                let run = run_scenario_on(scenario, protection, tlb, np.plan);
                 out.push(ComboResult {
                     scenario: scenario.name(),
                     plan: np.name,

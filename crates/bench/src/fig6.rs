@@ -8,8 +8,9 @@
 
 use sm_core::setup::Protection;
 use sm_kernel::events::ResponseMode;
-use sm_workloads::nbench::{run_nbench, NbenchKernel};
-use sm_workloads::unixbench::{run_unixbench, UnixbenchTest};
+use sm_machine::TlbPreset;
+use sm_workloads::nbench::{run_nbench_on, NbenchKernel};
+use sm_workloads::unixbench::{run_unixbench_on, UnixbenchTest};
 use sm_workloads::{geometric_mean, gzip, httpd, normalized};
 
 /// One bar of the figure.
@@ -36,6 +37,8 @@ pub struct Fig6Params {
     /// Unixbench iterations for cheap tests (expensive tests are scaled
     /// down internally).
     pub ub_iters: u32,
+    /// TLB geometry every run uses (both protected and baseline).
+    pub tlb: TlbPreset,
 }
 
 impl Default for Fig6Params {
@@ -45,6 +48,7 @@ impl Default for Fig6Params {
             gzip_kb: 64,
             nbench_iters: 300,
             ub_iters: 2500,
+            tlb: TlbPreset::default(),
         }
     }
 }
@@ -57,7 +61,13 @@ impl Fig6Params {
             gzip_kb: 16,
             nbench_iters: 40,
             ub_iters: 400,
+            ..Fig6Params::default()
         }
+    }
+
+    /// Same scale, on a different TLB geometry.
+    pub fn on(self, tlb: TlbPreset) -> Fig6Params {
+        Fig6Params { tlb, ..self }
     }
 }
 
@@ -77,12 +87,17 @@ fn ub_iterations(test: UnixbenchTest, base: u32) -> u32 {
 /// Unixbench index (geometric mean of per-test normalized scores), as real
 /// Unixbench aggregates.
 pub fn unixbench_index(base: &Protection, prot: &Protection, iters: u32) -> f64 {
+    unixbench_index_on(base, prot, TlbPreset::default(), iters)
+}
+
+/// [`unixbench_index`] on an explicit TLB geometry.
+pub fn unixbench_index_on(base: &Protection, prot: &Protection, tlb: TlbPreset, iters: u32) -> f64 {
     let ratios: Vec<f64> = UnixbenchTest::ALL
         .iter()
         .map(|t| {
             let n = ub_iterations(*t, iters);
-            let b = run_unixbench(base, *t, n);
-            let p = run_unixbench(prot, *t, n);
+            let b = run_unixbench_on(base, tlb, *t, n);
+            let p = run_unixbench_on(prot, tlb, *t, n);
             normalized(&p, &b)
         })
         .collect();
@@ -93,18 +108,19 @@ pub fn unixbench_index(base: &Protection, prot: &Protection, iters: u32) -> f64 
 pub fn run(params: Fig6Params) -> Vec<Bar> {
     let base = Protection::Unprotected;
     let prot = Protection::SplitMem(ResponseMode::Break);
+    let tlb = params.tlb;
     let mut bars = Vec::new();
 
-    let ab = httpd::run_httpd(&base, 32 * 1024, params.requests);
-    let ap = httpd::run_httpd(&prot, 32 * 1024, params.requests);
+    let ab = httpd::run_httpd_on(&base, tlb, 32 * 1024, params.requests);
+    let ap = httpd::run_httpd_on(&prot, tlb, 32 * 1024, params.requests);
     bars.push(Bar {
         name: "apache (32KB page)".into(),
         normalized: normalized(&ap, &ab),
         paper: 0.89,
     });
 
-    let gb = gzip::run_gzip(&base, params.gzip_kb);
-    let gp = gzip::run_gzip(&prot, params.gzip_kb);
+    let gb = gzip::run_gzip_on(&base, tlb, params.gzip_kb);
+    let gp = gzip::run_gzip_on(&prot, tlb, params.gzip_kb);
     bars.push(Bar {
         name: "gzip".into(),
         normalized: normalized(&gp, &gb),
@@ -119,8 +135,8 @@ pub fn run(params: Fig6Params) -> Vec<Bar> {
                 NbenchKernel::IntArithmetic => params.nbench_iters * 50,
                 _ => params.nbench_iters,
             };
-            let b = run_nbench(&base, *nk, iters);
-            let p = run_nbench(&prot, *nk, iters);
+            let b = run_nbench_on(&base, tlb, *nk, iters);
+            let p = run_nbench_on(&prot, tlb, *nk, iters);
             normalized(&p, &b)
         })
         .fold(f64::INFINITY, f64::min);
@@ -132,7 +148,7 @@ pub fn run(params: Fig6Params) -> Vec<Bar> {
 
     bars.push(Bar {
         name: "unixbench index".into(),
-        normalized: unixbench_index(&base, &prot, params.ub_iters),
+        normalized: unixbench_index_on(&base, &prot, tlb, params.ub_iters),
         paper: 0.82,
     });
     bars

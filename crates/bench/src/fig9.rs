@@ -12,8 +12,9 @@
 //! several kernel seeds (the paper averaged 10 runs of every benchmark).
 
 use sm_core::setup::Protection;
+use sm_machine::TlbPreset;
 use sm_workloads::normalized;
-use sm_workloads::unixbench::{run_unixbench_seeded, UnixbenchTest};
+use sm_workloads::unixbench::{run_unixbench_seeded_on, UnixbenchTest};
 
 /// One sweep point.
 #[derive(Debug, Clone)]
@@ -31,8 +32,14 @@ pub const FRACTIONS: [f64; 7] = [0.0, 0.05, 0.10, 0.25, 0.50, 0.75, 1.0];
 
 /// Run the sweep: `iterations` ctxsw iterations, `seeds` runs per point.
 pub fn run(iterations: u32, seeds: u64) -> Vec<Point> {
-    let base = run_unixbench_seeded(
+    run_on(TlbPreset::default(), iterations, seeds)
+}
+
+/// [`run`] on an explicit TLB geometry.
+pub fn run_on(tlb: TlbPreset, iterations: u32, seeds: u64) -> Vec<Point> {
+    let base = run_unixbench_seeded_on(
         &Protection::Unprotected,
+        tlb,
         UnixbenchTest::PipeContextSwitch,
         iterations,
         1,
@@ -42,8 +49,9 @@ pub fn run(iterations: u32, seeds: u64) -> Vec<Point> {
         .map(|&fraction| {
             let samples: Vec<f64> = (0..seeds)
                 .map(|seed| {
-                    let p = run_unixbench_seeded(
+                    let p = run_unixbench_seeded_on(
                         &Protection::CombinedFraction(fraction),
+                        tlb,
                         UnixbenchTest::PipeContextSwitch,
                         iterations,
                         seed * 7919 + 13,

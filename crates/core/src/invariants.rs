@@ -160,6 +160,28 @@ pub fn check(k: &Kernel) -> Vec<Violation> {
         // The one page allowed to be unrestricted: the page an Algorithm-1
         // single-step reload is currently traversing.
         let window = proc.pending_step_addr;
+        // 3. No D-TLB code leak (only the running process's address space
+        // is in the TLBs). The scan walks the buffer's sets directly: a
+        // set-associative TLB can only hold a page's translation in the
+        // set its low VPN bits select, so visiting each set's resident
+        // entries covers exactly the state the hardware would consult.
+        if k.sys.current == Some(pid) {
+            for (_, entries) in k.sys.machine.dtlb.iter_sets() {
+                for e in entries {
+                    let base = e.vpn << pte::PAGE_SHIFT;
+                    if window == Some(base) {
+                        continue;
+                    }
+                    if table
+                        .get(e.vpn)
+                        .and_then(|sp| sp.code)
+                        .is_some_and(|code| code.0 == e.pfn)
+                    {
+                        out.push(Violation::DtlbCodeLeak { pid, vaddr: base });
+                    }
+                }
+            }
+        }
         for (vpn, sp) in table.iter() {
             let base = vpn << pte::PAGE_SHIFT;
             if window == Some(base) {
@@ -181,17 +203,6 @@ pub fn check(k: &Kernel) -> Vec<Violation> {
             let Some(code) = sp.code else {
                 continue;
             };
-            // 3. No D-TLB code leak (only the running process's address
-            // space is in the TLBs).
-            if k.sys.current == Some(pid)
-                && k.sys
-                    .machine
-                    .dtlb
-                    .peek(vpn)
-                    .is_some_and(|e| e.pfn == code.0)
-            {
-                out.push(Violation::DtlbCodeLeak { pid, vaddr: base });
-            }
             // 5. Code-frame liveness.
             if k.sys.frames.refcount(code) == 0 {
                 out.push(Violation::CodeFrameUntracked { pid, vaddr: base });

@@ -12,7 +12,7 @@ use crate::split::SplitPolicy;
 use sm_kernel::engine::{NullEngine, ProtectionEngine};
 use sm_kernel::events::ResponseMode;
 use sm_kernel::kernel::{Kernel, KernelConfig};
-use sm_machine::MachineConfig;
+use sm_machine::{MachineConfig, TlbPreset};
 
 /// Protection configuration under test.
 #[derive(Debug, Clone)]
@@ -71,17 +71,31 @@ impl Protection {
     }
 
     /// Machine configuration for this protection (NX bit enabled only
-    /// where needed, mirroring legacy vs. recent hardware).
+    /// where needed, mirroring legacy vs. recent hardware), on the default
+    /// TLB geometry.
     pub fn machine_config(&self) -> MachineConfig {
+        self.machine_config_on(TlbPreset::default())
+    }
+
+    /// Machine configuration for this protection on an explicit TLB
+    /// geometry (e.g. [`TlbPreset::pentium3`] for the paper's testbed).
+    pub fn machine_config_on(&self, tlb: TlbPreset) -> MachineConfig {
         MachineConfig {
             nx_enabled: self.needs_nx(),
+            tlb,
             ..MachineConfig::default()
         }
     }
 
     /// Build a ready kernel for this configuration.
     pub fn kernel(&self, kconfig: KernelConfig) -> Kernel {
-        Kernel::new(self.machine_config(), kconfig, self.engine())
+        self.kernel_on(TlbPreset::default(), kconfig)
+    }
+
+    /// Build a ready kernel for this configuration on an explicit TLB
+    /// geometry.
+    pub fn kernel_on(&self, tlb: TlbPreset, kconfig: KernelConfig) -> Kernel {
+        Kernel::new(self.machine_config_on(tlb), kconfig, self.engine())
     }
 }
 
@@ -115,6 +129,20 @@ mod tests {
                 .machine_config()
                 .nx_enabled
         );
+    }
+
+    #[test]
+    fn tlb_preset_reaches_the_machine() {
+        let k = Protection::SplitMem(ResponseMode::Break)
+            .kernel_on(TlbPreset::pentium3(), KernelConfig::default());
+        assert_eq!(k.sys.machine.itlb.geometry().sets, 8);
+        assert_eq!(k.sys.machine.itlb.capacity(), 32);
+        assert_eq!(k.sys.machine.dtlb.geometry().sets, 16);
+        assert_eq!(k.sys.machine.dtlb.capacity(), 64);
+        // The default path keeps the backward-compatible shape.
+        let k = Protection::Unprotected.kernel(KernelConfig::default());
+        assert_eq!(k.sys.machine.dtlb.geometry().sets, 1);
+        assert_eq!(k.sys.machine.dtlb.capacity(), 64);
     }
 
     #[test]

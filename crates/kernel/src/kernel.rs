@@ -539,8 +539,8 @@ impl Kernel {
             self.sys.machine.flush_tlbs();
         }
         if faults.evict {
-            self.sys.machine.itlb.evict_one(faults.evict_draw);
-            self.sys.machine.dtlb.evict_one(faults.evict_draw >> 32);
+            self.sys.machine.itlb.evict_one(faults.evict_draws[0]);
+            self.sys.machine.dtlb.evict_one(faults.evict_draws[1]);
         }
         if faults.preempt {
             // A real preemption: route the next switch_to through the full

@@ -70,10 +70,13 @@ impl FaultPlan {
 pub struct StepFaults {
     /// Flush both TLBs.
     pub flush: bool,
-    /// Evict one entry from each TLB using [`StepFaults::evict_draw`].
+    /// Evict one entry from each TLB using [`StepFaults::evict_draws`].
     pub evict: bool,
-    /// Seeded draw for the evictions (one per TLB, split by the callee).
-    pub evict_draw: u64,
+    /// Seeded draws for the evictions: `[0]` for the I-TLB, `[1]` for the
+    /// D-TLB. Two independent values from the fault stream's generator —
+    /// deriving both from one u64 would correlate the victim choices of
+    /// the two buffers.
+    pub evict_draws: [u64; 2],
     /// Force a real context switch at the next scheduling point.
     pub preempt: bool,
     /// Deliver the window signal (plan had `signal_in_window` and the
@@ -132,7 +135,7 @@ impl ChaosState {
         let mut f = StepFaults {
             flush: due(self.plan.flush_every),
             evict: due(self.plan.evict_every),
-            evict_draw: 0,
+            evict_draws: [0; 2],
             preempt: due(self.plan.preempt_every),
             signal: false,
         };
@@ -158,7 +161,7 @@ impl ChaosState {
         if f.evict {
             // Draw even when the TLBs turn out to be empty: the stream must
             // not depend on machine state, only on the step count.
-            f.evict_draw = self.rng.next_u64();
+            f.evict_draws = [self.rng.next_u64(), self.rng.next_u64()];
             self.stats.evictions += 1;
         }
         if f.preempt {
@@ -229,6 +232,24 @@ mod tests {
         assert!(reentry.flush && !reentry.signal);
         assert_eq!(c.stats.window_flushes, 2);
         assert_eq!(c.stats.window_signals, 1);
+    }
+
+    #[test]
+    fn eviction_draws_are_independent_per_tlb() {
+        let mut c = ChaosState::new(FaultPlan {
+            evict_every: Some(1),
+            seed: 7,
+            ..FaultPlan::default()
+        });
+        for _ in 0..32 {
+            let f = c.on_step(false);
+            assert!(f.evict);
+            let [i, d] = f.evict_draws;
+            assert_ne!(i, d, "I- and D-TLB draws must not be correlated");
+            // The old scheme derived the D-TLB draw as `i >> 32`; pin that
+            // the two values are not that projection of one another.
+            assert_ne!(d, i >> 32);
+        }
     }
 
     #[test]

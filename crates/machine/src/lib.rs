@@ -53,3 +53,4 @@ pub mod tlb;
 mod machine;
 
 pub use machine::{Machine, MachineConfig, Trap};
+pub use tlb::{TlbGeometry, TlbPreset};

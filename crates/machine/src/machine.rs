@@ -7,17 +7,17 @@ use crate::exec;
 use crate::phys::{OutOfFrames, PhysMemory};
 use crate::pte::{self, Frame, PAGE_SIZE};
 use crate::stats::MachineStats;
-use crate::tlb::{Tlb, TlbEntry};
+use crate::tlb::{Tlb, TlbEntry, TlbPreset};
 
 /// Construction-time machine parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct MachineConfig {
     /// Number of 4 KiB physical frames (default 16384 = 64 MiB).
     pub phys_frames: u32,
-    /// Instruction-TLB capacity in entries.
-    pub itlb_entries: usize,
-    /// Data-TLB capacity in entries.
-    pub dtlb_entries: usize,
+    /// Geometry of the instruction/data TLB pair. The default is a pair of
+    /// 64-entry fully-associative buffers (the pre-set-associative model);
+    /// [`MachineConfig::pentium3`] selects the paper's testbed hardware.
+    pub tlb: TlbPreset,
     /// Whether the execute-disable bit is honoured by the MMU. `false`
     /// models the legacy x86 hardware the paper's stand-alone mode targets;
     /// `true` models the "recent hardware" of its combined mode (§6.2).
@@ -37,11 +37,21 @@ impl Default for MachineConfig {
     fn default() -> MachineConfig {
         MachineConfig {
             phys_frames: 16384,
-            itlb_entries: 64,
-            dtlb_entries: 64,
+            tlb: TlbPreset::default(),
             nx_enabled: false,
             software_tlb: false,
             costs: CycleCosts::default(),
+        }
+    }
+}
+
+impl MachineConfig {
+    /// The paper's testbed (§6): Pentium III split TLBs — 32-entry 4-way
+    /// instruction, 64-entry 4-way data, per-set LRU.
+    pub fn pentium3() -> MachineConfig {
+        MachineConfig {
+            tlb: TlbPreset::pentium3(),
+            ..MachineConfig::default()
         }
     }
 }
@@ -114,8 +124,8 @@ impl Machine {
         Machine {
             cpu: Cpu::default(),
             phys: PhysMemory::new(config.phys_frames),
-            itlb: Tlb::new(config.itlb_entries),
-            dtlb: Tlb::new(config.dtlb_entries),
+            itlb: Tlb::with_geometry(config.tlb.itlb),
+            dtlb: Tlb::with_geometry(config.tlb.dtlb),
             config,
             cycles: 0,
             stats: MachineStats::default(),

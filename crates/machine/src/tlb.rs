@@ -15,9 +15,104 @@
 //!    hit the cached entry — this is what lets the fault handler unrestrict a
 //!    PTE, touch the page to load the TLB, and restrict it again.
 //!
-//! Entries are evicted FIFO via a round-robin clock hand, which matches the
-//! pessimistic behaviour the paper assumes (any flush or capacity pressure
-//! forces a re-walk and hence a fresh page fault on restricted pages).
+//! The buffer is **set-associative** with true per-set LRU replacement,
+//! matching the split-TLB hardware the paper's testbed actually has (a
+//! Pentium III: 32-entry 4-way instruction TLB, 64-entry 4-way data TLB —
+//! see [`TlbPreset::pentium3`]). The set index is the low bits of the
+//! virtual page number, as on real hardware. A [`TlbGeometry`] of one set
+//! degenerates to a fully-associative LRU buffer
+//! ([`TlbGeometry::fully_associative`]), the backward-compatible default.
+//!
+//! Misses are classified into the classic three Cs against a *shadow*
+//! fully-associative LRU model of the same total capacity, fed the same
+//! access and invalidation stream: **cold** (page never filled before),
+//! **conflict** (the shadow would have hit — only set pressure evicted it)
+//! and **capacity** (the shadow missed too). With one set the model *is*
+//! its own shadow, so conflict misses are structurally zero there.
+//! Chaos-harness evictions ([`Tlb::evict_one`]) are counted in
+//! [`TlbStats::chaos_evictions`], never in [`TlbStats::evictions`], so
+//! fault injection cannot masquerade as genuine capacity pressure.
+
+use std::collections::HashSet;
+
+/// Shape of one TLB: `sets × ways` entries, set index = low VPN bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbGeometry {
+    /// Number of sets (must be a power of two so the set index is a bit
+    /// mask of the VPN, as on real hardware).
+    pub sets: usize,
+    /// Entries per set.
+    pub ways: usize,
+}
+
+impl TlbGeometry {
+    /// A `sets × ways` geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is zero or not a power of two, or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> TlbGeometry {
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "TLB set count must be a nonzero power of two, got {sets}"
+        );
+        assert!(ways > 0, "TLB way count must be non-zero");
+        TlbGeometry { sets, ways }
+    }
+
+    /// One set holding `n` ways: a fully-associative LRU buffer (the
+    /// backward-compatible shape of the pre-set-associative model).
+    pub fn fully_associative(n: usize) -> TlbGeometry {
+        TlbGeometry::new(1, n)
+    }
+
+    /// Total entry count.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Set index for a virtual page number (low VPN bits).
+    #[inline]
+    pub fn set_of(&self, vpn: u32) -> usize {
+        vpn as usize & (self.sets - 1)
+    }
+}
+
+/// Geometry for the machine's I-TLB/D-TLB pair, with presets for the
+/// hardware configurations the paper discusses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbPreset {
+    /// Instruction-TLB geometry.
+    pub itlb: TlbGeometry,
+    /// Data-TLB geometry.
+    pub dtlb: TlbGeometry,
+}
+
+impl TlbPreset {
+    /// Both TLBs fully associative with `n` entries (the shape every
+    /// experiment ran with before set-associativity existed).
+    pub fn fully_associative(n: usize) -> TlbPreset {
+        TlbPreset {
+            itlb: TlbGeometry::fully_associative(n),
+            dtlb: TlbGeometry::fully_associative(n),
+        }
+    }
+
+    /// The paper's testbed (§6): a Pentium III with a 32-entry 4-way
+    /// instruction TLB and a 64-entry 4-way data TLB.
+    pub fn pentium3() -> TlbPreset {
+        TlbPreset {
+            itlb: TlbGeometry::new(8, 4),
+            dtlb: TlbGeometry::new(16, 4),
+        }
+    }
+}
+
+impl Default for TlbPreset {
+    fn default() -> TlbPreset {
+        TlbPreset::fully_associative(64)
+    }
+}
 
 /// One cached translation, including the rights snapshot taken at fill time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,95 +134,172 @@ pub struct TlbEntry {
 pub struct TlbStats {
     /// Lookups that found a valid entry.
     pub hits: u64,
-    /// Lookups that missed (a hardware pagetable walk follows).
+    /// Lookups that missed (a hardware pagetable walk follows). Always
+    /// `cold_misses + capacity_misses + conflict_misses`.
     pub misses: u64,
+    /// Misses to a page never filled before.
+    pub cold_misses: u64,
+    /// Misses a fully-associative buffer of the same capacity would also
+    /// have taken (includes re-walks forced by flushes/invalidations).
+    pub capacity_misses: u64,
+    /// Misses only set pressure explains: the shadow fully-associative
+    /// model still held the page.
+    pub conflict_misses: u64,
     /// Entries inserted by the walker.
     pub fills: u64,
     /// Whole-TLB flushes (CR3 loads).
     pub flushes: u64,
     /// Single-page invalidations (`invlpg`).
     pub page_invalidations: u64,
-    /// Valid entries discarded to make room for a new fill.
+    /// Valid entries discarded by per-set LRU to make room for a fill —
+    /// genuine pressure only, never chaos injection.
     pub evictions: u64,
+    /// Entries discarded by the chaos harness ([`Tlb::evict_one`]), kept
+    /// out of [`TlbStats::evictions`] so fault injection does not pollute
+    /// capacity diagnostics.
+    pub chaos_evictions: u64,
+}
+
+impl TlbStats {
+    /// Field-wise difference `self - earlier`; use with a snapshot taken
+    /// before a measured region.
+    pub fn since(&self, earlier: &TlbStats) -> TlbStats {
+        TlbStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            cold_misses: self.cold_misses - earlier.cold_misses,
+            capacity_misses: self.capacity_misses - earlier.capacity_misses,
+            conflict_misses: self.conflict_misses - earlier.conflict_misses,
+            fills: self.fills - earlier.fills,
+            flushes: self.flushes - earlier.flushes,
+            page_invalidations: self.page_invalidations - earlier.page_invalidations,
+            evictions: self.evictions - earlier.evictions,
+            chaos_evictions: self.chaos_evictions - earlier.chaos_evictions,
+        }
+    }
 }
 
 /// A single TLB (the machine instantiates one for instructions and one for
 /// data).
 #[derive(Debug, Clone)]
 pub struct Tlb {
-    entries: Vec<Option<TlbEntry>>,
-    hand: usize,
+    geometry: TlbGeometry,
+    /// `sets[i]` is ordered most-recently-used first; `len() <= ways`.
+    sets: Vec<Vec<TlbEntry>>,
+    /// Shadow fully-associative LRU of the same total capacity (VPNs,
+    /// MRU-first), fed the same access/invalidation stream; the reference
+    /// for conflict-miss classification.
+    shadow: Vec<u32>,
+    /// Every VPN ever filled (cold-miss classification).
+    seen: HashSet<u32>,
     /// Counters; reset with [`TlbStats::default`] assignment if needed.
     pub stats: TlbStats,
 }
 
 impl Tlb {
-    /// Create a TLB with space for `capacity` entries.
+    /// Create a fully-associative TLB with space for `capacity` entries
+    /// (backward-compatible constructor; see [`Tlb::with_geometry`]).
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Tlb {
-        assert!(capacity > 0, "TLB capacity must be non-zero");
+        Tlb::with_geometry(TlbGeometry::fully_associative(capacity))
+    }
+
+    /// Create a TLB with the given set/way geometry.
+    pub fn with_geometry(geometry: TlbGeometry) -> Tlb {
         Tlb {
-            entries: vec![None; capacity],
-            hand: 0,
+            geometry,
+            sets: vec![Vec::with_capacity(geometry.ways); geometry.sets],
+            shadow: Vec::with_capacity(geometry.capacity()),
+            seen: HashSet::new(),
             stats: TlbStats::default(),
         }
     }
 
+    /// The set/way shape.
+    pub fn geometry(&self) -> TlbGeometry {
+        self.geometry
+    }
+
     /// Number of entry slots.
     pub fn capacity(&self) -> usize {
-        self.entries.len()
+        self.geometry.capacity()
     }
 
-    /// Look up a virtual page number, updating hit/miss statistics.
-    pub fn lookup(&mut self, vpn: u32) -> Option<TlbEntry> {
-        let found = self.peek(vpn);
-        if found.is_some() {
-            self.stats.hits += 1;
-        } else {
-            self.stats.misses += 1;
+    /// Move `vpn` to the front of the shadow model (inserting if absent),
+    /// evicting its own LRU tail at capacity.
+    fn shadow_touch(&mut self, vpn: u32) {
+        if let Some(i) = self.shadow.iter().position(|v| *v == vpn) {
+            self.shadow.remove(i);
         }
-        found
+        self.shadow.insert(0, vpn);
+        self.shadow.truncate(self.geometry.capacity());
     }
 
-    /// Look up a virtual page number without touching statistics (used by
-    /// tests and by the kernel when it inspects — rather than simulates —
-    /// TLB state).
+    fn shadow_drop(&mut self, vpn: u32) {
+        self.shadow.retain(|v| *v != vpn);
+    }
+
+    /// Look up a virtual page number, updating hit/miss statistics and the
+    /// per-set LRU order.
+    pub fn lookup(&mut self, vpn: u32) -> Option<TlbEntry> {
+        let si = self.geometry.set_of(vpn);
+        if let Some(i) = self.sets[si].iter().position(|e| e.vpn == vpn) {
+            let e = self.sets[si].remove(i);
+            self.sets[si].insert(0, e);
+            self.shadow_touch(vpn);
+            self.stats.hits += 1;
+            return Some(e);
+        }
+        self.stats.misses += 1;
+        if !self.seen.contains(&vpn) {
+            self.stats.cold_misses += 1;
+        } else if self.shadow.contains(&vpn) {
+            self.stats.conflict_misses += 1;
+        } else {
+            self.stats.capacity_misses += 1;
+        }
+        None
+    }
+
+    /// Look up a virtual page number without touching statistics or the
+    /// LRU order (used by tests and by the kernel when it inspects —
+    /// rather than simulates — TLB state). Only the page's own set is
+    /// searched.
     pub fn peek(&self, vpn: u32) -> Option<TlbEntry> {
-        self.entries
+        self.sets[self.geometry.set_of(vpn)]
             .iter()
-            .flatten()
             .find(|e| e.vpn == vpn)
             .copied()
     }
 
     /// Insert an entry, replacing any existing entry for the same page and
-    /// otherwise evicting FIFO.
+    /// otherwise evicting the least-recently-used way of the page's set.
     pub fn fill(&mut self, entry: TlbEntry) {
         self.stats.fills += 1;
-        if let Some(slot) = self
-            .entries
-            .iter_mut()
-            .find(|s| matches!(s, Some(e) if e.vpn == entry.vpn))
-        {
-            *slot = Some(entry);
-            return;
+        self.seen.insert(entry.vpn);
+        self.shadow_touch(entry.vpn);
+        let si = self.geometry.set_of(entry.vpn);
+        let set = &mut self.sets[si];
+        if let Some(i) = set.iter().position(|e| e.vpn == entry.vpn) {
+            set.remove(i);
+        } else if set.len() == self.geometry.ways {
+            set.pop();
+            self.stats.evictions += 1;
         }
-        if let Some(free) = self.entries.iter_mut().find(|s| s.is_none()) {
-            *free = Some(entry);
-            return;
-        }
-        self.stats.evictions += 1;
-        self.entries[self.hand] = Some(entry);
-        self.hand = (self.hand + 1) % self.entries.len();
+        self.sets[si].insert(0, entry);
     }
 
     /// Drop every entry (a CR3 load — e.g. a context switch — does this).
+    /// The shadow model is flushed too: a fully-associative buffer takes
+    /// the same CR3 hit, so post-flush re-walks are capacity misses, not
+    /// conflicts.
     pub fn flush_all(&mut self) {
         self.stats.flushes += 1;
-        self.entries.iter_mut().for_each(|e| *e = None);
+        self.sets.iter_mut().for_each(Vec::clear);
+        self.shadow.clear();
     }
 
     /// Drop any entry for `vpn` (`invlpg`). Returns whether one was present.
@@ -139,49 +311,55 @@ impl Tlb {
     /// Drop any entry for `vpn` without counting it as a software
     /// invalidation (hardware-initiated eviction on a rights violation).
     pub fn drop_entry(&mut self, vpn: u32) -> bool {
-        let mut dropped = false;
-        for slot in &mut self.entries {
-            if matches!(slot, Some(e) if e.vpn == vpn) {
-                *slot = None;
-                dropped = true;
-            }
-        }
-        dropped
+        self.shadow_drop(vpn);
+        let set = &mut self.sets[self.geometry.set_of(vpn)];
+        let before = set.len();
+        set.retain(|e| e.vpn != vpn);
+        set.len() != before
     }
 
-    /// Evict one valid entry chosen by `draw` (any u64; reduced modulo the
-    /// current occupancy), counting it as a capacity eviction. Returns the
-    /// evicted entry's vpn, or `None` if the TLB is empty. Used by the
-    /// chaos harness to model seeded capacity pressure.
+    /// Evict one valid entry chosen by `draw`: the low half of the draw
+    /// picks among the non-empty sets, the high half picks the way.
+    /// Counted in [`TlbStats::chaos_evictions`] — never in
+    /// [`TlbStats::evictions`] — and mirrored into the shadow model so the
+    /// victim's re-walk reads as the capacity pressure the injection
+    /// simulates, not as a phantom conflict. Returns the evicted entry's
+    /// vpn, or `None` if the TLB is empty. Used by the chaos harness.
     pub fn evict_one(&mut self, draw: u64) -> Option<u32> {
-        let valid: Vec<usize> = self
-            .entries
-            .iter()
-            .enumerate()
-            .filter_map(|(i, e)| e.is_some().then_some(i))
+        let nonempty: Vec<usize> = (0..self.sets.len())
+            .filter(|i| !self.sets[*i].is_empty())
             .collect();
-        if valid.is_empty() {
+        if nonempty.is_empty() {
             return None;
         }
-        let idx = valid[(draw % valid.len() as u64) as usize];
-        let vpn = self.entries[idx].take().map(|e| e.vpn);
-        self.stats.evictions += 1;
-        vpn
+        let si = nonempty[(draw % nonempty.len() as u64) as usize];
+        let wi = ((draw >> 32) % self.sets[si].len() as u64) as usize;
+        let vpn = self.sets[si].remove(wi).vpn;
+        self.shadow_drop(vpn);
+        self.stats.chaos_evictions += 1;
+        Some(vpn)
     }
 
     /// Number of currently valid entries.
     pub fn len(&self) -> usize {
-        self.entries.iter().flatten().count()
+        self.sets.iter().map(Vec::len).sum()
     }
 
     /// True if no entry is valid.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.sets.iter().all(Vec::is_empty)
     }
 
     /// Iterate over the valid entries (diagnostics / assertions in tests).
     pub fn iter(&self) -> impl Iterator<Item = &TlbEntry> {
-        self.entries.iter().flatten()
+        self.sets.iter().flatten()
+    }
+
+    /// Iterate over the sets: `(set index, entries MRU-first)`. The
+    /// invariant checker walks the buffer this way so a scan stays honest
+    /// about which set a translation can actually live in.
+    pub fn iter_sets(&self) -> impl Iterator<Item = (usize, &[TlbEntry])> {
+        self.sets.iter().enumerate().map(|(i, s)| (i, s.as_slice()))
     }
 }
 
@@ -209,10 +387,12 @@ mod tests {
     }
 
     #[test]
-    fn miss_is_counted() {
+    fn miss_is_counted_and_classified_cold() {
         let mut t = Tlb::new(4);
         assert!(t.lookup(9).is_none());
         assert_eq!(t.stats.misses, 1);
+        assert_eq!(t.stats.cold_misses, 1);
+        assert_eq!(t.stats.capacity_misses + t.stats.conflict_misses, 0);
     }
 
     #[test]
@@ -242,15 +422,120 @@ mod tests {
     }
 
     #[test]
-    fn fifo_eviction_when_full() {
+    fn lru_eviction_when_full() {
         let mut t = Tlb::new(2);
         t.fill(entry(1, 1));
         t.fill(entry(2, 2));
-        t.fill(entry(3, 3)); // evicts vpn 1 (first slot, clock hand 0)
+        t.fill(entry(3, 3)); // evicts vpn 1 (least recently used)
         assert!(t.peek(1).is_none());
         assert!(t.peek(2).is_some());
         assert!(t.peek(3).is_some());
         assert_eq!(t.stats.evictions, 1);
+    }
+
+    #[test]
+    fn lookup_refreshes_lru_order() {
+        let mut t = Tlb::new(2);
+        t.fill(entry(1, 1));
+        t.fill(entry(2, 2));
+        t.lookup(1); // vpn 2 is now least recently used
+        t.fill(entry(3, 3));
+        assert!(t.peek(1).is_some());
+        assert!(t.peek(2).is_none());
+        assert!(t.peek(3).is_some());
+    }
+
+    /// Regression pin for the pre-rewrite "FIFO" clock hand: the hand only
+    /// advanced on evictions, was never reset by `flush_all`, and fills
+    /// into free slots recorded no insertion order, so post-flush eviction
+    /// order diverged from the documented policy. Under true LRU the
+    /// victim after a fill/flush/refill cycle is always the oldest
+    /// untouched fill, regardless of pre-flush history.
+    #[test]
+    fn post_flush_eviction_order_is_documented_lru() {
+        let mut t = Tlb::new(2);
+        // Pre-flush history that left the old clock hand mid-rotation.
+        t.fill(entry(1, 1));
+        t.fill(entry(2, 2));
+        t.fill(entry(3, 3)); // one eviction; old hand moved to slot 1
+        t.flush_all();
+        // Refill. The documented policy evicts the oldest fill (vpn 4);
+        // the old clock hand would have evicted slot 1 (vpn 5) instead.
+        t.fill(entry(4, 4));
+        t.fill(entry(5, 5));
+        t.fill(entry(6, 6));
+        assert!(t.peek(4).is_none(), "victim must be the oldest fill");
+        assert!(t.peek(5).is_some());
+        assert!(t.peek(6).is_some());
+    }
+
+    #[test]
+    fn set_index_is_low_vpn_bits() {
+        let g = TlbGeometry::new(4, 2);
+        assert_eq!(g.set_of(0), 0);
+        assert_eq!(g.set_of(5), 1);
+        assert_eq!(g.set_of(0xBFFFF), 3);
+        assert_eq!(g.capacity(), 8);
+        // Entries land in (and are found from) their own set only.
+        let mut t = Tlb::with_geometry(g);
+        t.fill(entry(0x10, 1)); // set 0
+        t.fill(entry(0x11, 2)); // set 1
+        let sets: Vec<(usize, usize)> = t.iter_sets().map(|(i, s)| (i, s.len())).collect();
+        assert_eq!(sets, vec![(0, 1), (1, 1), (2, 0), (3, 0)]);
+    }
+
+    #[test]
+    fn per_set_lru_is_independent_of_other_sets() {
+        // 2 sets × 2 ways. Set 0 overflows; set 1 must be untouched.
+        let mut t = Tlb::with_geometry(TlbGeometry::new(2, 2));
+        t.fill(entry(2, 1)); // set 0
+        t.fill(entry(4, 2)); // set 0
+        t.fill(entry(1, 3)); // set 1
+        t.fill(entry(6, 4)); // set 0: evicts vpn 2 (set-LRU)
+        assert!(t.peek(2).is_none());
+        assert!(t.peek(4).is_some());
+        assert!(t.peek(6).is_some());
+        assert!(t.peek(1).is_some(), "other set must not lose entries");
+        assert_eq!(t.stats.evictions, 1);
+    }
+
+    #[test]
+    fn conflict_miss_is_set_pressure_the_shadow_absorbs() {
+        // 2 sets × 1 way, capacity 2. VPNs 0 and 2 both index set 0 while
+        // the shadow (capacity 2, fully associative) holds both.
+        let mut t = Tlb::with_geometry(TlbGeometry::new(2, 1));
+        t.fill(entry(0, 1));
+        t.fill(entry(2, 2)); // evicts vpn 0 from set 0; shadow keeps both
+        assert!(t.lookup(0).is_none());
+        assert_eq!(t.stats.conflict_misses, 1, "{:?}", t.stats);
+        assert_eq!(t.stats.capacity_misses, 0);
+    }
+
+    #[test]
+    fn capacity_miss_when_the_shadow_missed_too() {
+        // Fully associative, capacity 2: a cyclic scan of 3 pages misses
+        // in any same-capacity model — capacity, not conflict.
+        let mut t = Tlb::new(2);
+        t.fill(entry(1, 1));
+        t.fill(entry(2, 2));
+        t.fill(entry(3, 3)); // evicts vpn 1 everywhere
+        assert!(t.lookup(1).is_none());
+        assert_eq!(t.stats.capacity_misses, 1, "{:?}", t.stats);
+        assert_eq!(t.stats.conflict_misses, 0);
+    }
+
+    #[test]
+    fn single_set_geometry_never_reports_conflicts() {
+        let mut t = Tlb::new(3);
+        for i in 0..64u32 {
+            t.lookup(i % 7);
+            t.fill(entry(i % 7, i));
+        }
+        assert_eq!(t.stats.conflict_misses, 0, "{:?}", t.stats);
+        assert_eq!(
+            t.stats.misses,
+            t.stats.cold_misses + t.stats.capacity_misses
+        );
     }
 
     #[test]
@@ -261,10 +546,15 @@ mod tests {
         t.flush_all();
         assert!(t.is_empty());
         assert_eq!(t.stats.flushes, 1);
+        // Post-flush re-walks are capacity misses (the shadow flushed
+        // too), never conflicts.
+        assert!(t.lookup(1).is_none());
+        assert_eq!(t.stats.capacity_misses, 1);
+        assert_eq!(t.stats.conflict_misses, 0);
     }
 
     #[test]
-    fn evict_one_is_seeded_and_bounded() {
+    fn chaos_eviction_is_seeded_bounded_and_counted_separately() {
         let mut t = Tlb::new(4);
         assert!(t.evict_one(99).is_none());
         t.fill(entry(1, 1));
@@ -272,9 +562,24 @@ mod tests {
         let vpn = t.evict_one(1).unwrap();
         assert!(vpn == 1 || vpn == 2);
         assert_eq!(t.len(), 1);
-        assert_eq!(t.stats.evictions, 1);
+        assert_eq!(t.stats.chaos_evictions, 1);
+        assert_eq!(t.stats.evictions, 0, "chaos must not pollute evictions");
         t.evict_one(0).unwrap();
         assert!(t.is_empty());
+        assert_eq!(t.stats.chaos_evictions, 2);
+    }
+
+    #[test]
+    fn chaos_eviction_picks_set_then_way() {
+        // 2 sets × 2 ways, set 1 empty: every draw must pick from set 0.
+        let mut t = Tlb::with_geometry(TlbGeometry::new(2, 2));
+        t.fill(entry(0, 1));
+        t.fill(entry(2, 2));
+        for draw in [0u64, 1, 2, (1 << 32) | 1, u64::MAX] {
+            let mut probe = t.clone();
+            let vpn = probe.evict_one(draw).unwrap();
+            assert!(vpn == 0 || vpn == 2, "victim {vpn} from an empty set");
+        }
     }
 
     #[test]
@@ -285,5 +590,41 @@ mod tests {
         assert!(t.flush_page(1));
         assert!(!t.flush_page(1)); // already gone
         assert!(t.peek(2).is_some());
+    }
+
+    #[test]
+    fn miss_classes_always_partition_misses() {
+        let mut t = Tlb::with_geometry(TlbGeometry::new(4, 2));
+        for i in 0..200u32 {
+            let vpn = (i * 7) % 23;
+            if t.lookup(vpn).is_none() {
+                t.fill(entry(vpn, vpn));
+            }
+            if i % 31 == 0 {
+                t.flush_all();
+            }
+            if i % 17 == 0 {
+                t.flush_page(vpn);
+            }
+        }
+        assert_eq!(
+            t.stats.misses,
+            t.stats.cold_misses + t.stats.capacity_misses + t.stats.conflict_misses,
+            "{:?}",
+            t.stats
+        );
+    }
+
+    #[test]
+    fn presets_have_the_documented_shapes() {
+        let p3 = TlbPreset::pentium3();
+        assert_eq!(p3.itlb.capacity(), 32);
+        assert_eq!((p3.itlb.sets, p3.itlb.ways), (8, 4));
+        assert_eq!(p3.dtlb.capacity(), 64);
+        assert_eq!((p3.dtlb.sets, p3.dtlb.ways), (16, 4));
+        let compat = TlbPreset::default();
+        assert_eq!(compat.itlb.sets, 1);
+        assert_eq!(compat.itlb.capacity(), 64);
+        assert_eq!(compat, TlbPreset::fully_associative(64));
     }
 }

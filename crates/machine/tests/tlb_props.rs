@@ -1,0 +1,185 @@
+//! Property tests for the set-associative TLB model.
+//!
+//! The load-bearing one: a geometry with a single set (`ways == capacity`)
+//! must be observably identical to a plain fully-associative LRU buffer —
+//! same hit/miss answers, same victim choices, same resident entries in
+//! the same recency order — for arbitrary interleavings of lookups, fills,
+//! flushes, invalidations and chaos evictions. That is what makes
+//! `TlbPreset::default()` a faithful stand-in for the pre-set-associative
+//! model every earlier experiment ran on.
+
+use proptest::prelude::*;
+use sm_machine::tlb::{Tlb, TlbEntry, TlbGeometry};
+
+/// Reference model: a fully-associative LRU buffer, written the obvious
+/// way with no sets anywhere.
+struct RefFullyAssoc {
+    cap: usize,
+    /// MRU-first.
+    entries: Vec<TlbEntry>,
+}
+
+impl RefFullyAssoc {
+    fn new(cap: usize) -> RefFullyAssoc {
+        RefFullyAssoc {
+            cap,
+            entries: Vec::new(),
+        }
+    }
+
+    fn lookup(&mut self, vpn: u32) -> Option<TlbEntry> {
+        let i = self.entries.iter().position(|e| e.vpn == vpn)?;
+        let e = self.entries.remove(i);
+        self.entries.insert(0, e);
+        Some(e)
+    }
+
+    fn fill(&mut self, entry: TlbEntry) {
+        if let Some(i) = self.entries.iter().position(|e| e.vpn == entry.vpn) {
+            self.entries.remove(i);
+        } else if self.entries.len() == self.cap {
+            self.entries.pop();
+        }
+        self.entries.insert(0, entry);
+    }
+
+    fn flush_all(&mut self) {
+        self.entries.clear();
+    }
+
+    fn drop_entry(&mut self, vpn: u32) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.vpn != vpn);
+        self.entries.len() != before
+    }
+
+    /// Mirror of [`Tlb::evict_one`] specialised to one set: the set draw
+    /// is vacuous, the way draw indexes the recency order.
+    fn evict_one(&mut self, draw: u64) -> Option<u32> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let wi = ((draw >> 32) % self.entries.len() as u64) as usize;
+        Some(self.entries.remove(wi).vpn)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Lookup(u32),
+    Fill(u32),
+    FlushAll,
+    FlushPage(u32),
+    Evict(u64),
+}
+
+/// Decode one op from a raw draw (the vendored proptest subset has no
+/// `prop_oneof`; a weighted decode of `any::<u64>()` does the same job).
+/// A small VPN domain on a small capacity forces heavy reuse, replacement
+/// and victim churn; flushes and chaos evictions stay rare enough that
+/// the buffer is usually populated.
+fn decode(raw: u64) -> Op {
+    let vpn = ((raw >> 8) % 24) as u32;
+    match raw % 11 {
+        0..=3 => Op::Lookup(vpn),
+        4..=7 => Op::Fill(vpn),
+        8 => Op::FlushAll,
+        9 => Op::FlushPage(vpn),
+        _ => Op::Evict(raw.rotate_left(17)),
+    }
+}
+
+fn entry(vpn: u32) -> TlbEntry {
+    TlbEntry {
+        vpn,
+        pfn: vpn.wrapping_mul(7) + 1,
+        user: true,
+        writable: vpn.is_multiple_of(2),
+        nx: vpn.is_multiple_of(3),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// One-set geometry ≡ fully-associative LRU, observation by
+    /// observation.
+    #[test]
+    fn single_set_matches_fully_associative_reference(
+        raws in proptest::collection::vec(any::<u64>(), 1..120),
+    ) {
+        const CAP: usize = 8;
+        let mut tlb = Tlb::with_geometry(TlbGeometry::fully_associative(CAP));
+        let mut reference = RefFullyAssoc::new(CAP);
+        for op in raws.iter().map(|r| decode(*r)) {
+            match op {
+                Op::Lookup(vpn) => {
+                    prop_assert_eq!(tlb.lookup(vpn), reference.lookup(vpn));
+                }
+                Op::Fill(vpn) => {
+                    tlb.fill(entry(vpn));
+                    reference.fill(entry(vpn));
+                }
+                Op::FlushAll => {
+                    tlb.flush_all();
+                    reference.flush_all();
+                }
+                Op::FlushPage(vpn) => {
+                    prop_assert_eq!(tlb.flush_page(vpn), reference.drop_entry(vpn));
+                }
+                Op::Evict(draw) => {
+                    prop_assert_eq!(tlb.evict_one(draw), reference.evict_one(draw));
+                }
+            }
+            // Same residents, same recency order, after every single op.
+            let got: Vec<TlbEntry> = tlb.iter().copied().collect();
+            prop_assert_eq!(&got, &reference.entries);
+        }
+        // And set pressure cannot exist where there is only one set.
+        prop_assert_eq!(tlb.stats.conflict_misses, 0);
+    }
+
+    /// On any geometry, the miss classes partition the misses and hits
+    /// plus misses account for every lookup.
+    #[test]
+    fn miss_classes_partition_on_any_geometry(
+        sets_log2 in 0u32..5,
+        ways in 1usize..5,
+        raws in proptest::collection::vec(any::<u64>(), 1..120),
+    ) {
+        let mut tlb = Tlb::with_geometry(TlbGeometry::new(1 << sets_log2, ways));
+        let mut lookups = 0u64;
+        let mut injected = 0u64;
+        for op in raws.iter().map(|r| decode(*r)) {
+            match op {
+                Op::Lookup(vpn) => {
+                    lookups += 1;
+                    if tlb.lookup(vpn).is_none() {
+                        tlb.fill(entry(vpn));
+                    }
+                }
+                Op::Fill(vpn) => tlb.fill(entry(vpn)),
+                Op::FlushAll => tlb.flush_all(),
+                Op::FlushPage(vpn) => {
+                    tlb.flush_page(vpn);
+                }
+                Op::Evict(draw) => {
+                    if tlb.evict_one(draw).is_some() {
+                        injected += 1;
+                    }
+                }
+            }
+        }
+        let s = tlb.stats;
+        prop_assert_eq!(s.hits + s.misses, lookups);
+        prop_assert_eq!(s.misses, s.cold_misses + s.capacity_misses + s.conflict_misses);
+        // Chaos evictions are counted apart from genuine LRU pressure.
+        prop_assert_eq!(s.chaos_evictions, injected);
+        // Every entry sits in the set its VPN selects.
+        for (si, entries) in tlb.iter_sets() {
+            for e in entries {
+                prop_assert_eq!(tlb.geometry().set_of(e.vpn), si);
+            }
+        }
+    }
+}

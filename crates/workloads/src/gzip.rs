@@ -12,6 +12,7 @@ use crate::runner::{measure, workload_kconfig, WorkloadResult};
 use sm_core::setup::Protection;
 use sm_kernel::kernel::KernelConfig;
 use sm_kernel::userlib::{BuiltProgram, ProgramBuilder};
+use sm_machine::TlbPreset;
 
 /// Path of the input file in the ram fs.
 pub const INPUT_PATH: &str = "/data/input";
@@ -138,12 +139,20 @@ pub fn gzip_program() -> BuiltProgram {
 /// Run the workload over `kilobytes` of pseudo-random input. Work units =
 /// bytes compressed.
 pub fn run_gzip(protection: &Protection, kilobytes: u32) -> WorkloadResult {
+    run_gzip_on(protection, TlbPreset::default(), kilobytes)
+}
+
+/// [`run_gzip`] on an explicit TLB geometry.
+pub fn run_gzip_on(protection: &Protection, tlb: TlbPreset, kilobytes: u32) -> WorkloadResult {
     // A 1 KiB pipe models the I/O batching of a disk-bound gzip run: the
     // pipeline context-switches about once per kilobyte.
-    let mut kernel = protection.kernel(KernelConfig {
-        pipe_capacity: 1024,
-        ..workload_kconfig()
-    });
+    let mut kernel = protection.kernel_on(
+        tlb,
+        KernelConfig {
+            pipe_capacity: 1024,
+            ..workload_kconfig()
+        },
+    );
     // Deterministic "file" contents with some repetition (so the match
     // path is exercised too). The input stream forks off the kernel's own
     // seeded rng so one `KernelConfig::seed` replays the whole run.

@@ -13,6 +13,7 @@
 use crate::runner::{measure, workload_kconfig, WorkloadResult};
 use sm_core::setup::Protection;
 use sm_kernel::userlib::{BuiltProgram, ProgramBuilder};
+use sm_machine::TlbPreset;
 
 /// Port the workload server binds.
 pub const HTTPD_PORT: u16 = 80;
@@ -155,7 +156,17 @@ pub fn client_program(page_size: u32, requests: u32) -> BuiltProgram {
 /// Work units = requests (so normalised results compare fairly only at
 /// equal page sizes, as in the paper's figures).
 pub fn run_httpd(protection: &Protection, page_size: u32, requests: u32) -> WorkloadResult {
-    let mut kernel = protection.kernel(workload_kconfig());
+    run_httpd_on(protection, TlbPreset::default(), page_size, requests)
+}
+
+/// [`run_httpd`] on an explicit TLB geometry.
+pub fn run_httpd_on(
+    protection: &Protection,
+    tlb: TlbPreset,
+    page_size: u32,
+    requests: u32,
+) -> WorkloadResult {
+    let mut kernel = protection.kernel_on(tlb, workload_kconfig());
     kernel
         .spawn(&server_program(page_size, requests).image)
         .expect("server spawns");

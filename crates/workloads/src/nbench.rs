@@ -11,6 +11,7 @@
 use crate::runner::{measure, workload_kconfig, WorkloadResult};
 use sm_core::setup::Protection;
 use sm_kernel::userlib::{BuiltProgram, ProgramBuilder};
+use sm_machine::TlbPreset;
 
 /// The sub-benchmarks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,7 +174,17 @@ pub fn run_nbench(
     kernel: NbenchKernel,
     iterations: u32,
 ) -> WorkloadResult {
-    let mut k = protection.kernel(workload_kconfig());
+    run_nbench_on(protection, TlbPreset::default(), kernel, iterations)
+}
+
+/// [`run_nbench`] on an explicit TLB geometry.
+pub fn run_nbench_on(
+    protection: &Protection,
+    tlb: TlbPreset,
+    kernel: NbenchKernel,
+    iterations: u32,
+) -> WorkloadResult {
+    let mut k = protection.kernel_on(tlb, workload_kconfig());
     k.spawn(&nbench_program(kernel, iterations).image)
         .expect("nbench spawns");
     measure(

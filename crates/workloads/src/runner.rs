@@ -11,6 +11,7 @@ use sm_core::setup::Protection;
 use sm_kernel::kernel::{Kernel, KernelConfig, RunExit};
 use sm_kernel::stats::KernelStats;
 use sm_machine::stats::MachineStats;
+use sm_machine::tlb::TlbStats;
 
 /// One measured workload run.
 #[derive(Debug, Clone)]
@@ -26,6 +27,10 @@ pub struct WorkloadResult {
     pub units: u64,
     /// Hardware counter deltas.
     pub machine: MachineStats,
+    /// I-TLB counter deltas (hits, misses by class, evictions).
+    pub itlb: TlbStats,
+    /// D-TLB counter deltas.
+    pub dtlb: TlbStats,
     /// Kernel counter deltas.
     pub kernel: KernelStats,
     /// Peak physical frames in use (the paper's §5.1 memory-doubling
@@ -76,6 +81,8 @@ pub fn measure(
     let name = name.into();
     let c0 = kernel.sys.machine.cycles;
     let m0 = kernel.sys.machine.stats;
+    let i0 = kernel.sys.machine.itlb.stats;
+    let d0 = kernel.sys.machine.dtlb.stats;
     let k0 = kernel.sys.stats;
     let exit = kernel.run(max_cycles);
     assert_eq!(
@@ -102,6 +109,8 @@ pub fn measure(
         cycles: kernel.sys.machine.cycles - c0,
         units,
         machine: kernel.sys.machine.stats.since(&m0),
+        itlb: kernel.sys.machine.itlb.stats.since(&i0),
+        dtlb: kernel.sys.machine.dtlb.stats.since(&d0),
         kernel: kernel.sys.stats.since(&k0),
         peak_frames: kernel.sys.machine.phys.allocator.peak_allocated(),
     }
@@ -125,6 +134,8 @@ mod tests {
             cycles,
             units,
             machine: MachineStats::default(),
+            itlb: TlbStats::default(),
+            dtlb: TlbStats::default(),
             kernel: KernelStats::default(),
             peak_frames: 0,
         };

@@ -7,6 +7,7 @@
 use crate::runner::{measure, workload_kconfig, WorkloadResult};
 use sm_core::setup::Protection;
 use sm_kernel::userlib::{BuiltProgram, ProgramBuilder};
+use sm_machine::TlbPreset;
 
 /// The sub-benchmarks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -343,6 +344,16 @@ pub fn run_unixbench(
     run_unixbench_seeded(protection, test, iterations, workload_kconfig().seed)
 }
 
+/// [`run_unixbench`] on an explicit TLB geometry.
+pub fn run_unixbench_on(
+    protection: &Protection,
+    tlb: TlbPreset,
+    test: UnixbenchTest,
+    iterations: u32,
+) -> WorkloadResult {
+    run_unixbench_seeded_on(protection, tlb, test, iterations, workload_kconfig().seed)
+}
+
 /// Like [`run_unixbench`] with an explicit kernel seed — the Fig. 9 sweep
 /// averages several seeds per split fraction because which pages get split
 /// is a random draw.
@@ -352,10 +363,24 @@ pub fn run_unixbench_seeded(
     iterations: u32,
     seed: u64,
 ) -> WorkloadResult {
-    let k = protection.kernel(sm_kernel::kernel::KernelConfig {
-        seed,
-        ..workload_kconfig()
-    });
+    run_unixbench_seeded_on(protection, TlbPreset::default(), test, iterations, seed)
+}
+
+/// [`run_unixbench_seeded`] on an explicit TLB geometry.
+pub fn run_unixbench_seeded_on(
+    protection: &Protection,
+    tlb: TlbPreset,
+    test: UnixbenchTest,
+    iterations: u32,
+    seed: u64,
+) -> WorkloadResult {
+    let k = protection.kernel_on(
+        tlb,
+        sm_kernel::kernel::KernelConfig {
+            seed,
+            ..workload_kconfig()
+        },
+    );
     run_unixbench_kernel(k, protection, test, iterations)
 }
 
@@ -381,9 +406,18 @@ pub fn run_unixbench_kernel(
 
 /// Run the full suite.
 pub fn run_unixbench_suite(protection: &Protection, iterations: u32) -> Vec<WorkloadResult> {
+    run_unixbench_suite_on(protection, TlbPreset::default(), iterations)
+}
+
+/// [`run_unixbench_suite`] on an explicit TLB geometry.
+pub fn run_unixbench_suite_on(
+    protection: &Protection,
+    tlb: TlbPreset,
+    iterations: u32,
+) -> Vec<WorkloadResult> {
     UnixbenchTest::ALL
         .iter()
-        .map(|t| run_unixbench(protection, *t, iterations))
+        .map(|t| run_unixbench_on(protection, tlb, *t, iterations))
         .collect()
 }
 

@@ -4,6 +4,7 @@
 use sm_bench::fig6::{self, Fig6Params};
 use sm_core::setup::Protection;
 use sm_kernel::events::ResponseMode;
+use sm_machine::TlbPreset;
 use sm_workloads::nbench::{run_nbench, NbenchKernel};
 use sm_workloads::unixbench::{run_unixbench, UnixbenchTest};
 use sm_workloads::{httpd, normalized};
@@ -95,6 +96,102 @@ fn fig9_endpoints_match_the_papers_claim() {
             points
         );
     }
+}
+
+/// The paper ran on set-associative Pentium III TLBs; the figures'
+/// qualitative shapes must survive the move from the fully-associative
+/// compat preset to that geometry.
+#[test]
+fn fig6_ordering_holds_on_the_pentium3_geometry() {
+    let bars = fig6::run(Fig6Params::quick().on(TlbPreset::pentium3()));
+    let get = |name: &str| {
+        bars.iter()
+            .find(|b| b.name.contains(name))
+            .unwrap_or_else(|| panic!("missing bar {name}"))
+            .normalized
+    };
+    let nbench = get("nbench");
+    let apache = get("apache");
+    let unixbench = get("unixbench");
+    assert!(nbench > 0.9, "compute suite too slow: {nbench}");
+    assert!(
+        nbench >= apache && apache >= unixbench,
+        "ordering violated: nbench {nbench:.3} apache {apache:.3} unixbench {unixbench:.3}"
+    );
+    for b in &bars {
+        assert!(
+            b.normalized > 0.4 && b.normalized <= 1.02,
+            "{} out of band: {:.3}",
+            b.name,
+            b.normalized
+        );
+    }
+}
+
+#[test]
+fn fig7_stress_bound_holds_on_the_pentium3_geometry() {
+    for bar in sm_bench::fig7::run_on(TlbPreset::pentium3(), 30) {
+        assert!(
+            bar.normalized < 0.56,
+            "{} not stressed enough: {:.3}",
+            bar.name,
+            bar.normalized
+        );
+    }
+}
+
+/// 3C accounting under the Fig-7 stress diagnostics: the set-associative
+/// Pentium III D-TLB shows genuine conflict misses (the strided probe
+/// thrashes one set), while the single-set compat preset — where set
+/// pressure is structurally impossible — reports exactly zero.
+#[test]
+fn fig7_diagnostics_show_conflict_misses_only_when_sets_exist() {
+    let p3 = sm_bench::fig7::tlb_diagnostics(TlbPreset::pentium3(), 30);
+    assert!(
+        p3.iter().any(|d| d.dtlb.conflict_misses > 0),
+        "no D-TLB conflict misses anywhere on pentium3: {p3:?}"
+    );
+    let flat = sm_bench::fig7::tlb_diagnostics(TlbPreset::default(), 30);
+    for d in &flat {
+        assert_eq!(
+            d.itlb.conflict_misses + d.dtlb.conflict_misses,
+            0,
+            "{}: conflict misses on a fully-associative TLB",
+            d.name
+        );
+    }
+}
+
+#[test]
+fn fig8_curve_shape_holds_on_the_pentium3_geometry() {
+    let points = sm_bench::fig8::run_on(TlbPreset::pentium3(), 15);
+    assert!(points.first().unwrap().normalized < 0.6);
+    assert!(points.last().unwrap().normalized > 0.85);
+    for w in points.windows(2) {
+        assert!(
+            w[1].normalized >= w[0].normalized - 0.05,
+            "curve dipped: {}KB {:.3} -> {}KB {:.3}",
+            w[0].page_size / 1024,
+            w[0].normalized,
+            w[1].page_size / 1024,
+            w[1].normalized
+        );
+    }
+}
+
+#[test]
+fn fig9_endpoints_hold_on_the_pentium3_geometry() {
+    let points = sm_bench::fig9::run_on(TlbPreset::pentium3(), 30, 4);
+    let at = |f: f64| {
+        points
+            .iter()
+            .find(|p| (p.fraction - f).abs() < 1e-9)
+            .unwrap()
+            .normalized
+    };
+    assert!(at(0.0) > 0.97, "0%: {:.3}", at(0.0));
+    assert!(at(0.10) > 0.8, "10%: {:.3}", at(0.10));
+    assert!(at(1.0) < 0.6, "100%: {:.3}", at(1.0));
 }
 
 #[test]

@@ -2,11 +2,12 @@
 //! exploits, every protection engine.
 
 use sm_attacks::harness::{kernel_with, Protection};
-use sm_attacks::real_world::{run_scenario, Scenario};
+use sm_attacks::real_world::{run_scenario, run_scenario_on, Scenario};
 use sm_attacks::wilander::{self, Technique};
 use sm_attacks::AttackOutcome;
 use sm_kernel::events::ResponseMode;
 use sm_kernel::kernel::KernelConfig;
+use sm_machine::TlbPreset;
 
 #[test]
 fn wilander_grid_matches_table_1() {
@@ -31,6 +32,55 @@ fn every_scenario_matches_table_2_under_split_memory() {
             prot.outcome,
             AttackOutcome::Foiled { detected: true },
             "{}: not foiled under split memory",
+            scenario.name()
+        );
+    }
+}
+
+/// Table 1 verdicts are TLB-geometry-independent: every applicable cell
+/// that succeeds unprotected is still foiled by split memory when the
+/// TLBs are the paper testbed's set-associative Pentium III geometry —
+/// set conflicts change miss timing, never whether the fetch check runs.
+#[test]
+fn wilander_verdicts_hold_on_the_pentium3_geometry() {
+    let p3 = TlbPreset::pentium3();
+    for case in wilander::all_cases() {
+        let Some(base) = wilander::run_case_on(case, &Protection::Unprotected, p3) else {
+            continue;
+        };
+        assert!(
+            base.succeeded(),
+            "{case:?}: unprotected attack no longer lands on pentium3 TLBs"
+        );
+        let prot = wilander::run_case_on(case, &Protection::SplitMem(ResponseMode::Break), p3)
+            .expect("applicable");
+        assert_eq!(
+            prot,
+            AttackOutcome::Foiled { detected: true },
+            "{case:?}: not foiled under split memory on pentium3 TLBs"
+        );
+    }
+}
+
+/// Table 2 / Fig. 5 verdicts likewise: every real-world scenario shells
+/// the unprotected kernel and is foiled under split memory on the
+/// Pentium III geometry.
+#[test]
+fn real_world_verdicts_hold_on_the_pentium3_geometry() {
+    let p3 = TlbPreset::pentium3();
+    for scenario in Scenario::ALL {
+        let base = run_scenario_on(scenario, &Protection::Unprotected, p3);
+        assert_eq!(
+            base.outcome,
+            AttackOutcome::ShellSpawned,
+            "{}: no shell on the unpatched kernel (pentium3 TLBs)",
+            scenario.name()
+        );
+        let prot = run_scenario_on(scenario, &Protection::SplitMem(ResponseMode::Break), p3);
+        assert_eq!(
+            prot.outcome,
+            AttackOutcome::Foiled { detected: true },
+            "{}: not foiled under split memory (pentium3 TLBs)",
             scenario.name()
         );
     }
