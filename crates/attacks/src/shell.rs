@@ -99,8 +99,14 @@ pub fn shell_program() -> BuiltProgram {
 }
 
 /// Install the shell image into a filesystem so `execve("/bin/sh")` works.
+///
+/// The assembled image bytes are memoized: the shell is a fixed program,
+/// and every experiment kernel installs it, so re-assembling it per kernel
+/// would dominate sweep setup time.
 pub fn install_shell(fs: &mut RamFs) {
-    fs.install(SHELL_PATH, shell_program().image.to_bytes());
+    static SHELL_BYTES: std::sync::OnceLock<Vec<u8>> = std::sync::OnceLock::new();
+    let bytes = SHELL_BYTES.get_or_init(|| shell_program().image.to_bytes());
+    fs.install(SHELL_PATH, bytes.clone());
 }
 
 #[cfg(test)]

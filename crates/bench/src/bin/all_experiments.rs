@@ -1,65 +1,138 @@
 //! Runs every table and figure in sequence (the paper's full evaluation),
 //! then re-runs the performance figures on the paper's Pentium III TLB
 //! geometry (32-entry 4-way I-TLB, 64-entry 4-way D-TLB).
+//!
+//! Every section is wall-clock timed, raw interpreter throughput is probed
+//! with the decoded-instruction cache on and off, and the lot is written
+//! to `BENCH_summary.json` (override the path with `BENCH_SUMMARY_PATH`)
+//! so CI can archive per-commit performance data.
+use sm_bench::summary::BenchSummary;
 use sm_machine::TlbPreset;
+use std::time::Instant;
 
 fn main() {
-    println!("==== Table 1 ====================================================\n");
-    let t1 = sm_bench::table1::run();
-    println!("{}", sm_bench::table1::render(&t1));
-    println!("matches paper: {}\n", t1.matches_paper());
+    let mut summary = BenchSummary::default();
+    let t_total = Instant::now();
 
-    println!("==== Table 2 ====================================================\n");
-    let t2 = sm_bench::table2::run();
-    println!("{}", sm_bench::table2::render(&t2));
-    println!("matches paper: {}\n", t2.matches_paper());
+    summary.section("table1", || {
+        println!("==== Table 1 ====================================================\n");
+        let t1 = sm_bench::table1::run();
+        println!("{}", sm_bench::table1::render(&t1));
+        println!("matches paper: {}\n", t1.matches_paper());
+    });
 
-    println!("==== Fig. 5 =====================================================\n");
-    let f5 = sm_bench::fig5::run();
-    println!("{}", sm_bench::fig5::render(&f5));
+    summary.section("table2", || {
+        println!("==== Table 2 ====================================================\n");
+        let t2 = sm_bench::table2::run();
+        println!("{}", sm_bench::table2::render(&t2));
+        println!("matches paper: {}\n", t2.matches_paper());
+    });
 
-    println!("==== Fig. 6 =====================================================\n");
-    let f6 = sm_bench::fig6::run(sm_bench::fig6::Fig6Params::default());
-    println!("{}", sm_bench::fig6::render(&f6));
+    summary.section("fig5", || {
+        println!("==== Fig. 5 =====================================================\n");
+        let f5 = sm_bench::fig5::run();
+        println!("{}", sm_bench::fig5::render(&f5));
+    });
 
-    println!("==== Fig. 7 =====================================================\n");
-    let f7 = sm_bench::fig7::run(60);
-    println!("{}", sm_bench::fig7::render(&f7));
+    summary.section("fig6", || {
+        println!("==== Fig. 6 =====================================================\n");
+        let f6 = sm_bench::fig6::run(sm_bench::fig6::Fig6Params::default());
+        println!("{}", sm_bench::fig6::render(&f6));
+    });
 
-    println!("==== Fig. 8 =====================================================\n");
-    let f8 = sm_bench::fig8::run(30);
-    println!("{}", sm_bench::fig8::render(&f8));
+    summary.section("fig7", || {
+        println!("==== Fig. 7 =====================================================\n");
+        let f7 = sm_bench::fig7::run(60);
+        println!("{}", sm_bench::fig7::render(&f7));
+    });
 
-    println!("==== Fig. 9 =====================================================\n");
-    let f9 = sm_bench::fig9::run(50, 8);
-    println!("{}", sm_bench::fig9::render(&f9));
+    summary.section("fig8", || {
+        println!("==== Fig. 8 =====================================================\n");
+        let f8 = sm_bench::fig8::run(30);
+        println!("{}", sm_bench::fig8::render(&f8));
+    });
 
-    println!("==== Memory overhead (§5.1) =====================================\n");
-    let mem = sm_bench::memory::run(4096, 25);
-    println!("{}", sm_bench::memory::render(&mem));
+    summary.section("fig9", || {
+        println!("==== Fig. 9 =====================================================\n");
+        let f9 = sm_bench::fig9::run(50, 8);
+        println!("{}", sm_bench::fig9::render(&f9));
+    });
 
-    println!("==== Ablations ==================================================\n");
-    let itlb = sm_bench::ablation::itlb_loader(60);
-    let sens = sm_bench::ablation::trap_cost_sensitivity(60);
-    let soft = sm_bench::ablation::softtlb_port(60);
-    println!("{}", sm_bench::ablation::render_all(&itlb, &sens, &soft));
+    summary.section("memory", || {
+        println!("==== Memory overhead (§5.1) =====================================\n");
+        let mem = sm_bench::memory::run(4096, 25);
+        println!("{}", sm_bench::memory::render(&mem));
+    });
+
+    summary.section("ablations", || {
+        println!("==== Ablations ==================================================\n");
+        let itlb = sm_bench::ablation::itlb_loader(60);
+        let sens = sm_bench::ablation::trap_cost_sensitivity(60);
+        let soft = sm_bench::ablation::softtlb_port(60);
+        println!("{}", sm_bench::ablation::render_all(&itlb, &sens, &soft));
+    });
 
     let p3 = TlbPreset::pentium3();
-    println!("==== Fig. 6 (pentium3 geometry) =================================\n");
-    let f6 = sm_bench::fig6::run(sm_bench::fig6::Fig6Params::default().on(p3));
-    println!("{}", sm_bench::fig6::render(&f6));
+    summary.section("fig6-pentium3", || {
+        println!("==== Fig. 6 (pentium3 geometry) =================================\n");
+        let f6 = sm_bench::fig6::run(sm_bench::fig6::Fig6Params::default().on(p3));
+        println!("{}", sm_bench::fig6::render(&f6));
+    });
 
-    println!("==== Fig. 7 (pentium3 geometry) =================================\n");
-    let f7 = sm_bench::fig7::run_on(p3, 60);
-    println!("{}", sm_bench::fig7::render(&f7));
-    let diags = sm_bench::fig7::tlb_diagnostics(p3, 60);
-    println!("{}", sm_bench::fig7::render_diagnostics(&diags));
+    summary.section("fig7-pentium3", || {
+        println!("==== Fig. 7 (pentium3 geometry) =================================\n");
+        let f7 = sm_bench::fig7::run_on(p3, 60);
+        println!("{}", sm_bench::fig7::render(&f7));
+        let diags = sm_bench::fig7::tlb_diagnostics(p3, 60);
+        println!("{}", sm_bench::fig7::render_diagnostics(&diags));
+    });
 
-    println!("==== Fig. 8 (pentium3 geometry) =================================\n");
-    let f8 = sm_bench::fig8::run_on(p3, 30);
-    println!("{}", sm_bench::fig8::render(&f8));
+    summary.section("fig8-pentium3", || {
+        println!("==== Fig. 8 (pentium3 geometry) =================================\n");
+        let f8 = sm_bench::fig8::run_on(p3, 30);
+        println!("{}", sm_bench::fig8::render(&f8));
+    });
 
-    println!("==== Fig. 9 (pentium3 geometry) =================================\n");
-    let f9 = sm_bench::fig9::run_on(p3, 50, 8);
-    println!("{}", sm_bench::fig9::render(&f9));
+    summary.section("fig9-pentium3", || {
+        println!("==== Fig. 9 (pentium3 geometry) =================================\n");
+        let f9 = sm_bench::fig9::run_on(p3, 50, 8);
+        println!("{}", sm_bench::fig9::render(&f9));
+    });
+
+    println!("==== Interpreter throughput =====================================\n");
+    for enabled in [true, false] {
+        let p = summary.section(
+            if enabled {
+                "probe-cache-on"
+            } else {
+                "probe-cache-off"
+            },
+            || sm_bench::summary::steps_probe(enabled),
+        );
+        println!(
+            "decode cache {:>3}: {:.2} Minsn/s ({} insns in {:.1} ms; hits={} misses={} invalidations={})",
+            if enabled { "on" } else { "off" },
+            p.steps_per_sec / 1e6,
+            p.instructions,
+            p.wall_ms,
+            p.dcache.hits,
+            p.dcache.misses,
+            p.dcache.invalidations,
+        );
+        summary.probes.push(p);
+    }
+    println!();
+
+    summary.total_wall_ms = t_total.elapsed().as_secs_f64() * 1e3;
+    println!("==== Section timings ============================================\n");
+    for s in &summary.sections {
+        println!("  {:<18} {:>10.1} ms", s.name, s.wall_ms);
+    }
+    println!("  {:<18} {:>10.1} ms", "total", summary.total_wall_ms);
+
+    let path = std::env::var("BENCH_SUMMARY_PATH").unwrap_or_else(|_| "BENCH_summary.json".into());
+    match std::fs::write(&path, summary.to_json()) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
 }

@@ -1,6 +1,12 @@
 //! Chaos sweep runner: seeds × fault plans × scenarios, asserting that
 //! protection verdicts survive every deterministic fault stream.
 //!
+//! By default every applicable cell of the Wilander technique × location
+//! matrix is swept (20 cells + the benign loop); `--quick` restores the
+//! reduced pre-matrix scenario set for time-budgeted CI runs. Combos run
+//! in parallel (pin `RAYON_NUM_THREADS` for a fixed thread count); output
+//! order is deterministic either way.
+//!
 //! Exits non-zero on any verdict mismatch, invariant violation, or
 //! attack success under injected faults.
 
@@ -11,9 +17,9 @@ use sm_kernel::events::ResponseMode;
 use sm_kernel::kernel::RunExit;
 use sm_machine::TlbPreset;
 
-fn main() {
-    // One wilander column per technique (plus the benign loop) keeps the
-    // sweep broad without repeating near-identical cells.
+/// The reduced pre-matrix scenario set: one wilander column per technique
+/// (on the stack) plus the FuncPtrVariable row across locations.
+fn quick_scenarios() -> Vec<Scenario> {
     let mut scenarios = vec![Scenario::Benign];
     for technique in Technique::ALL {
         let case = wilander::Case {
@@ -33,13 +39,41 @@ fn main() {
             scenarios.push(Scenario::Wilander(case));
         }
     }
+    scenarios
+}
+
+/// Every applicable cell of the Wilander matrix (ROADMAP's full 20-cell
+/// sweep) plus the benign loop.
+fn full_scenarios() -> Vec<Scenario> {
+    let mut scenarios = vec![Scenario::Benign];
+    scenarios.extend(
+        wilander::all_cases()
+            .into_iter()
+            .filter(wilander::Case::applicable)
+            .map(Scenario::Wilander),
+    );
+    scenarios
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scenarios = if quick {
+        quick_scenarios()
+    } else {
+        full_scenarios()
+    };
 
     let seeds = [1u64, 2, 3];
     let split = Protection::SplitMem(ResponseMode::Break);
     let combined = Protection::Combined(ResponseMode::Break);
 
     println!(
-        "chaos sweep: {} scenarios x {} seeds",
+        "chaos sweep ({}): {} scenarios x {} seeds",
+        if quick {
+            "quick subset"
+        } else {
+            "full wilander matrix"
+        },
         scenarios.len(),
         seeds.len()
     );

@@ -19,10 +19,12 @@
 //! * **invariants hold** — [`sm_core::invariants::check`] passes between
 //!   every execution slice of every run.
 
+use rayon::prelude::*;
 use sm_attacks::harness::{classify_marker, kernel_with_on, AttackOutcome};
 use sm_attacks::wilander::{self, Case, MARKER};
 use sm_core::invariants::{self, Violation};
 use sm_core::setup::Protection;
+use sm_kernel::image::ExecImage;
 use sm_kernel::kernel::{KernelConfig, RunExit};
 use sm_kernel::userlib::{BuiltProgram, ProgramBuilder};
 use sm_machine::chaos::FaultPlan;
@@ -233,21 +235,40 @@ pub fn run_scenario_on(
     tlb: TlbPreset,
     plan: FaultPlan,
 ) -> ChaosRun {
-    let kconfig = KernelConfig {
-        aslr_stack: false,
-        chaos: plan,
-        ..KernelConfig::default()
-    };
-    let mut k = kernel_with_on(protection, tlb, kconfig);
-    let (image, marker) = match scenario {
+    let (image, marker) = scenario_image(scenario);
+    run_image_on(&image, marker, protection, tlb, plan)
+}
+
+/// Build a scenario's guest image. Assembly is a pure function of the
+/// scenario (and independent of plan/seed/protection), so sweeps build each
+/// image once and share it across all of the scenario's combos.
+fn scenario_image(scenario: Scenario) -> (ExecImage, Option<u8>) {
+    match scenario {
         Scenario::Wilander(case) => (
             wilander::build_case(case).expect("applicable case").image,
             Some(MARKER),
         ),
         Scenario::Benign => (benign_program().image, None),
         Scenario::MixedPatch => (mixed_patch_program().image, None),
+    }
+}
+
+/// Run one prebuilt image under one plan, checking invariants between
+/// slices.
+fn run_image_on(
+    image: &ExecImage,
+    marker: Option<u8>,
+    protection: &Protection,
+    tlb: TlbPreset,
+    plan: FaultPlan,
+) -> ChaosRun {
+    let kconfig = KernelConfig {
+        aslr_stack: false,
+        chaos: plan,
+        ..KernelConfig::default()
     };
-    let pid = match k.spawn(&image) {
+    let mut k = kernel_with_on(protection, tlb, kconfig);
+    let pid = match k.spawn(image) {
         Ok(pid) => pid,
         Err(sm_kernel::kernel::SpawnError::OutOfMemory) => {
             // A clean refusal at load time is a legitimate OOM-plan
@@ -313,8 +334,22 @@ pub fn sweep(seeds: &[u64], scenarios: &[Scenario], protection: &Protection) -> 
     sweep_on(seeds, scenarios, protection, TlbPreset::default())
 }
 
-/// [`sweep`] on an explicit TLB geometry.
+/// [`sweep`] on an explicit TLB geometry. Combos fan out across threads
+/// (each combo owns its seeded fault stream and its own kernel, so runs
+/// are independent); results are merged in deterministic scenario-major
+/// order, byte-identical to [`sweep_serial_on`].
 pub fn sweep_on(
+    seeds: &[u64],
+    scenarios: &[Scenario],
+    protection: &Protection,
+    tlb: TlbPreset,
+) -> Vec<ComboResult> {
+    sweep_plans_on(seeds, scenarios, protection, tlb, perturbation_plans, true)
+}
+
+/// Single-threaded [`sweep_on`], kept as the reference the parallel sweep
+/// is tested byte-identical against.
+pub fn sweep_serial_on(
     seeds: &[u64],
     scenarios: &[Scenario],
     protection: &Protection,
@@ -322,10 +357,11 @@ pub fn sweep_on(
 ) -> Vec<ComboResult> {
     let mut out = Vec::new();
     for &scenario in scenarios {
-        let baseline = run_scenario_on(scenario, protection, tlb, FaultPlan::default());
+        let (image, marker) = scenario_image(scenario);
+        let baseline = run_image_on(&image, marker, protection, tlb, FaultPlan::default());
         for &seed in seeds {
             for np in perturbation_plans(seed) {
-                let run = run_scenario_on(scenario, protection, tlb, np.plan);
+                let run = run_image_on(&image, marker, protection, tlb, np.plan);
                 let stable = run.verdict == baseline.verdict;
                 out.push(ComboResult {
                     scenario: scenario.name(),
@@ -341,6 +377,61 @@ pub fn sweep_on(
     out
 }
 
+/// Shared sweep machinery: prebuild every scenario image, run the
+/// fault-free baselines in parallel, then fan every `(scenario, seed,
+/// plan)` combo out and zip results back in input (scenario-major) order.
+fn sweep_plans_on(
+    seeds: &[u64],
+    scenarios: &[Scenario],
+    protection: &Protection,
+    tlb: TlbPreset,
+    plans: fn(u64) -> Vec<NamedPlan>,
+    enforce_stability: bool,
+) -> Vec<ComboResult> {
+    let prepped: Vec<(Scenario, ExecImage, Option<u8>)> = scenarios
+        .iter()
+        .map(|&s| {
+            let (image, marker) = scenario_image(s);
+            (s, image, marker)
+        })
+        .collect();
+    let baselines: Vec<ChaosRun> = prepped
+        .par_iter()
+        .map(|(_, image, marker)| {
+            run_image_on(image, *marker, protection, tlb, FaultPlan::default())
+        })
+        .collect();
+    let combos: Vec<(usize, u64, NamedPlan)> = (0..prepped.len())
+        .flat_map(|si| {
+            seeds
+                .iter()
+                .flat_map(move |&seed| plans(seed).into_iter().map(move |np| (si, seed, np)))
+        })
+        .collect();
+    let runs: Vec<ChaosRun> = combos
+        .par_iter()
+        .map(|&(si, _, np)| {
+            let (_, image, marker) = &prepped[si];
+            run_image_on(image, *marker, protection, tlb, np.plan)
+        })
+        .collect();
+    combos
+        .into_iter()
+        .zip(runs)
+        .map(|((si, seed, np), run)| {
+            let baseline = &baselines[si];
+            ComboResult {
+                scenario: prepped[si].0.name(),
+                plan: np.name,
+                seed,
+                verdict_stable: !enforce_stability || run.verdict == baseline.verdict,
+                baseline: baseline.verdict.clone(),
+                run,
+            }
+        })
+        .collect()
+}
+
 /// Sweep the OOM plans. Verdicts may change; attack success and invariant
 /// violations may not. Runs under the given protection (use combined mode
 /// so the execute-disable bit backstops degraded pages).
@@ -352,29 +443,13 @@ pub fn sweep_oom(
     sweep_oom_on(seeds, scenarios, protection, TlbPreset::default())
 }
 
-/// [`sweep_oom`] on an explicit TLB geometry.
+/// [`sweep_oom`] on an explicit TLB geometry (parallel, deterministic
+/// order; `verdict_stable` is not enforced for OOM plans).
 pub fn sweep_oom_on(
     seeds: &[u64],
     scenarios: &[Scenario],
     protection: &Protection,
     tlb: TlbPreset,
 ) -> Vec<ComboResult> {
-    let mut out = Vec::new();
-    for &scenario in scenarios {
-        let baseline = run_scenario_on(scenario, protection, tlb, FaultPlan::default());
-        for &seed in seeds {
-            for np in oom_plans(seed) {
-                let run = run_scenario_on(scenario, protection, tlb, np.plan);
-                out.push(ComboResult {
-                    scenario: scenario.name(),
-                    plan: np.name,
-                    seed,
-                    verdict_stable: true, // not enforced for OOM plans
-                    baseline: baseline.verdict.clone(),
-                    run,
-                });
-            }
-        }
-    }
-    out
+    sweep_plans_on(seeds, scenarios, protection, tlb, oom_plans, false)
 }

@@ -11,6 +11,7 @@
 //! conflict pressure explicit (the paper's workloads have footprints too
 //! small and contiguous to overflow a 4-way set on their own).
 
+use rayon::prelude::*;
 use sm_core::setup::Protection;
 use sm_kernel::events::ResponseMode;
 use sm_machine::tlb::TlbStats;
@@ -55,28 +56,35 @@ pub fn run(iterations: u32) -> Vec<Bar> {
     run_on(TlbPreset::default(), iterations)
 }
 
-/// [`run`] on an explicit TLB geometry.
+/// [`run`] on an explicit TLB geometry. The two stress tests are
+/// independent and fan out across threads; bar order is fixed.
 pub fn run_on(tlb: TlbPreset, iterations: u32) -> Vec<Bar> {
     let base = Protection::Unprotected;
     let prot = Protection::SplitMem(ResponseMode::Break);
-    let mut bars = Vec::new();
 
-    let cb = run_unixbench_on(&base, tlb, UnixbenchTest::PipeContextSwitch, iterations);
-    let cp = run_unixbench_on(&prot, tlb, UnixbenchTest::PipeContextSwitch, iterations);
-    bars.push(Bar {
-        name: "unixbench pipe-ctxsw".into(),
-        normalized: normalized(&cp, &cb),
-        switches_per_unit: cb.kernel.context_switches as f64 / cb.units as f64,
-    });
-
-    let ab = httpd::run_httpd_on(&base, tlb, 1024, iterations);
-    let ap = httpd::run_httpd_on(&prot, tlb, 1024, iterations);
-    bars.push(Bar {
-        name: "apache (1KB page)".into(),
-        normalized: normalized(&ap, &ab),
-        switches_per_unit: ab.kernel.context_switches as f64 / ab.units as f64,
-    });
-    bars
+    type BarJob = Box<dyn Fn() -> Bar + Send + Sync>;
+    let (b1, p1) = (base.clone(), prot.clone());
+    let jobs: Vec<BarJob> = vec![
+        Box::new(move || {
+            let cb = run_unixbench_on(&b1, tlb, UnixbenchTest::PipeContextSwitch, iterations);
+            let cp = run_unixbench_on(&p1, tlb, UnixbenchTest::PipeContextSwitch, iterations);
+            Bar {
+                name: "unixbench pipe-ctxsw".into(),
+                normalized: normalized(&cp, &cb),
+                switches_per_unit: cb.kernel.context_switches as f64 / cb.units as f64,
+            }
+        }),
+        Box::new(move || {
+            let ab = httpd::run_httpd_on(&base, tlb, 1024, iterations);
+            let ap = httpd::run_httpd_on(&prot, tlb, 1024, iterations);
+            Bar {
+                name: "apache (1KB page)".into(),
+                normalized: normalized(&ap, &ab),
+                switches_per_unit: ab.kernel.context_switches as f64 / ab.units as f64,
+            }
+        }),
+    ];
+    jobs.par_iter().map(|job| job()).collect()
 }
 
 /// TLB miss anatomy under the stress protection: the two Fig. 7 workloads

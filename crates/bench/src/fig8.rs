@@ -5,6 +5,7 @@
 //! heavily and performance suffers, whereas for larger page sizes ...
 //! the results become significantly better."
 
+use rayon::prelude::*;
 use sm_core::setup::Protection;
 use sm_kernel::events::ResponseMode;
 use sm_machine::TlbPreset;
@@ -38,12 +39,13 @@ pub fn run(requests: u32) -> Vec<Point> {
     run_on(TlbPreset::default(), requests)
 }
 
-/// [`run`] on an explicit TLB geometry.
+/// [`run`] on an explicit TLB geometry. Sweep points are independent and
+/// fan out across threads; the returned curve keeps `PAGE_SIZES` order.
 pub fn run_on(tlb: TlbPreset, requests: u32) -> Vec<Point> {
     let base = Protection::Unprotected;
     let prot = Protection::SplitMem(ResponseMode::Break);
     PAGE_SIZES
-        .iter()
+        .par_iter()
         .map(|&page_size| {
             let b = httpd::run_httpd_on(&base, tlb, page_size, requests);
             let p = httpd::run_httpd_on(&prot, tlb, page_size, requests);

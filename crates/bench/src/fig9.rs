@@ -11,6 +11,7 @@
 //! Which pages get drawn is random, so each fraction is averaged over
 //! several kernel seeds (the paper averaged 10 runs of every benchmark).
 
+use rayon::prelude::*;
 use sm_core::setup::Protection;
 use sm_machine::TlbPreset;
 use sm_workloads::normalized;
@@ -35,7 +36,9 @@ pub fn run(iterations: u32, seeds: u64) -> Vec<Point> {
     run_on(TlbPreset::default(), iterations, seeds)
 }
 
-/// [`run`] on an explicit TLB geometry.
+/// [`run`] on an explicit TLB geometry. `(fraction, seed)` samples are
+/// independent (each owns its seeded kernel) and fan out across threads;
+/// points keep `FRACTIONS` order, samples keep seed order.
 pub fn run_on(tlb: TlbPreset, iterations: u32, seeds: u64) -> Vec<Point> {
     let base = run_unixbench_seeded_on(
         &Protection::Unprotected,
@@ -45,7 +48,7 @@ pub fn run_on(tlb: TlbPreset, iterations: u32, seeds: u64) -> Vec<Point> {
         1,
     );
     FRACTIONS
-        .iter()
+        .par_iter()
         .map(|&fraction| {
             let samples: Vec<f64> = (0..seeds)
                 .map(|seed| {

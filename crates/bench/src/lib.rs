@@ -25,5 +25,6 @@ pub mod fig8;
 pub mod fig9;
 pub mod memory;
 pub mod report;
+pub mod summary;
 pub mod table1;
 pub mod table2;

@@ -1,0 +1,167 @@
+//! Machine-readable benchmark summary (`BENCH_summary.json`).
+//!
+//! `all_experiments` times every section it runs, probes raw interpreter
+//! throughput (steps/sec) with the decode cache on and off, and serialises
+//! the lot as JSON so CI can archive per-commit performance without
+//! parsing the human-readable report. The JSON is hand-rolled: the shape
+//! is tiny, fixed, and all-ASCII, and the workspace deliberately carries
+//! no serialisation dependency.
+
+use sm_core::setup::Protection;
+use sm_kernel::events::ResponseMode;
+use sm_kernel::kernel::{KernelConfig, RunExit};
+use sm_kernel::userlib::ProgramBuilder;
+use sm_machine::DecodeCacheStats;
+use sm_machine::TlbPreset;
+use std::time::Instant;
+
+/// Wall-clock of one report section.
+#[derive(Debug, Clone)]
+pub struct SectionTiming {
+    /// Section label (matches the report heading).
+    pub name: String,
+    /// Elapsed wall-clock in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// One raw-throughput probe run.
+#[derive(Debug, Clone)]
+pub struct StepsProbe {
+    /// Whether the decoded-instruction cache was enabled.
+    pub decode_cache: bool,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Elapsed wall-clock in milliseconds.
+    pub wall_ms: f64,
+    /// Retired instructions per wall-clock second.
+    pub steps_per_sec: f64,
+    /// Decode-cache counters observed by the run (all zero when disabled).
+    pub dcache: DecodeCacheStats,
+}
+
+/// The whole summary.
+#[derive(Debug, Clone, Default)]
+pub struct BenchSummary {
+    /// Per-section wall-clock, in report order.
+    pub sections: Vec<SectionTiming>,
+    /// End-to-end wall-clock in milliseconds.
+    pub total_wall_ms: f64,
+    /// Interpreter throughput probes (cache on / off).
+    pub probes: Vec<StepsProbe>,
+}
+
+impl BenchSummary {
+    /// Time `f`, record it under `name`, and pass its value through.
+    pub fn section<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let v = f();
+        self.sections.push(SectionTiming {
+            name: name.to_string(),
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        });
+        v
+    }
+
+    /// Serialise as JSON.
+    pub fn to_json(&self) -> String {
+        let sections: Vec<String> = self
+            .sections
+            .iter()
+            .map(|s| {
+                format!(
+                    "    {{\"name\": \"{}\", \"wall_ms\": {:.3}}}",
+                    s.name, s.wall_ms
+                )
+            })
+            .collect();
+        let probes: Vec<String> = self
+            .probes
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{\"decode_cache\": {}, \"instructions\": {}, \"wall_ms\": {:.3}, \
+                     \"steps_per_sec\": {:.0}, \"dcache_hits\": {}, \"dcache_misses\": {}, \
+                     \"dcache_invalidations\": {}}}",
+                    p.decode_cache,
+                    p.instructions,
+                    p.wall_ms,
+                    p.steps_per_sec,
+                    p.dcache.hits,
+                    p.dcache.misses,
+                    p.dcache.invalidations
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"total_wall_ms\": {:.3},\n  \"sections\": [\n{}\n  ],\n  \"steps_probes\": [\n{}\n  ]\n}}\n",
+            self.total_wall_ms,
+            sections.join(",\n"),
+            probes.join(",\n")
+        )
+    }
+}
+
+/// Measure raw interpreter throughput on a tight user-mode loop under
+/// stand-alone split memory, with the decode cache on or off.
+pub fn steps_probe(decode_cache: bool) -> StepsProbe {
+    let prog = ProgramBuilder::new("/bin/probe")
+        .code(
+            "_start:
+                mov ecx, 1000000
+            again:
+                dec ecx
+                jnz again
+                mov ebx, 0
+                call exit",
+        )
+        .build()
+        .expect("probe assembles");
+    let mut k = Protection::SplitMem(ResponseMode::Break).kernel_on(
+        TlbPreset::default(),
+        KernelConfig {
+            aslr_stack: false,
+            ..KernelConfig::default()
+        },
+    );
+    k.sys.machine.config.decode_cache = decode_cache;
+    k.spawn(&prog.image).expect("probe spawns");
+    let t0 = Instant::now();
+    let exit = k.run(10_000_000_000);
+    let dt = t0.elapsed();
+    assert_eq!(exit, RunExit::AllExited, "probe must run to completion");
+    let instructions = k.sys.machine.stats.instructions;
+    StepsProbe {
+        decode_cache,
+        instructions,
+        wall_ms: dt.as_secs_f64() * 1e3,
+        steps_per_sec: instructions as f64 / dt.as_secs_f64(),
+        dcache: k.sys.machine.decode_cache.stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_counts_instructions_and_cache_traffic() {
+        let on = steps_probe(true);
+        assert!(on.instructions > 2_000_000);
+        assert!(on.dcache.hits > 1_000_000, "{:?}", on.dcache);
+        let off = steps_probe(false);
+        assert_eq!(off.dcache, DecodeCacheStats::default());
+        assert!(off.instructions > 2_000_000);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut s = BenchSummary::default();
+        let v = s.section("demo", || 41 + 1);
+        assert_eq!(v, 42);
+        s.total_wall_ms = 1.5;
+        let j = s.to_json();
+        assert!(j.contains("\"total_wall_ms\": 1.500"), "{j}");
+        assert!(j.contains("\"name\": \"demo\""), "{j}");
+        assert!(j.ends_with("}\n"), "{j}");
+    }
+}

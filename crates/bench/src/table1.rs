@@ -6,6 +6,7 @@
 //! meaningless) and under stand-alone split memory (the paper's check
 //! mark = the attack was foiled).
 
+use rayon::prelude::*;
 use sm_attacks::harness::Protection;
 use sm_attacks::wilander::{self, Case, InjectLocation, Technique};
 use sm_kernel::events::ResponseMode;
@@ -66,13 +67,15 @@ impl Table1 {
     }
 }
 
-/// Run the whole benchmark grid.
+/// Run the whole benchmark grid. Cells are independent (each run owns its
+/// kernel), so they fan out across threads; results keep the grid's
+/// deterministic row-major order.
 pub fn run() -> Table1 {
-    let mut cells = Vec::new();
-    for case in wilander::all_cases() {
-        cells.push((case, run_cell(case)));
+    let cases = wilander::all_cases();
+    let results: Vec<CellResult> = cases.par_iter().map(|&case| run_cell(case)).collect();
+    Table1 {
+        cells: cases.into_iter().zip(results).collect(),
     }
-    Table1 { cells }
 }
 
 fn run_cell(case: Case) -> CellResult {

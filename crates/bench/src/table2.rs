@@ -5,6 +5,7 @@
 //! Memory": attack foiled, injected code never fetched), and — beyond the
 //! paper's table — under the execute-disable baseline for comparison.
 
+use rayon::prelude::*;
 use sm_attacks::harness::Protection;
 use sm_attacks::real_world::{run_scenario, Scenario};
 use sm_attacks::AttackOutcome;
@@ -47,10 +48,12 @@ impl Table2 {
     }
 }
 
-/// Run all five scenarios under the three configurations.
+/// Run all five scenarios under the three configurations. Scenarios fan
+/// out across threads (each run owns its kernel); row order stays the
+/// deterministic `Scenario::ALL` order.
 pub fn run() -> Table2 {
     let rows = Scenario::ALL
-        .iter()
+        .par_iter()
         .map(|s| {
             let base = run_scenario(*s, &Protection::Unprotected);
             let split = run_scenario(*s, &Protection::SplitMem(ResponseMode::Break));

@@ -22,6 +22,12 @@
 //!    executable bytes where injected code would run.
 //! 5. **Code-frame liveness** — every code frame recorded in a split
 //!    table is still tracked with a positive refcount.
+//! 6. **Decode-cache coherence** — every *current* cached decode (one
+//!    whose snapshot write-generation still matches its frame's) must
+//!    equal a fresh decode of the frame's bytes; a mismatch means a write
+//!    reached a frame without bumping its generation, i.e. the decoded
+//!    instruction cache would execute stale bytes. Stale-generation
+//!    entries are legal — the cache discards them lazily on next lookup.
 //!
 //! [`check`] returns every violation found; [`run_with_checks`] interleaves
 //! checking with execution so a whole workload can be swept.
@@ -32,7 +38,7 @@ use sm_kernel::events::ResponseMode;
 use sm_kernel::kernel::{Kernel, RunExit};
 use sm_kernel::process::{Pid, ProcState};
 use sm_machine::isa::SPLIT_FILL_OPCODE;
-use sm_machine::pte::{self, PAGE_SIZE};
+use sm_machine::pte;
 use std::fmt;
 
 /// One invariant violation, with enough context to debug it.
@@ -81,6 +87,15 @@ pub enum Violation {
         /// Page base address.
         vaddr: u32,
     },
+    /// A current decode-cache entry disagrees with the bytes actually in
+    /// its frame: some write path mutated physical memory without bumping
+    /// the frame's write-generation.
+    DecodeCacheIncoherent {
+        /// Physical frame holding the stale decode.
+        pfn: u32,
+        /// Byte offset of the instruction within the frame.
+        offset: u32,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -111,6 +126,10 @@ impl fmt::Display for Violation {
                 f,
                 "{pid} split page {vaddr:#010x}: code frame untracked by the frame table"
             ),
+            Violation::DecodeCacheIncoherent { pfn, offset } => write!(
+                f,
+                "decode cache: frame {pfn} offset {offset:#05x}: cached decode disagrees with memory"
+            ),
         }
     }
 }
@@ -138,6 +157,40 @@ pub fn check(k: &Kernel) -> Vec<Violation> {
     let tracked = k.sys.frames.tracked();
     if allocated as usize != tracked {
         out.push(Violation::FrameAccounting { allocated, tracked });
+    }
+
+    // 6. Decode-cache coherence (engine-independent). Work is bounded:
+    // stale-generation tables are skipped by a single version compare
+    // (never walking their entries), a live table's scan stops once its
+    // occupied slots have all been visited, and at most `BUDGET` entries
+    // are re-decoded per call — so interleaved checking stays cheap even
+    // for code-heavy workloads.
+    const BUDGET: u32 = 64;
+    let m = &k.sys.machine;
+    let mut budget = BUDGET;
+    'frames: for (pfn, version, used, entries) in m.decode_cache.iter_frames() {
+        if used == 0 || version != m.phys.frame_version(pfn) {
+            continue;
+        }
+        let bytes = m.phys.frame_bytes(pte::Frame(pfn));
+        let mut remaining = used;
+        for (off, e) in entries.iter().enumerate() {
+            let Some(cached) = e else { continue };
+            if budget == 0 {
+                break 'frames;
+            }
+            budget -= 1;
+            if sm_machine::isa::decode_slice(&bytes[off..]) != Ok(cached.decoded) {
+                out.push(Violation::DecodeCacheIncoherent {
+                    pfn,
+                    offset: off as u32,
+                });
+            }
+            remaining -= 1;
+            if remaining == 0 {
+                break;
+            }
+        }
     }
 
     let Some(engine) = split_engine(k) else {
@@ -207,10 +260,10 @@ pub fn check(k: &Kernel) -> Vec<Violation> {
             if k.sys.frames.refcount(code) == 0 {
                 out.push(Violation::CodeFrameUntracked { pid, vaddr: base });
             }
-            // 4. Pristine filler.
+            // 4. Pristine filler (borrowing the frame avoids a page-sized
+            // copy per filler page — this runs between every checked slice).
             if sp.filler {
-                let mut buf = vec![0u8; PAGE_SIZE as usize];
-                k.sys.machine.phys.read(code.base(), &mut buf);
+                let buf = k.sys.machine.phys.frame_bytes(code);
                 if let Some((i, b)) = buf.iter().enumerate().find(|(_, b)| **b != fill) {
                     out.push(Violation::FillerTampered {
                         pid,
@@ -264,6 +317,30 @@ mod tests {
         let (exit, violations) = run_with_checks(&mut k, 10_000_000, 500);
         assert_eq!(exit, RunExit::AllExited);
         assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+
+    #[test]
+    fn incoherent_decode_cache_entry_is_caught() {
+        let mut k = split_kernel();
+        let prog = ProgramBuilder::new("/bin/c")
+            .code("_start: mov ebx, 0\n call exit")
+            .build()
+            .unwrap();
+        k.spawn(&prog.image).unwrap();
+        k.run(10_000_000);
+        assert!(check(&k).is_empty());
+        // Plant a cached decode that contradicts the frame's bytes at the
+        // frame's *current* generation — the exact state a missing
+        // version bump would produce.
+        let bogus = sm_machine::decode_cache::CachedDecode {
+            decoded: sm_machine::isa::Decoded::Invalid { opcode: 0xC3 },
+            len: 1,
+        };
+        let version = k.sys.machine.phys.frame_version(3);
+        k.sys.machine.decode_cache.insert(3, 0, version, bogus);
+        assert!(check(&k)
+            .iter()
+            .any(|v| matches!(v, Violation::DecodeCacheIncoherent { pfn: 3, offset: 0 })));
     }
 
     #[test]

@@ -39,6 +39,12 @@ impl FrameTable {
 
     /// Allocate a frame containing a copy of `src`, refcount 1.
     ///
+    /// This is the COW/split-page duplication path, so the copy may become
+    /// (or replace) a *code* frame: `PhysMemory::copy_frame` bumps the
+    /// destination's write-generation, invalidating any decoded
+    /// instructions cached against a previous life of that frame
+    /// (invariant #6).
+    ///
     /// # Errors
     ///
     /// [`OutOfFrames`] when physical memory is exhausted.

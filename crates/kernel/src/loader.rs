@@ -208,15 +208,26 @@ fn map_segment(
         }
         addr += PAGE_SIZE;
     }
-    // Copy file bytes through the pagetable (phys writes, no TLB traffic).
+    // Copy file bytes through the pagetable (phys writes, no TLB traffic),
+    // one pagetable walk and one bulk write per page. These writes deposit
+    // *code* into frames the CPU will fetch from: `PhysMemory::write` bumps
+    // each touched frame's write-generation, which is what keeps the
+    // machine's decoded-instruction cache coherent when a frame is
+    // recycled across spawns (invariant #6).
     let copy_cost = k.sys.machine.config.costs.copy_byte * seg.data.len() as u64;
     k.sys.charge(copy_cost);
-    for (i, b) in seg.data.iter().enumerate() {
+    let mut i = 0usize;
+    while i < seg.data.len() {
         let vaddr = seg.vaddr + i as u32;
         let entry = k.sys.pte_of(pid, vaddr);
         debug_assert!(pte::has(entry, pte::PRESENT));
-        let paddr = pte::frame(entry).base() + pte::page_offset(vaddr);
-        k.sys.machine.phys.write_u8(paddr, *b);
+        let off = pte::page_offset(vaddr);
+        let n = ((PAGE_SIZE - off) as usize).min(seg.data.len() - i);
+        k.sys
+            .machine
+            .phys
+            .write(pte::frame(entry).base() + off, &seg.data[i..i + n]);
+        i += n;
     }
     k.sys.proc_mut(pid).aspace.add_vma(Vma::new(
         seg.vaddr,

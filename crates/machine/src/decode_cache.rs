@@ -1,0 +1,257 @@
+//! Per-code-frame decoded-instruction cache.
+//!
+//! [`Machine::step`](crate::Machine::step) normally re-decodes every
+//! instruction byte-by-byte through the I-TLB on every retire. This cache
+//! keys completed [`Decoded`] results by **(physical frame, page offset)**
+//! so a hot loop decodes each instruction once and then replays the cached
+//! result.
+//!
+//! # Coherence
+//!
+//! Correctness rests on one rule: *any write to a physical frame must
+//! invalidate that frame's cached decodes*. Rather than coupling every
+//! write path to the cache, [`PhysMemory`](crate::phys::PhysMemory) keeps a
+//! per-frame write-generation counter and the cache snapshots it when it
+//! first caches decodes from a frame. A lookup that observes a newer
+//! generation drops the frame's decodes lazily (counted as an
+//! *invalidation*). This mirrors the paper's split-memory semantics:
+//! under split memory, instruction fetches target the **code frame** while
+//! injected writes land in the **data frame**, so an attack write never
+//! perturbs the decode cache — a code-frame invalidation during a
+//! data-frame attack would itself be evidence the split leaked (see
+//! `sm-core`'s invariant checker).
+//!
+//! # Transparency
+//!
+//! The cache must not change the modeled machine. The fetch path always
+//! performs the byte-1 I-TLB translation (walks, page faults, A/D-bit
+//! updates, LRU recency and `tlb_walk` charges are identical with the cache
+//! on or off), and instructions whose encoding crosses a page boundary are
+//! never cached (their continuation bytes translate through a *different*
+//! page whose mapping can change independently). A proptest in
+//! `tests/decode_cache_props.rs` runs arbitrary programs both ways and
+//! requires identical [`MachineStats`](crate::stats::MachineStats), cycles
+//! and final machine state. Cache effectiveness counters therefore live in
+//! [`DecodeCacheStats`], *outside* `MachineStats`.
+
+use crate::isa::Decoded;
+use crate::pte::PAGE_SIZE;
+
+/// One cached decode: the outcome plus the number of bytes the decoder
+/// consumed (for `Decoded::Invalid` this is how far the decoder got before
+/// rejecting, which the fetch path needs to reproduce the uncached cursor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachedDecode {
+    /// Decoder outcome (instruction or invalid opcode).
+    pub decoded: Decoded,
+    /// Bytes consumed from the fetch stream.
+    pub len: u8,
+}
+
+/// Cache-effectiveness counters. Deliberately **not** part of
+/// [`MachineStats`](crate::stats::MachineStats): the cache is transparent
+/// to the modeled machine, and keeping these separate lets the
+/// equivalence proptest compare `MachineStats` for equality.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the byte-by-byte decoder.
+    pub misses: u64,
+    /// Frames whose cached decodes were dropped because the frame was
+    /// written (version mismatch observed on lookup).
+    pub invalidations: u64,
+}
+
+/// Decodes cached for one physical frame.
+struct FrameDecodes {
+    /// [`PhysMemory::frame_version`](crate::phys::PhysMemory::frame_version)
+    /// observed when these entries were cached. A mismatch on lookup means
+    /// the frame has been written since: every entry is stale.
+    version: u64,
+    /// Occupied slots in `entries`. Lets the coherence checker stop
+    /// scanning a frame as soon as it has visited every cached decode
+    /// (code clusters at low offsets, so the scan usually ends early).
+    used: u32,
+    /// One slot per byte offset an instruction can start at.
+    entries: Vec<Option<CachedDecode>>,
+}
+
+impl FrameDecodes {
+    fn new(version: u64) -> FrameDecodes {
+        FrameDecodes {
+            version,
+            used: 0,
+            entries: vec![None; PAGE_SIZE as usize],
+        }
+    }
+
+    fn clear(&mut self, version: u64) {
+        self.entries.iter_mut().for_each(|e| *e = None);
+        self.version = version;
+        self.used = 0;
+    }
+}
+
+/// Decoded-instruction cache over all physical frames; one lives in every
+/// [`Machine`](crate::Machine) (enabled via
+/// [`MachineConfig::decode_cache`](crate::MachineConfig::decode_cache)).
+pub struct DecodeCache {
+    /// Indexed by PFN; a frame gets a table lazily on its first cached
+    /// decode (~128 KiB per frame that ever executes code).
+    frames: Vec<Option<Box<FrameDecodes>>>,
+    /// Effectiveness counters.
+    pub stats: DecodeCacheStats,
+}
+
+impl DecodeCache {
+    /// Empty cache over `frames` physical frames.
+    pub fn new(frames: u32) -> DecodeCache {
+        DecodeCache {
+            frames: (0..frames).map(|_| None).collect(),
+            stats: DecodeCacheStats::default(),
+        }
+    }
+
+    /// Cached decode at (`pfn`, `off`), if the frame's decodes were cached
+    /// at write-generation `version`. Observing a different generation
+    /// drops the frame's decodes (the lazy invalidation path) and counts an
+    /// invalidation; both that and a plain absence count a miss.
+    #[inline]
+    pub fn lookup(&mut self, pfn: u32, off: u32, version: u64) -> Option<CachedDecode> {
+        let slot = match self.frames[pfn as usize].as_deref_mut() {
+            Some(fd) => {
+                if fd.version != version {
+                    fd.clear(version);
+                    self.stats.invalidations += 1;
+                    None
+                } else {
+                    fd.entries[off as usize]
+                }
+            }
+            None => None,
+        };
+        match slot {
+            Some(_) => self.stats.hits += 1,
+            None => self.stats.misses += 1,
+        }
+        slot
+    }
+
+    /// Cache a decode at (`pfn`, `off`) observed at write-generation
+    /// `version`. The caller guarantees the encoding lies entirely within
+    /// the frame (page-crossing instructions are never cached).
+    pub fn insert(&mut self, pfn: u32, off: u32, version: u64, c: CachedDecode) {
+        debug_assert!(off + c.len.max(1) as u32 <= PAGE_SIZE);
+        let fd =
+            self.frames[pfn as usize].get_or_insert_with(|| Box::new(FrameDecodes::new(version)));
+        if fd.version != version {
+            // The frame was written between this entry's lookup-miss and
+            // now (e.g. the byte-1 walk set A/D bits in a pagetable that
+            // shares the frame). Restart the table at the new generation.
+            fd.clear(version);
+        }
+        if fd.entries[off as usize].is_none() {
+            fd.used += 1;
+        }
+        fd.entries[off as usize] = Some(c);
+    }
+
+    /// Iterate the per-frame tables as `(pfn, snapshot_version,
+    /// occupied_count, entries)` — the coherence-invariant checker in
+    /// `sm-core` skips stale tables by version without touching their
+    /// entries, and `occupied_count` lets it stop scanning a live table as
+    /// soon as every cached decode has been visited.
+    pub fn iter_frames(&self) -> impl Iterator<Item = (u32, u64, u32, &[Option<CachedDecode>])> {
+        self.frames.iter().enumerate().filter_map(|(pfn, fd)| {
+            fd.as_deref()
+                .map(|fd| (pfn as u32, fd.version, fd.used, fd.entries.as_slice()))
+        })
+    }
+
+    /// Iterate every cached decode as `(pfn, snapshot_version, off, entry)`.
+    pub fn iter_cached(&self) -> impl Iterator<Item = (u32, u64, u32, CachedDecode)> + '_ {
+        self.iter_frames().flat_map(|(pfn, version, _, entries)| {
+            entries
+                .iter()
+                .enumerate()
+                .filter_map(move |(off, e)| e.map(|c| (pfn, version, off as u32, c)))
+        })
+    }
+}
+
+impl std::fmt::Debug for DecodeCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecodeCache")
+            .field(
+                "frames_cached",
+                &self.frames.iter().filter(|f| f.is_some()).count(),
+            )
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Insn;
+
+    fn nop(len: u8) -> CachedDecode {
+        CachedDecode {
+            decoded: Decoded::Insn {
+                insn: Insn::Nop,
+                len,
+            },
+            len,
+        }
+    }
+
+    #[test]
+    fn miss_insert_hit() {
+        let mut c = DecodeCache::new(4);
+        assert_eq!(c.lookup(2, 100, 0), None);
+        c.insert(2, 100, 0, nop(1));
+        assert_eq!(c.lookup(2, 100, 0), Some(nop(1)));
+        assert_eq!(c.stats.hits, 1);
+        assert_eq!(c.stats.misses, 1);
+        assert_eq!(c.stats.invalidations, 0);
+    }
+
+    #[test]
+    fn version_mismatch_invalidates_whole_frame() {
+        let mut c = DecodeCache::new(4);
+        c.insert(1, 0, 7, nop(1));
+        c.insert(1, 1, 7, nop(2));
+        // Same generation: both hit.
+        assert!(c.lookup(1, 0, 7).is_some());
+        // Newer generation: everything cached for frame 1 is stale.
+        assert_eq!(c.lookup(1, 1, 8), None);
+        assert_eq!(c.stats.invalidations, 1);
+        assert_eq!(c.lookup(1, 0, 8), None);
+        assert_eq!(c.stats.invalidations, 1, "already reset; no double count");
+    }
+
+    #[test]
+    fn frames_are_independent() {
+        let mut c = DecodeCache::new(4);
+        c.insert(1, 5, 0, nop(1));
+        c.insert(3, 5, 9, nop(3));
+        assert!(c.lookup(1, 5, 0).is_some());
+        assert!(c.lookup(3, 5, 9).is_some());
+        // Invalidate frame 3 only.
+        assert!(c.lookup(3, 5, 10).is_none());
+        assert!(c.lookup(1, 5, 0).is_some());
+        let cached: Vec<_> = c.iter_cached().collect();
+        assert_eq!(cached, vec![(1, 0, 5, nop(1))]);
+    }
+
+    #[test]
+    fn insert_at_newer_version_restarts_table() {
+        let mut c = DecodeCache::new(2);
+        c.insert(1, 0, 0, nop(1));
+        c.insert(1, 9, 2, nop(2));
+        assert_eq!(c.lookup(1, 0, 2), None, "older entry dropped");
+        assert_eq!(c.lookup(1, 9, 2), Some(nop(2)));
+    }
+}

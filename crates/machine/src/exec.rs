@@ -65,13 +65,57 @@ impl CodeSource for FetchSource<'_> {
     }
 }
 
+/// Fetch and decode the instruction at `eip`, returning the outcome and the
+/// address of the following instruction.
+///
+/// With the decode cache enabled this still performs the **byte-1 I-TLB
+/// translation unconditionally**, so TLB fills/walks/LRU recency, A/D-bit
+/// updates, page faults and `tlb_walk` cycle charges are identical to the
+/// uncached byte-by-byte path (bytes 2..len of a non-page-crossing
+/// instruction can only ever be same-page TLB hits, which charge nothing
+/// and change no [`MachineStats`](crate::stats::MachineStats) counter).
+/// Instructions whose encoding crosses into the next page are never cached:
+/// the continuation page's mapping can change independently of the first
+/// frame's write-generation.
+fn fetch_decode(m: &mut Machine, eip: u32) -> Result<(Decoded, u32), Exc> {
+    if !m.config.decode_cache {
+        let mut src = FetchSource { m, addr: eip };
+        let decoded = isa::decode(&mut src)?;
+        let next_eip = src.addr;
+        return Ok((decoded, next_eip));
+    }
+    let p = m.translate(eip, Access::Fetch, Privilege::User)?;
+    let pfn = p >> crate::pte::PAGE_SHIFT;
+    let off = crate::pte::page_offset(p);
+    let version = m.phys.frame_version(pfn);
+    if let Some(c) = m.decode_cache.lookup(pfn, off, version) {
+        return Ok((c.decoded, eip.wrapping_add(c.len as u32)));
+    }
+    // Miss: decode byte-by-byte exactly as the uncached path would (the
+    // byte-1 re-translation is a guaranteed I-TLB hit and thus free).
+    let mut src = FetchSource { m, addr: eip };
+    let decoded = isa::decode(&mut src)?;
+    let next_eip = src.addr;
+    let len = next_eip.wrapping_sub(eip);
+    if off + len <= crate::pte::PAGE_SIZE {
+        m.decode_cache.insert(
+            pfn,
+            off,
+            version,
+            crate::decode_cache::CachedDecode {
+                decoded,
+                len: len as u8,
+            },
+        );
+    }
+    Ok((decoded, next_eip))
+}
+
 /// Execute one instruction. See [`Machine::step`] for the public wrapper
 /// that adds snapshotting, trap-flag handling and statistics.
 pub(crate) fn step(m: &mut Machine) -> Result<Flow, Exc> {
     let start_eip = m.cpu.regs.eip;
-    let mut src = FetchSource { m, addr: start_eip };
-    let decoded = isa::decode(&mut src)?;
-    let next_eip = src.addr;
+    let (decoded, next_eip) = fetch_decode(m, start_eip)?;
     let insn = match decoded {
         Decoded::Insn { insn, .. } => insn,
         Decoded::Invalid { opcode } => return Err(Exc::InvalidOpcode { opcode }),

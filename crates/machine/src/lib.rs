@@ -43,6 +43,7 @@
 pub mod chaos;
 pub mod costs;
 pub mod cpu;
+pub mod decode_cache;
 pub mod exec;
 pub mod isa;
 pub mod phys;
@@ -52,5 +53,6 @@ pub mod tlb;
 
 mod machine;
 
+pub use decode_cache::DecodeCacheStats;
 pub use machine::{Machine, MachineConfig, Trap};
 pub use tlb::{TlbGeometry, TlbPreset};

@@ -3,6 +3,7 @@
 
 use crate::costs::CycleCosts;
 use crate::cpu::{Access, Cpu, PageFaultInfo, Privilege};
+use crate::decode_cache::DecodeCache;
 use crate::exec;
 use crate::phys::{OutOfFrames, PhysMemory};
 use crate::pte::{self, Frame, PAGE_SIZE};
@@ -29,6 +30,13 @@ pub struct MachineConfig {
     /// an architecture needs "no complex data or instruction TLB loading
     /// techniques".
     pub software_tlb: bool,
+    /// Cache completed instruction decodes per (physical frame, offset),
+    /// invalidated by frame write-generation (see
+    /// [`decode_cache`](crate::decode_cache)). Transparent to the modeled
+    /// machine — identical [`MachineStats`], cycles and TLB/pagetable
+    /// behaviour either way — so it defaults to on; tests flip it off to
+    /// check exactly that equivalence.
+    pub decode_cache: bool,
     /// Cycle cost model.
     pub costs: CycleCosts,
 }
@@ -40,6 +48,7 @@ impl Default for MachineConfig {
             tlb: TlbPreset::default(),
             nx_enabled: false,
             software_tlb: false,
+            decode_cache: true,
             costs: CycleCosts::default(),
         }
     }
@@ -115,6 +124,10 @@ pub struct Machine {
     pub cycles: u64,
     /// Event counters.
     pub stats: MachineStats,
+    /// Decoded-instruction cache (consulted only when
+    /// [`MachineConfig::decode_cache`] is set; its counters stay zero
+    /// otherwise).
+    pub decode_cache: DecodeCache,
     pending_singlestep: bool,
 }
 
@@ -126,6 +139,7 @@ impl Machine {
             phys: PhysMemory::new(config.phys_frames),
             itlb: Tlb::with_geometry(config.tlb.itlb),
             dtlb: Tlb::with_geometry(config.tlb.dtlb),
+            decode_cache: DecodeCache::new(config.phys_frames),
             config,
             cycles: 0,
             stats: MachineStats::default(),
@@ -493,6 +507,13 @@ impl Machine {
     /// state at instruction start (CR2 is updated for page faults). On
     /// [`Trap::Syscall`] and [`Trap::DebugStep`] the instruction has
     /// retired and `eip` points at the next instruction.
+    ///
+    /// Cycle accounting is independent of host decode work: the per-retire
+    /// [`CycleCosts::insn`] charge below and the [`CycleCosts::tlb_walk`]
+    /// charge inside [`Machine::translate`] are the only fetch-path charges,
+    /// and both fire identically whether the decode came from the
+    /// byte-by-byte decoder or the decode cache (same-page continuation
+    /// bytes are TLB hits, which charge nothing).
     pub fn step(&mut self) -> Trap {
         let snapshot = self.cpu.regs;
         let tf = self.cpu.regs.flag(crate::cpu::flags::TF);

@@ -15,6 +15,13 @@ use std::fmt;
 /// (virtual-address safety is enforced separately by the MMU).
 pub struct PhysMemory {
     bytes: Vec<u8>,
+    /// Per-frame write generation, bumped by every mutating accessor. The
+    /// decoded-instruction cache snapshots a frame's version when it caches
+    /// decodes from that frame and treats any later mismatch as "this frame
+    /// was written, drop the decodes" — so *every* write path (user stores,
+    /// kernel loads, COW copies, pagetable A/D updates, frame fills) must go
+    /// through the methods below.
+    versions: Vec<u64>,
     /// Allocator over this memory's frames.
     pub allocator: FrameAllocator,
 }
@@ -34,7 +41,25 @@ impl PhysMemory {
         );
         PhysMemory {
             bytes: vec![0; frames as usize * PAGE_SIZE as usize],
+            versions: vec![0; frames as usize],
             allocator: FrameAllocator::new(frames),
+        }
+    }
+
+    /// Write generation of frame `pfn`: monotonically increases with every
+    /// write that touches the frame.
+    #[inline]
+    pub fn frame_version(&self, pfn: u32) -> u64 {
+        self.versions[pfn as usize]
+    }
+
+    /// Bump the version of every frame a `len`-byte write at `paddr` touches.
+    #[inline]
+    fn bump(&mut self, paddr: u32, len: usize) {
+        let first = (paddr / PAGE_SIZE) as usize;
+        let last = (paddr as usize + len.max(1) - 1) / PAGE_SIZE as usize;
+        for f in first..=last {
+            self.versions[f] += 1;
         }
     }
 
@@ -52,6 +77,7 @@ impl PhysMemory {
     /// Write one byte.
     #[inline]
     pub fn write_u8(&mut self, paddr: u32, v: u8) {
+        self.bump(paddr, 1);
         self.bytes[paddr as usize] = v;
     }
 
@@ -65,12 +91,17 @@ impl PhysMemory {
     /// Write a little-endian 32-bit word (no alignment requirement).
     #[inline]
     pub fn write_u32(&mut self, paddr: u32, v: u32) {
+        self.bump(paddr, 4);
         let i = paddr as usize;
         self.bytes[i..i + 4].copy_from_slice(&v.to_le_bytes());
     }
 
     /// Copy `data` into memory starting at `paddr`.
     pub fn write(&mut self, paddr: u32, data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
+        self.bump(paddr, data.len());
         let i = paddr as usize;
         self.bytes[i..i + data.len()].copy_from_slice(data);
     }
@@ -89,18 +120,21 @@ impl PhysMemory {
 
     /// Zero an entire frame.
     pub fn zero_frame(&mut self, f: Frame) {
+        self.versions[f.0 as usize] += 1;
         let i = f.base() as usize;
         self.bytes[i..i + PAGE_SIZE as usize].fill(0);
     }
 
     /// Fill an entire frame with one byte value.
     pub fn fill_frame(&mut self, f: Frame, v: u8) {
+        self.versions[f.0 as usize] += 1;
         let i = f.base() as usize;
         self.bytes[i..i + PAGE_SIZE as usize].fill(v);
     }
 
     /// Copy the contents of frame `src` into frame `dst`.
     pub fn copy_frame(&mut self, src: Frame, dst: Frame) {
+        self.versions[dst.0 as usize] += 1;
         let (s, d) = (src.base() as usize, dst.base() as usize);
         let n = PAGE_SIZE as usize;
         self.bytes.copy_within(s..s + n, d);
@@ -134,7 +168,11 @@ impl std::error::Error for OutOfFrames {}
 /// so that a completely empty entry is unambiguously "nothing".
 #[derive(Debug, Clone)]
 pub struct FrameAllocator {
+    /// Frames returned by [`FrameAllocator::free`], reallocated LIFO.
     free: Vec<Frame>,
+    /// Lowest never-allocated frame: `next_fresh..total` are all free, so
+    /// construction is O(1) instead of materialising the whole free list.
+    next_fresh: u32,
     total: u32,
     allocated: u32,
     /// High-water mark of simultaneously allocated frames.
@@ -152,11 +190,11 @@ pub struct FrameAllocator {
 impl FrameAllocator {
     /// Allocator over frames `1..total` (frame 0 is reserved).
     pub fn new(total: u32) -> FrameAllocator {
-        // Popping from the back yields low frame numbers first, which keeps
-        // traces readable.
-        let free = (1..total).rev().map(Frame).collect();
+        // Fresh frames are handed out in ascending order (recycled frames
+        // first, LIFO), which keeps traces readable.
         FrameAllocator {
-            free,
+            free: Vec::new(),
+            next_fresh: 1,
             total,
             allocated: 0,
             peak: 0,
@@ -189,7 +227,15 @@ impl FrameAllocator {
             self.inject_next = self.inject_every.map(|e| self.alloc_calls + e.max(1));
             return Err(OutOfFrames);
         }
-        let f = self.free.pop().ok_or(OutOfFrames)?;
+        let f = match self.free.pop() {
+            Some(f) => f,
+            None if self.next_fresh < self.total => {
+                let f = Frame(self.next_fresh);
+                self.next_fresh += 1;
+                f
+            }
+            None => return Err(OutOfFrames),
+        };
         self.allocated += 1;
         self.peak = self.peak.max(self.allocated);
         Ok(f)
@@ -208,6 +254,7 @@ impl FrameAllocator {
     /// debug builds only (the check is O(free list)).
     pub fn free(&mut self, f: Frame) {
         assert!(f.0 != 0 && f.0 < self.total, "freeing invalid {f}");
+        debug_assert!(f.0 < self.next_fresh, "freeing never-allocated {f}");
         debug_assert!(!self.free.contains(&f), "double free of {f}");
         self.allocated -= 1;
         self.free.push(f);
@@ -215,7 +262,7 @@ impl FrameAllocator {
 
     /// Number of frames currently free.
     pub fn free_count(&self) -> u32 {
-        self.free.len() as u32
+        self.free.len() as u32 + (self.total - self.next_fresh)
     }
 
     /// Number of frames currently allocated.
@@ -258,6 +305,34 @@ mod tests {
         let mut buf = [0u8; 5];
         m.read(4096, &mut buf);
         assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn frame_versions_track_every_write_path() {
+        let mut m = PhysMemory::new(4);
+        assert_eq!(m.frame_version(1), 0);
+        m.write_u8(Frame(1).base(), 7);
+        assert_eq!(m.frame_version(1), 1);
+        m.write_u32(Frame(1).base() + 8, 0xdead_beef);
+        assert_eq!(m.frame_version(1), 2);
+        // A word write straddling a frame boundary bumps both frames.
+        m.write_u32(Frame(2).base() - 2, 0x1122_3344);
+        assert_eq!(m.frame_version(1), 3);
+        assert_eq!(m.frame_version(2), 1);
+        // Bulk writes bump every frame they touch; reads bump none.
+        m.write(Frame(1).base() + PAGE_SIZE - 4, &[0u8; 8]);
+        assert_eq!(m.frame_version(1), 4);
+        assert_eq!(m.frame_version(2), 2);
+        let mut buf = [0u8; 16];
+        m.read(Frame(1).base(), &mut buf);
+        assert_eq!(m.read_u8(Frame(1).base()), 7);
+        assert_eq!(m.frame_version(1), 4);
+        // Frame-granularity ops.
+        m.zero_frame(Frame(3));
+        m.fill_frame(Frame(3), 0xAA);
+        m.copy_frame(Frame(3), Frame(2));
+        assert_eq!(m.frame_version(3), 2);
+        assert_eq!(m.frame_version(2), 3);
     }
 
     #[test]

@@ -231,11 +231,18 @@ impl Tlb {
     /// Move `vpn` to the front of the shadow model (inserting if absent),
     /// evicting its own LRU tail at capacity.
     fn shadow_touch(&mut self, vpn: u32) {
-        if let Some(i) = self.shadow.iter().position(|v| *v == vpn) {
-            self.shadow.remove(i);
+        // MRU-rotation in place: equivalent to remove+insert(0) but one
+        // bounded memmove instead of two, and free when already MRU — this
+        // runs on every TLB access, so it is part of the step() hot path.
+        if self.shadow.first() == Some(&vpn) {
+            return;
         }
-        self.shadow.insert(0, vpn);
-        self.shadow.truncate(self.geometry.capacity());
+        if let Some(i) = self.shadow.iter().position(|v| *v == vpn) {
+            self.shadow[..=i].rotate_right(1);
+        } else {
+            self.shadow.insert(0, vpn);
+            self.shadow.truncate(self.geometry.capacity());
+        }
     }
 
     fn shadow_drop(&mut self, vpn: u32) {
@@ -247,8 +254,14 @@ impl Tlb {
     pub fn lookup(&mut self, vpn: u32) -> Option<TlbEntry> {
         let si = self.geometry.set_of(vpn);
         if let Some(i) = self.sets[si].iter().position(|e| e.vpn == vpn) {
-            let e = self.sets[si].remove(i);
-            self.sets[si].insert(0, e);
+            // Rotate the hit entry to MRU in place (identical order to the
+            // old remove+insert, without shifting the set twice; a hit on
+            // the already-MRU way — the hot-loop common case — moves
+            // nothing).
+            if i != 0 {
+                self.sets[si][..=i].rotate_right(1);
+            }
+            let e = self.sets[si][0];
             self.shadow_touch(vpn);
             self.stats.hits += 1;
             return Some(e);
@@ -284,12 +297,17 @@ impl Tlb {
         let si = self.geometry.set_of(entry.vpn);
         let set = &mut self.sets[si];
         if let Some(i) = set.iter().position(|e| e.vpn == entry.vpn) {
-            set.remove(i);
-        } else if set.len() == self.geometry.ways {
+            if i != 0 {
+                set[..=i].rotate_right(1);
+            }
+            set[0] = entry;
+            return;
+        }
+        if set.len() == self.geometry.ways {
             set.pop();
             self.stats.evictions += 1;
         }
-        self.sets[si].insert(0, entry);
+        set.insert(0, entry);
     }
 
     /// Drop every entry (a CR3 load — e.g. a context switch — does this).

@@ -1,0 +1,213 @@
+//! Decode-cache transparency and coherence tests.
+//!
+//! The cache must be invisible to the modeled machine: running the same
+//! program with the cache on and off must produce the same trap sequence,
+//! register file, `MachineStats`, cycle count and physical memory — the
+//! only observable difference is host speed (and the cache's own counters).
+
+use proptest::prelude::*;
+use sm_machine::cpu::{flags, Reg};
+use sm_machine::pte::{self, PAGE_SIZE};
+use sm_machine::{Machine, MachineConfig, Trap};
+
+/// Machine with `pages` user pages identity-ish mapped at 0x1000.., code
+/// installed at 0x1000 (same shape as `machine_props.rs`).
+fn harness(code: &[u8], pages: u32, config: MachineConfig) -> Machine {
+    let mut m = Machine::new(MachineConfig {
+        phys_frames: pages + 64,
+        ..config
+    });
+    let dir = m.alloc_zeroed_frame().unwrap();
+    let tab = m.alloc_zeroed_frame().unwrap();
+    m.phys.write_u32(
+        dir.base(),
+        pte::make(tab, pte::PRESENT | pte::WRITABLE | pte::USER),
+    );
+    for i in 0..pages {
+        let f = m.alloc_zeroed_frame().unwrap();
+        m.phys.write_u32(
+            tab.base() + (1 + i) * 4,
+            pte::make(f, pte::PRESENT | pte::WRITABLE | pte::USER),
+        );
+        if i == 0 {
+            m.phys.write(f.base(), code);
+        }
+    }
+    m.set_cr3(dir);
+    m.cpu.regs.eip = PAGE_SIZE;
+    m.cpu.regs.set(Reg::Esp, PAGE_SIZE * (1 + pages));
+    m
+}
+
+fn config(cache: bool, tf: bool) -> MachineConfig {
+    let _ = tf;
+    MachineConfig {
+        decode_cache: cache,
+        ..MachineConfig::default()
+    }
+}
+
+/// Step both machines in lockstep, asserting identical traps, registers,
+/// stats and cycles at every retire; stop after `max` steps or the first
+/// terminal trap. Returns the number of steps taken.
+fn run_lockstep(cached: &mut Machine, plain: &mut Machine, max: u32) -> u32 {
+    for i in 0..max {
+        let tc = cached.step();
+        let tp = plain.step();
+        assert_eq!(tc, tp, "trap diverged at step {i}");
+        assert_eq!(
+            cached.cpu.regs, plain.cpu.regs,
+            "registers diverged at step {i}"
+        );
+        assert_eq!(cached.stats, plain.stats, "stats diverged at step {i}");
+        assert_eq!(cached.cycles, plain.cycles, "cycles diverged at step {i}");
+        match tc {
+            Trap::None | Trap::DebugStep => {}
+            // A real kernel would service these; for equivalence purposes
+            // the comparison above already covered the interesting state.
+            _ => return i + 1,
+        }
+    }
+    max
+}
+
+/// Compare all of physical memory.
+fn assert_same_memory(a: &Machine, b: &Machine) {
+    assert_eq!(a.phys.frame_count(), b.phys.frame_count());
+    for f in 0..a.phys.frame_count() {
+        let fr = pte::Frame(f);
+        assert_eq!(
+            a.phys.frame_bytes(fr),
+            b.phys.frame_bytes(fr),
+            "physical frame {f} diverged"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary byte programs behave identically with the cache on/off:
+    /// same traps, registers, `MachineStats`, cycles and final memory.
+    #[test]
+    fn cache_is_transparent_on_arbitrary_code(
+        code in proptest::collection::vec(any::<u8>(), 1..64),
+        tf in any::<bool>(),
+    ) {
+        let mut cached = harness(&code, 8, config(true, tf));
+        let mut plain = harness(&code, 8, config(false, tf));
+        cached.cpu.regs.set_flag(flags::TF, tf);
+        plain.cpu.regs.set_flag(flags::TF, tf);
+        run_lockstep(&mut cached, &mut plain, 256);
+        assert_same_memory(&cached, &plain);
+        prop_assert_eq!(
+            plain.decode_cache.stats,
+            sm_machine::DecodeCacheStats::default(),
+            "disabled cache must not count"
+        );
+    }
+
+    /// Same equivalence on the paper's testbed geometry (set-associative
+    /// TLBs exercise eviction/recency interplay with the fetch path).
+    #[test]
+    fn cache_is_transparent_on_pentium3(
+        code in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let mut cached = harness(&code, 8, MachineConfig { decode_cache: true, ..MachineConfig::pentium3() });
+        let mut plain = harness(&code, 8, MachineConfig { decode_cache: false, ..MachineConfig::pentium3() });
+        run_lockstep(&mut cached, &mut plain, 256);
+        assert_same_memory(&cached, &plain);
+    }
+}
+
+/// A self-modifying program on an *unsplit* code page must see fresh
+/// decodes: the overwritten instruction executes as its new encoding, and
+/// the cache records the frame invalidation.
+#[test]
+fn self_modifying_code_sees_fresh_decodes() {
+    // 0x1000: jmp 0x1010           ; first pass caches the nop at 0x1010
+    // 0x1002: mov byte [0x1010], 0xF4   ; overwrite it with hlt
+    // 0x1009: jmp 0x1010           ; re-execute: must decode hlt now
+    // 0x1010: nop                  ; -> hlt after the store
+    // 0x1011: jmp 0x1002           ; loop back to the overwriting store
+    let code = [
+        0xEB, 0x0E, // jmp +14 -> 0x1010
+        0xC6, 0x05, 0x10, 0x10, 0x00, 0x00, 0xF4, // mov byte [0x1010], 0xF4
+        0xEB, 0x05, // jmp +5 -> 0x1010
+        0x90, 0x90, 0x90, 0x90, 0x90, // pad
+        0x90, // 0x1010: nop (becomes hlt)
+        0xEB, 0xEF, // jmp -17 -> 0x1002
+    ];
+    for cache in [true, false] {
+        let mut m = harness(&code, 2, config(cache, false));
+        let mut halted = false;
+        for _ in 0..8 {
+            match m.step() {
+                Trap::None => {}
+                Trap::Halt => {
+                    halted = true;
+                    break;
+                }
+                t => panic!("unexpected trap {t:?}"),
+            }
+        }
+        assert!(halted, "stale decode executed (cache={cache})");
+        if cache {
+            assert!(
+                m.decode_cache.stats.invalidations >= 1,
+                "the code-frame overwrite must invalidate cached decodes"
+            );
+        } else {
+            assert_eq!(
+                m.decode_cache.stats,
+                sm_machine::DecodeCacheStats::default()
+            );
+        }
+    }
+}
+
+/// Hot loops actually hit: re-executing the same instructions decodes each
+/// one exactly once.
+#[test]
+fn hot_loop_hits_after_first_decode() {
+    // inc eax; jmp -3 — the micro-bench loop.
+    let code = [0x40, 0xEB, 0xFD];
+    let mut m = harness(&code, 2, config(true, false));
+    for _ in 0..100 {
+        assert_eq!(m.step(), Trap::None);
+    }
+    let s = m.decode_cache.stats;
+    assert_eq!(s.misses, 2, "one miss per distinct instruction");
+    assert_eq!(s.hits, 98);
+    assert_eq!(s.invalidations, 0);
+}
+
+/// An instruction whose encoding crosses a page boundary is never cached —
+/// every execution re-decodes byte-by-byte.
+#[test]
+fn page_crossing_instructions_are_not_cached() {
+    // Place `mov eax, imm32` (5 bytes) so it straddles 0x1FFF/0x2000, and
+    // jump to it repeatedly from page 1.
+    let mut code = vec![0u8; (PAGE_SIZE - 1) as usize + 5];
+    code[0] = 0xE9; // jmp rel32 -> 0x1FFF
+    code[1..5].copy_from_slice(&(0x0FFAu32).to_le_bytes()); // 0x1005 + 0xFFA = 0x1FFF
+    code[(PAGE_SIZE - 1) as usize] = 0xB8; // mov eax, imm32 at 0x1FFF
+                                           // imm bytes land at 0x2000.. (zero-filled page 2) = mov eax, 0.
+    let mut cached = harness(&code, 4, config(true, false));
+    let mut plain = harness(&code, 4, config(false, false));
+    for _ in 0..4 {
+        // jmp; mov; then eip runs into zeroed page 2 -> invalid opcode 0.
+        let tc = cached.step();
+        assert_eq!(tc, plain.step());
+        if !matches!(tc, Trap::None) {
+            break;
+        }
+    }
+    let s = cached.decode_cache.stats;
+    assert_eq!(
+        s.hits, 0,
+        "straddling decode must never be served from cache"
+    );
+    assert!(s.misses >= 2);
+    assert_same_memory(&cached, &plain);
+}

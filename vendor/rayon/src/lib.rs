@@ -1,0 +1,233 @@
+//! In-tree stand-in for the `rayon` crate.
+//!
+//! The build container has no network access, so the real rayon cannot be
+//! fetched; this shim (vendored like `vendor/proptest` and
+//! `vendor/criterion`) provides the tiny subset the experiment drivers in
+//! `sm-bench` actually use:
+//!
+//! - `vec.into_par_iter().map(f).collect::<Vec<_>>()`
+//! - `slice.par_iter().map(f).collect::<Vec<_>>()`
+//! - `rayon::current_num_threads()`
+//!
+//! Semantics match rayon where it matters for the sweeps:
+//!
+//! - **Deterministic output order.** Results are collected in input order
+//!   regardless of which worker finishes first, so parallel sweep reports
+//!   are byte-identical to serial runs.
+//! - **Work stealing, approximately.** Workers claim the next unclaimed
+//!   index from a shared atomic counter, so a slow item does not serialize
+//!   the items behind it.
+//! - **`RAYON_NUM_THREADS`** is honored (0 or unset ⇒ available
+//!   parallelism). With one thread the map runs inline on the caller with
+//!   no thread spawned at all.
+//!
+//! Closures run on scoped OS threads (`std::thread::scope`), so borrows of
+//! the caller's stack work exactly as with rayon's scoped pools.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads a parallel iterator will use.
+///
+/// `RAYON_NUM_THREADS` overrides (a value of 0 means "auto", like rayon);
+/// otherwise the machine's available parallelism, and 1 if that is unknown.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(0) | None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        Some(n) => n,
+    }
+}
+
+/// Parallel iterator over owned items: supports `.map(f)` followed by
+/// `.collect::<Vec<_>>()`, preserving input order in the output.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// The result of `ParIter::map`; terminal operation is `collect`.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Apply `f` to every item, potentially on several threads.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        F: Fn(T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Run the map and gather results **in input order**.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromParCollect<T, F>,
+    {
+        C::from_par_map(self)
+    }
+}
+
+/// Target of `ParMap::collect`. Implemented for `Vec<R>`.
+pub trait FromParCollect<T, F>: Sized {
+    fn from_par_map(map: ParMap<T, F>) -> Self;
+}
+
+impl<T, R, F> FromParCollect<T, F> for Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    fn from_par_map(map: ParMap<T, F>) -> Vec<R> {
+        par_map_vec(map.items, &map.f)
+    }
+}
+
+fn par_map_vec<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Each slot is claimed exactly once via the shared counter; items move
+    // out through a per-slot Mutex<Option<T>> so workers can take them
+    // without unsafe code, and results land in per-slot cells that are
+    // drained in input order afterwards.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().take().expect("slot claimed once");
+                let r = f(item);
+                *results[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|cell| cell.into_inner().unwrap().expect("worker filled slot"))
+        .collect()
+}
+
+/// Conversion into a [`ParIter`]; rayon's entry point for owned collections.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send + Clone> IntoParallelIterator for &[T] {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self.to_vec(),
+        }
+    }
+}
+
+/// Borrowing entry points (`par_iter`), yielding references like rayon's.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> ParIter<&'a Self::Item>;
+}
+
+impl<'a, T: Send + Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Send + Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `use rayon::prelude::*;` — mirrors the real crate's glob import.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_input_order() {
+        let xs: Vec<u64> = (0..200).collect();
+        let ys: Vec<u64> = xs.clone().into_par_iter().map(|x| x * 3).collect();
+        assert_eq!(ys, xs.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let xs: Vec<String> = (0..50).map(|i| format!("s{i}")).collect();
+        let lens: Vec<usize> = xs.par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, xs.iter().map(|s| s.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        let xs: Vec<u32> = (0..64).collect();
+        let ys: Vec<u32> = xs
+            .clone()
+            .into_par_iter()
+            .map(|x| {
+                if x % 7 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                x + 1
+            })
+            .collect();
+        assert_eq!(ys, xs.iter().map(|x| x + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let e: Vec<u8> = Vec::new();
+        let r: Vec<u8> = e.into_par_iter().map(|x| x).collect();
+        assert!(r.is_empty());
+        let one: Vec<u8> = vec![9].into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(one, vec![18]);
+    }
+}
