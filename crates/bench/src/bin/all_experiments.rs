@@ -7,6 +7,8 @@
 //! to `BENCH_summary.json` (override the path with `BENCH_SUMMARY_PATH`)
 //! so CI can archive per-commit performance data.
 use sm_bench::summary::BenchSummary;
+use sm_core::setup::Protection;
+use sm_kernel::events::ResponseMode;
 use sm_machine::TlbPreset;
 use std::time::Instant;
 
@@ -71,6 +73,40 @@ fn main() {
         let soft = sm_bench::ablation::softtlb_port(60);
         println!("{}", sm_bench::ablation::render_all(&itlb, &sens, &soft));
     });
+
+    let counters = summary.section("interference", || {
+        println!("==== Cross-process interference (fork + COW) ====================\n");
+        let split = Protection::SplitMem(ResponseMode::Break);
+        let seeds = [1u64];
+        for (mode, asid) in [("flush-on-switch", false), ("asid-tagged", true)] {
+            let swept = sm_bench::interference::sweep_interference_on(
+                &seeds,
+                &split,
+                TlbPreset::default(),
+                asid,
+            );
+            let detected = swept.iter().filter(|c| c.run.detections > 0).count();
+            let stable = swept.iter().all(|c| c.verdict_stable);
+            println!(
+                "split({mode}): {detected}/{} combos detected the injection, verdicts stable: {stable}",
+                swept.len()
+            );
+        }
+        let c = sm_bench::interference::probe(&split, false);
+        println!(
+            "fault-free run: {} context switches, {} COW breaks, {} detections",
+            c.context_switches, c.cow_breaks, c.detections
+        );
+        for p in &c.processes {
+            println!(
+                "  pid {} ({:<8}) user_cycles={} exit={:?}",
+                p.pid, p.role, p.user_cycles, p.exit_code
+            );
+        }
+        println!();
+        c
+    });
+    summary.interference = Some(counters);
 
     let p3 = TlbPreset::pentium3();
     summary.section("fig6-pentium3", || {

@@ -12,6 +12,7 @@
 
 use sm_attacks::wilander::{self, InjectLocation, Technique};
 use sm_bench::chaos::{self, Scenario};
+use sm_bench::interference;
 use sm_core::setup::Protection;
 use sm_kernel::events::ResponseMode;
 use sm_kernel::kernel::RunExit;
@@ -168,6 +169,71 @@ fn main() {
             bad.push(format!("{} invariant violations", r.run.violations.len()));
         }
         report(r, &mut failures, bad);
+    }
+
+    // Cross-process pass: one image forks into attacker and victim
+    // sharing data frames COW; chaos preemption moves the context-switch
+    // points between arbitrary steps of either guest. The injection must
+    // *work* unprotected (the attack is real) and be detected 100% of the
+    // time under split memory — in both the flush-on-switch and the
+    // ASID-tagged TLB models — while the victim's COW view stays pristine.
+    println!("\ncross-process interference (fork + COW-shared pages):");
+    let unprotected = Protection::Unprotected;
+    for (mode, asid) in [("flush", false), ("asid", true)] {
+        for (pname, protection, expect_success) in
+            [("unprot", &unprotected, true), ("split", &split, false)]
+        {
+            let swept =
+                interference::sweep_interference_on(&seeds, protection, TlbPreset::default(), asid);
+            for r in &swept {
+                combos += 1;
+                let mut bad = Vec::new();
+                if r.run.attack_succeeded != expect_success {
+                    bad.push(format!(
+                        "attack_succeeded={} (want {expect_success}): {}",
+                        r.run.attack_succeeded, r.run.verdict
+                    ));
+                }
+                if !expect_success && r.run.detections == 0 {
+                    bad.push("injection not detected".into());
+                }
+                if r.run.victim_corrupted {
+                    bad.push("victim saw attacker bytes through COW".into());
+                }
+                if !r.verdict_stable {
+                    bad.push(format!(
+                        "verdict {:?} != baseline {:?}",
+                        r.run.verdict, r.baseline
+                    ));
+                }
+                if !r.run.violations.is_empty() {
+                    bad.push(format!("{} invariant violations", r.run.violations.len()));
+                }
+                if matches!(r.run.exit, RunExit::Livelock { .. }) {
+                    bad.push("livelock".into());
+                }
+                let label = format!("interfere-{pname}-{mode}");
+                if bad.is_empty() {
+                    println!(
+                        "  ok   {:<44} {:<18} seed={} -> {}",
+                        label, r.plan, r.seed, r.run.verdict
+                    );
+                } else {
+                    failures += 1;
+                    println!(
+                        "  FAIL {:<44} {:<18} seed={} -> {} [{}]",
+                        label,
+                        r.plan,
+                        r.seed,
+                        r.run.verdict,
+                        bad.join("; ")
+                    );
+                    for v in &r.run.violations {
+                        println!("       violation: {v}");
+                    }
+                }
+            }
+        }
     }
 
     println!("\n{combos} combos swept, {failures} failures");

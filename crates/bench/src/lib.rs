@@ -23,6 +23,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod interference;
 pub mod memory;
 pub mod report;
 pub mod summary;

@@ -39,6 +39,33 @@ pub struct StepsProbe {
     pub dcache: DecodeCacheStats,
 }
 
+/// Counters for one process of the cross-process interference run.
+#[derive(Debug, Clone)]
+pub struct ProcessProbe {
+    /// Process id.
+    pub pid: u32,
+    /// `"attacker"` (fork parent) or `"victim"` (fork child).
+    pub role: String,
+    /// Cycles the process spent executing user instructions.
+    pub user_cycles: u64,
+    /// Exit status, if the process exited.
+    pub exit_code: Option<i32>,
+}
+
+/// Kernel- and per-process counters from the fault-free cross-process
+/// interference run under split memory.
+#[derive(Debug, Clone, Default)]
+pub struct InterferenceCounters {
+    /// Context switches performed (CR3 actually reloaded).
+    pub context_switches: u64,
+    /// Copy-on-write breaks (the attacker's injection forces at least one).
+    pub cow_breaks: u64,
+    /// Attack detections logged.
+    pub detections: u64,
+    /// Per-process counters, in pid order.
+    pub processes: Vec<ProcessProbe>,
+}
+
 /// The whole summary.
 #[derive(Debug, Clone, Default)]
 pub struct BenchSummary {
@@ -48,6 +75,9 @@ pub struct BenchSummary {
     pub total_wall_ms: f64,
     /// Interpreter throughput probes (cache on / off).
     pub probes: Vec<StepsProbe>,
+    /// Cross-process interference counters (absent if the section did not
+    /// run).
+    pub interference: Option<InterferenceCounters>,
 }
 
 impl BenchSummary {
@@ -92,11 +122,38 @@ impl BenchSummary {
                 )
             })
             .collect();
+        let interference = match &self.interference {
+            None => String::new(),
+            Some(i) => {
+                let procs: Vec<String> = i
+                    .processes
+                    .iter()
+                    .map(|p| {
+                        format!(
+                            "      {{\"pid\": {}, \"role\": \"{}\", \"user_cycles\": {}, \"exit_code\": {}}}",
+                            p.pid,
+                            p.role,
+                            p.user_cycles,
+                            p.exit_code
+                                .map_or_else(|| "null".into(), |c| c.to_string())
+                        )
+                    })
+                    .collect();
+                format!(
+                    ",\n  \"interference\": {{\n    \"context_switches\": {}, \"cow_breaks\": {}, \"detections\": {},\n    \"processes\": [\n{}\n    ]\n  }}",
+                    i.context_switches,
+                    i.cow_breaks,
+                    i.detections,
+                    procs.join(",\n")
+                )
+            }
+        };
         format!(
-            "{{\n  \"total_wall_ms\": {:.3},\n  \"sections\": [\n{}\n  ],\n  \"steps_probes\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"total_wall_ms\": {:.3},\n  \"sections\": [\n{}\n  ],\n  \"steps_probes\": [\n{}\n  ]{}\n}}\n",
             self.total_wall_ms,
             sections.join(",\n"),
-            probes.join(",\n")
+            probes.join(",\n"),
+            interference
         )
     }
 }

@@ -457,6 +457,7 @@ impl ProtectionEngine for SplitMemEngine {
                     sys.machine.fill_itlb(sm_machine::tlb::TlbEntry {
                         vpn,
                         pfn: code.0,
+                        asid: 0, // fill() restamps with the active ASID
                         user: true,
                         writable: false,
                         nx: false,
@@ -468,6 +469,7 @@ impl ProtectionEngine for SplitMemEngine {
                     sys.machine.fill_dtlb(sm_machine::tlb::TlbEntry {
                         vpn,
                         pfn: sp.data.0,
+                        asid: 0, // fill() restamps with the active ASID
                         user: true,
                         writable: pte::has(entry, pte::WRITABLE),
                         nx: false,
@@ -720,7 +722,7 @@ impl ProtectionEngine for SplitMemEngine {
         let cloned = table.clone();
         for (_, sp) in cloned.iter() {
             if let Some(c) = sp.code {
-                sys.frames.share(c);
+                sys.frames.share(&mut sys.machine, c);
             }
         }
         self.tables.insert(child.0, cloned);

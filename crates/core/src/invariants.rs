@@ -28,6 +28,17 @@
 //!    reached a frame without bumping its generation, i.e. the decoded
 //!    instruction cache would execute stale bytes. Stale-generation
 //!    entries are legal — the cache discards them lazily on next lookup.
+//! 7. **Refcount lockstep** — the kernel's per-frame refcounts and the
+//!    physical allocator's agree frame by frame; a skew means some share
+//!    or release path updated one ledger but not the other.
+//! 8. **No cross-process I-TLB leak** — no process's I-TLB path can
+//!    reach another live process's split *data* frame (the multi-process
+//!    restatement of the paper's desynchronisation guarantee: COW-shared
+//!    data must never become fetchable through a neighbour's mappings).
+//! 9. **Page-rights consistency** — a present PTE never carries both
+//!    `SPLIT` and `NX` (the two mechanisms are mutually exclusive per
+//!    page), never carries `SPLIT` without a split-table entry backing
+//!    it, and `NX` never lands on a page of an executable region.
 //!
 //! [`check`] returns every violation found; [`run_with_checks`] interleaves
 //! checking with execution so a whole workload can be swept.
@@ -96,6 +107,52 @@ pub enum Violation {
         /// Byte offset of the instruction within the frame.
         offset: u32,
     },
+    /// The kernel frame table and the machine allocator disagree on one
+    /// frame's refcount — a share/release path updated one ledger only.
+    RefcountSkew {
+        /// Physical frame number.
+        pfn: u32,
+        /// Refcount according to the machine's allocator.
+        machine_rc: u32,
+        /// Refcount according to the kernel's frame table.
+        kernel_rc: u32,
+    },
+    /// An I-TLB entry reachable by one process maps another live
+    /// process's split *data* frame — injected bytes in a COW-shared page
+    /// would be fetchable across the process boundary.
+    ItlbCrossProcessLeak {
+        /// Process whose fetches can consume the entry.
+        pid: Pid,
+        /// Process that owns the leaked data frame.
+        other: Pid,
+        /// Page base address of the I-TLB entry.
+        vaddr: u32,
+    },
+    /// A present PTE carries both `SPLIT` and `NX`: the split engine and
+    /// the execute-disable engine both claim the page.
+    SplitNxConflict {
+        /// Owning process.
+        pid: Pid,
+        /// Page base address.
+        vaddr: u32,
+    },
+    /// A present PTE carries `NX` on a page inside an executable region —
+    /// the program's own code would fault on fetch.
+    NxMarkedExecutable {
+        /// Owning process.
+        pid: Pid,
+        /// Page base address.
+        vaddr: u32,
+    },
+    /// A present PTE carries the `SPLIT` bit but no split-table entry
+    /// backs it: a fault on the page would hit the engine with no
+    /// code/data pair to desynchronise.
+    SplitBitOrphan {
+        /// Owning process.
+        pid: Pid,
+        /// Page base address.
+        vaddr: u32,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -130,6 +187,30 @@ impl fmt::Display for Violation {
                 f,
                 "decode cache: frame {pfn} offset {offset:#05x}: cached decode disagrees with memory"
             ),
+            Violation::RefcountSkew {
+                pfn,
+                machine_rc,
+                kernel_rc,
+            } => write!(
+                f,
+                "frame {pfn}: allocator refcount {machine_rc} != frame-table refcount {kernel_rc}"
+            ),
+            Violation::ItlbCrossProcessLeak { pid, other, vaddr } => write!(
+                f,
+                "{pid} I-TLB entry {vaddr:#010x} maps {other}'s split data frame"
+            ),
+            Violation::SplitNxConflict { pid, vaddr } => write!(
+                f,
+                "{pid} page {vaddr:#010x}: PTE carries both SPLIT and NX"
+            ),
+            Violation::NxMarkedExecutable { pid, vaddr } => write!(
+                f,
+                "{pid} page {vaddr:#010x}: NX set inside an executable region"
+            ),
+            Violation::SplitBitOrphan { pid, vaddr } => write!(
+                f,
+                "{pid} page {vaddr:#010x}: SPLIT bit set but no split-table entry"
+            ),
         }
     }
 }
@@ -157,6 +238,21 @@ pub fn check(k: &Kernel) -> Vec<Violation> {
     let tracked = k.sys.frames.tracked();
     if allocated as usize != tracked {
         out.push(Violation::FrameAccounting { allocated, tracked });
+    }
+
+    // 7. Refcount lockstep, frame by frame. Together with #1 this covers
+    // both directions: a frame live in the allocator but untracked by the
+    // kernel skews the counts; a tracked frame whose counts merely differ
+    // is caught here.
+    for (pfn, kernel_rc) in k.sys.frames.iter() {
+        let machine_rc = k.sys.machine.phys.allocator.refcount(pte::Frame(pfn));
+        if machine_rc != kernel_rc {
+            out.push(Violation::RefcountSkew {
+                pfn,
+                machine_rc,
+                kernel_rc,
+            });
+        }
     }
 
     // 6. Decode-cache coherence (engine-independent). Work is bounded:
@@ -193,7 +289,42 @@ pub fn check(k: &Kernel) -> Vec<Violation> {
         }
     }
 
-    let Some(engine) = split_engine(k) else {
+    // 9. Page-rights consistency. Engine-independent (the NX baseline has
+    // no split tables, so any SPLIT bit it leaves behind is an orphan):
+    // walk every mapped page of every live process's regions.
+    let split = split_engine(k);
+    for (raw_pid, proc) in &k.sys.procs {
+        if proc.state == ProcState::Zombie {
+            continue;
+        }
+        let pid = Pid(*raw_pid);
+        let table = split.and_then(|e| e.table(pid));
+        for vma in &proc.aspace.vmas {
+            let mut addr = pte::page_base(vma.start);
+            while addr < vma.end {
+                let entry = k.sys.pte_of(pid, addr);
+                if pte::has(entry, pte::PRESENT) {
+                    if pte::has(entry, pte::SPLIT) && pte::has(entry, pte::NX) {
+                        out.push(Violation::SplitNxConflict { pid, vaddr: addr });
+                    }
+                    if pte::has(entry, pte::SPLIT)
+                        && table.is_none_or(|t| t.get(pte::vpn(addr)).is_none())
+                    {
+                        out.push(Violation::SplitBitOrphan { pid, vaddr: addr });
+                    }
+                    if pte::has(entry, pte::NX) && vma.executable() {
+                        out.push(Violation::NxMarkedExecutable { pid, vaddr: addr });
+                    }
+                }
+                match addr.checked_add(pte::PAGE_SIZE) {
+                    Some(next) => addr = next,
+                    None => break,
+                }
+            }
+        }
+    }
+
+    let Some(engine) = split else {
         return out;
     };
     let fill = if engine.config.response == ResponseMode::Break {
@@ -201,6 +332,60 @@ pub fn check(k: &Kernel) -> Vec<Violation> {
     } else {
         SPLIT_FILL_OPCODE
     };
+
+    // 8. No cross-process I-TLB leak. Attribute every I-TLB entry to the
+    // process whose fetches can consume it — by ASID tag when tagging is
+    // on, otherwise to the running process (untagged TLBs are flushed on
+    // every address-space switch, so resident entries belong to it). An
+    // entry mapping another live process's split data frame is a leak
+    // unless the consumer's own split table maps that page to the same
+    // (COW-shared) frame, or the page is mid-reload in the consumer's
+    // Algorithm-1 single-step window.
+    let mut data_owners: Vec<(u32, Pid)> = Vec::new();
+    for (raw_pid, proc) in &k.sys.procs {
+        if proc.state == ProcState::Zombie {
+            continue;
+        }
+        let pid = Pid(*raw_pid);
+        if let Some(t) = engine.table(pid) {
+            for (_, sp) in t.iter() {
+                data_owners.push((sp.data.0, pid));
+            }
+        }
+    }
+    for (_, entries) in k.sys.machine.itlb.iter_sets() {
+        for e in entries {
+            let consumer = if k.sys.config.asid_tlbs {
+                Pid(e.asid as u32)
+            } else {
+                match k.sys.current {
+                    Some(p) => p,
+                    None => continue,
+                }
+            };
+            let Some(proc) = k.sys.procs.get(&consumer.0) else {
+                continue;
+            };
+            let Some(&(_, other)) = data_owners
+                .iter()
+                .find(|(pfn, owner)| *pfn == e.pfn && *owner != consumer)
+            else {
+                continue;
+            };
+            let base = e.vpn << pte::PAGE_SHIFT;
+            let shared = engine
+                .table(consumer)
+                .and_then(|t| t.get(e.vpn))
+                .is_some_and(|sp| sp.data.0 == e.pfn);
+            if !shared && proc.pending_step_addr != Some(base) {
+                out.push(Violation::ItlbCrossProcessLeak {
+                    pid: consumer,
+                    other,
+                    vaddr: base,
+                });
+            }
+        }
+    }
 
     for (raw_pid, proc) in &k.sys.procs {
         if proc.state == ProcState::Zombie {
@@ -213,14 +398,19 @@ pub fn check(k: &Kernel) -> Vec<Violation> {
         // The one page allowed to be unrestricted: the page an Algorithm-1
         // single-step reload is currently traversing.
         let window = proc.pending_step_addr;
-        // 3. No D-TLB code leak (only the running process's address space
-        // is in the TLBs). The scan walks the buffer's sets directly: a
-        // set-associative TLB can only hold a page's translation in the
-        // set its low VPN bits select, so visiting each set's resident
-        // entries covers exactly the state the hardware would consult.
-        if k.sys.current == Some(pid) {
+        // 3. No D-TLB code leak. Untagged TLBs hold only the running
+        // process's address space; ASID-tagged TLBs keep every process's
+        // entries resident, each attributed by its tag. The scan walks
+        // the buffer's sets directly: a set-associative TLB can only hold
+        // a page's translation in the set its low VPN bits select, so
+        // visiting each set's resident entries covers exactly the state
+        // the hardware would consult.
+        if k.sys.config.asid_tlbs || k.sys.current == Some(pid) {
             for (_, entries) in k.sys.machine.dtlb.iter_sets() {
                 for e in entries {
+                    if k.sys.config.asid_tlbs && e.asid != *raw_pid as u16 {
+                        continue;
+                    }
                     let base = e.vpn << pte::PAGE_SHIFT;
                     if window == Some(base) {
                         continue;
@@ -298,11 +488,21 @@ pub fn run_with_checks(k: &mut Kernel, max_cycles: u64, stride: u64) -> (RunExit
 mod tests {
     use super::*;
     use crate::engine::{SplitMemConfig, SplitMemEngine};
+    use crate::split::SplitPolicy;
     use sm_kernel::kernel::Kernel;
     use sm_kernel::userlib::ProgramBuilder;
+    use sm_machine::tlb::TlbEntry;
 
     fn split_kernel() -> Kernel {
         Kernel::with_engine(Box::new(SplitMemEngine::new(SplitMemConfig::default())))
+    }
+
+    fn demo_program(path: &str) -> sm_kernel::userlib::BuiltProgram {
+        ProgramBuilder::new(path)
+            .code("_start: mov eax, 7\n mov ebx, eax\n call exit")
+            .data("v: .word 3")
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -341,6 +541,131 @@ mod tests {
         assert!(check(&k)
             .iter()
             .any(|v| matches!(v, Violation::DecodeCacheIncoherent { pfn: 3, offset: 0 })));
+    }
+
+    #[test]
+    fn refcount_skew_is_caught() {
+        let mut k = split_kernel();
+        let prog = demo_program("/bin/rc");
+        k.spawn(&prog.image).unwrap();
+        assert!(check(&k).is_empty());
+        let (pfn, _) = k.sys.frames.iter().next().expect("a tracked frame");
+        // Bump the machine-side refcount behind the kernel's back.
+        k.sys.machine.phys.allocator.retain(pte::Frame(pfn));
+        assert!(check(&k)
+            .iter()
+            .any(|v| matches!(v, Violation::RefcountSkew { .. })));
+    }
+
+    #[test]
+    fn split_nx_conflict_is_caught() {
+        let mut k = split_kernel();
+        let prog = demo_program("/bin/nxc");
+        let pid = k.spawn(&prog.image).unwrap();
+        let vpn = {
+            let engine = k
+                .engine
+                .as_any()
+                .downcast_ref::<SplitMemEngine>()
+                .expect("split engine");
+            engine
+                .table(pid)
+                .expect("table")
+                .iter()
+                .next()
+                .expect("a split page")
+                .0
+        };
+        let base = vpn << pte::PAGE_SHIFT;
+        let entry = k.sys.pte_of(pid, base);
+        k.sys.set_pte(pid, base, entry | pte::NX);
+        assert!(check(&k)
+            .iter()
+            .any(|v| matches!(v, Violation::SplitNxConflict { .. })));
+    }
+
+    #[test]
+    fn split_bit_orphan_is_caught() {
+        // MixedOnly policy: the (non-mixed) stack page is present but not
+        // split, so planting a SPLIT bit on it has no backing table entry.
+        let mut k = Kernel::with_engine(Box::new(SplitMemEngine::new(SplitMemConfig {
+            policy: SplitPolicy::MixedOnly,
+            ..SplitMemConfig::default()
+        })));
+        let prog = demo_program("/bin/orph");
+        let pid = k.spawn(&prog.image).unwrap();
+        assert!(check(&k).is_empty());
+        let top = k.sys.proc(pid).aspace.stack_high - sm_machine::pte::PAGE_SIZE;
+        let entry = k.sys.pte_of(pid, top);
+        assert!(pte::has(entry, pte::PRESENT) && !pte::has(entry, pte::SPLIT));
+        k.sys.set_pte(pid, top, entry | pte::SPLIT);
+        assert!(check(&k)
+            .iter()
+            .any(|v| matches!(v, Violation::SplitBitOrphan { .. })));
+    }
+
+    #[test]
+    fn nx_on_executable_page_is_caught() {
+        let mut k = split_kernel();
+        let prog = demo_program("/bin/nxx");
+        let pid = k.spawn(&prog.image).unwrap();
+        let code_base = {
+            let p = k.sys.proc(pid);
+            let vma = p
+                .aspace
+                .vmas
+                .iter()
+                .find(|v| v.executable())
+                .expect("code vma");
+            pte::page_base(vma.start)
+        };
+        let entry = k.sys.pte_of(pid, code_base);
+        k.sys.set_pte(pid, code_base, entry | pte::NX);
+        assert!(check(&k)
+            .iter()
+            .any(|v| matches!(v, Violation::NxMarkedExecutable { .. })));
+    }
+
+    #[test]
+    fn cross_process_itlb_leak_is_caught() {
+        let mut k = split_kernel();
+        let a = k.spawn(&demo_program("/bin/a").image).unwrap();
+        let b = k.spawn(&demo_program("/bin/b").image).unwrap();
+        k.sys.current = Some(a);
+        assert!(check(&k).is_empty());
+        let leaked = {
+            let engine = k
+                .engine
+                .as_any()
+                .downcast_ref::<SplitMemEngine>()
+                .expect("split engine");
+            engine
+                .table(b)
+                .expect("table")
+                .iter()
+                .next()
+                .expect("a split page")
+                .1
+                .data
+        };
+        // Plant an I-TLB entry giving process A a fetch path into B's
+        // data frame at a page A does not map itself.
+        k.sys.machine.itlb.fill(TlbEntry {
+            vpn: 0x300,
+            pfn: leaked.0,
+            asid: 0,
+            user: true,
+            writable: false,
+            nx: false,
+        });
+        let violations = check(&k);
+        assert!(
+            violations.iter().any(|v| matches!(
+                v,
+                Violation::ItlbCrossProcessLeak { pid, other, .. } if *pid == a && *other == b
+            )),
+            "violations: {violations:?}"
+        );
     }
 
     #[test]

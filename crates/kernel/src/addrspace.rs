@@ -57,14 +57,19 @@ impl FrameTable {
 
     /// Increment the refcount (frame becomes shared, e.g. on fork).
     ///
+    /// The machine-level allocator keeps its own per-frame count in
+    /// lockstep (`FrameAllocator::retain`), so the hardware model can
+    /// detect kernel bookkeeping bugs independently.
+    ///
     /// # Panics
     ///
     /// Panics if the frame is not tracked.
-    pub fn share(&mut self, f: Frame) {
+    pub fn share(&mut self, m: &mut Machine, f: Frame) {
         *self
             .rc
             .get_mut(&f.0)
             .unwrap_or_else(|| panic!("sharing untracked {f}")) += 1;
+        m.phys.allocator.retain(f);
     }
 
     /// Current refcount (0 if untracked).
@@ -84,18 +89,25 @@ impl FrameTable {
             .get_mut(&f.0)
             .unwrap_or_else(|| panic!("releasing untracked {f}"));
         *rc -= 1;
-        if *rc == 0 {
+        let last = *rc == 0;
+        if last {
             self.rc.remove(&f.0);
-            m.free_frame(f);
-            true
-        } else {
-            false
         }
+        // The allocator's mirror count must agree on when the last
+        // reference drops; a skew here is a kernel/machine bookkeeping bug.
+        let freed = m.phys.allocator.release(f);
+        debug_assert_eq!(freed, last, "kernel/machine refcount skew on {f}");
+        last
     }
 
     /// Number of tracked frames (diagnostics).
     pub fn tracked(&self) -> usize {
         self.rc.len()
+    }
+
+    /// Iterate over `(pfn, refcount)` pairs (invariant checking).
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.rc.iter().map(|(&f, &c)| (f, c))
     }
 }
 
@@ -152,6 +164,10 @@ impl AddressSpace {
         ft: &mut FrameTable,
         vaddr: u32,
     ) -> Result<u32, OutOfFrames> {
+        debug_assert!(
+            self.dir != Frame(0),
+            "PTE write into a torn-down address space"
+        );
         let pde_addr = self.dir.base() + pte::dir_index(vaddr) * 4;
         let pde = m.phys.read_u32(pde_addr);
         let table = if pte::has(pde, pte::PRESENT) {
@@ -341,7 +357,7 @@ impl AddressSpace {
                     child.free_all(m, ft);
                     return Err(OutOfFrames);
                 }
-                ft.share(pte::frame(e));
+                ft.share(m, pte::frame(e));
             }
         }
         Ok(child)
@@ -393,7 +409,7 @@ mod tests {
     fn refcounts_guard_frees() {
         let (mut m, mut ft, _) = setup();
         let f = ft.alloc_zeroed(&mut m).unwrap();
-        ft.share(f);
+        ft.share(&mut m, f);
         assert_eq!(ft.refcount(f), 2);
         assert!(!ft.release(&mut m, f));
         assert!(ft.release(&mut m, f));

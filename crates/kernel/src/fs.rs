@@ -48,6 +48,29 @@ impl RamFs {
         self.files.entry(path.to_string()).or_default()
     }
 
+    /// Read up to `len` bytes of `path` starting at byte `offset` (the
+    /// `read(2)` transfer). Returns `None` if the file does not exist;
+    /// reads at or past EOF return an empty vector.
+    pub fn read_at(&self, path: &str, offset: usize, len: usize) -> Option<Vec<u8>> {
+        let file = self.files.get(path)?;
+        let start = offset.min(file.len());
+        let n = len.min(file.len() - start);
+        Some(file[start..start + n].to_vec())
+    }
+
+    /// Write `data` into `path` at `offset` — or at EOF when `append` —
+    /// growing (and zero-filling) the file as needed. The file is created
+    /// if missing. Returns the offset just past the written bytes.
+    pub fn write_at(&mut self, path: &str, offset: usize, data: &[u8], append: bool) -> usize {
+        let file = self.files.entry(path.to_string()).or_default();
+        let at = if append { file.len() } else { offset };
+        if file.len() < at + data.len() {
+            file.resize(at + data.len(), 0);
+        }
+        file[at..at + data.len()].copy_from_slice(data);
+        at + data.len()
+    }
+
     /// Does the path exist?
     pub fn exists(&self, path: &str) -> bool {
         self.files.contains_key(path)
@@ -223,6 +246,27 @@ mod tests {
         fs.file_mut("/etc/passwd").extend_from_slice(b":::");
         assert!(fs.remove("/etc/passwd"));
         assert!(!fs.remove("/etc/passwd"));
+    }
+
+    #[test]
+    fn read_at_clamps_to_eof() {
+        let mut fs = RamFs::new();
+        assert!(fs.read_at("/x", 0, 4).is_none());
+        fs.install("/x", b"hello".to_vec());
+        assert_eq!(fs.read_at("/x", 0, 3).unwrap(), b"hel");
+        assert_eq!(fs.read_at("/x", 3, 99).unwrap(), b"lo");
+        assert_eq!(fs.read_at("/x", 99, 4).unwrap(), b"");
+    }
+
+    #[test]
+    fn write_at_grows_and_appends() {
+        let mut fs = RamFs::new();
+        assert_eq!(fs.write_at("/y", 2, b"ab", false), 4);
+        assert_eq!(fs.file("/y").unwrap(), &vec![0, 0, b'a', b'b']);
+        assert_eq!(fs.write_at("/y", 0, b"Z", false), 1);
+        assert_eq!(fs.file("/y").unwrap(), &vec![b'Z', 0, b'a', b'b']);
+        assert_eq!(fs.write_at("/y", 0, b"!", true), 5, "append ignores offset");
+        assert_eq!(fs.file("/y").unwrap(), &vec![b'Z', 0, b'a', b'b', b'!']);
     }
 
     #[test]

@@ -49,6 +49,15 @@ pub struct KernelConfig {
     /// Deterministic fault-injection plan (inert by default); see
     /// [`sm_machine::chaos`].
     pub chaos: FaultPlan,
+    /// Tag TLB entries with a per-address-space identifier (the process
+    /// pid) instead of flushing both TLBs on every context switch. Off by
+    /// default: the paper's testbed (Pentium III / Linux 2.6.13) has no
+    /// ASIDs, and the flush-on-switch cost is part of what §4.6 measures.
+    /// When on, a switch retags via [`Machine::set_cr3_tagged`] and each
+    /// process keeps its warm translations across quanta — including the
+    /// *desynchronised* split-memory entries, which the cross-process
+    /// invariants then attribute per-ASID.
+    pub asid_tlbs: bool,
     /// Livelock watchdog: how many *consecutive* page faults at one EIP —
     /// with no instruction retiring in between — the kernel tolerates
     /// before giving up with [`RunExit::Livelock`]. Normal split-memory
@@ -69,6 +78,7 @@ impl Default for KernelConfig {
             pipe_capacity: crate::fs::PIPE_CAPACITY,
             chaos: FaultPlan::default(),
             livelock_threshold: 64,
+            asid_tlbs: false,
         }
     }
 }
@@ -101,6 +111,9 @@ pub enum SpawnError {
     BadImage(String),
     /// Library signature verification failed (paper §4.3).
     VerificationFailed(String),
+    /// Disk I/O failed reading the image/library (injected by the chaos
+    /// harness's fs-fault plans; surfaces as `EIO` at the syscall layer).
+    Io(String),
 }
 
 impl std::fmt::Display for SpawnError {
@@ -109,6 +122,7 @@ impl std::fmt::Display for SpawnError {
             SpawnError::OutOfMemory => f.write_str("out of physical memory"),
             SpawnError::BadImage(m) => write!(f, "bad image: {m}"),
             SpawnError::VerificationFailed(m) => write!(f, "library verification failed: {m}"),
+            SpawnError::Io(m) => write!(f, "I/O error: {m}"),
         }
     }
 }
@@ -270,6 +284,16 @@ impl System {
         self.events.push(self.machine.cycles, event);
     }
 
+    /// Consult the chaos plan about the filesystem operation about to run.
+    /// Advances the deterministic fs-op clock; inert (and absent) plans
+    /// always answer "no fault".
+    pub fn chaos_fs_fault(&mut self) -> sm_machine::chaos::FsFault {
+        self.chaos
+            .as_mut()
+            .map(|c| c.on_fs_op())
+            .unwrap_or_default()
+    }
+
     /// Wake every process whose wait reason satisfies `pred`.
     pub fn wake_where(&mut self, pred: impl Fn(&WaitReason) -> bool) {
         let mut woken = Vec::new();
@@ -418,7 +442,9 @@ impl Kernel {
             return;
         }
         // A real context switch: charge scheduler cost, reload CR3 (which
-        // flushes both TLBs — the paper's dominant overhead source, §4.6).
+        // flushes both TLBs — the paper's dominant overhead source, §4.6 —
+        // unless tagged TLBs are on, in which case the entries are retagged
+        // and survive).
         let cs = self.sys.machine.config.costs.context_switch;
         self.sys.charge(cs);
         self.sys.stats.context_switches += 1;
@@ -427,7 +453,11 @@ impl Kernel {
         // Load the register file first: set_cr3 writes the (architectural)
         // CR3 field inside it.
         self.sys.machine.cpu.regs = ctx;
-        self.sys.machine.set_cr3(dir);
+        if self.sys.config.asid_tlbs {
+            self.sys.machine.set_cr3_tagged(dir, pid.0 as u16);
+        } else {
+            self.sys.machine.set_cr3(dir);
+        }
         self.sys.current = Some(pid);
         self.sys.loaded_cr3_for = Some(pid);
     }
@@ -626,6 +656,7 @@ impl Kernel {
                 let te = TlbEntry {
                     vpn: pte::vpn(vaddr),
                     pfn: pte::frame(entry).0,
+                    asid: 0, // fill() restamps with the active ASID
                     user: e_user,
                     writable: e_wr,
                     nx: e_nx,
@@ -914,13 +945,28 @@ impl Kernel {
             p.aspace.free_all(&mut sys.machine, &mut sys.frames);
             p.state = ProcState::Zombie;
             p.exit_code = Some(code);
+            // The single-step window dies with the process: exiting from
+            // inside one (an armed `int 0x80`, a fatal signal mid-window)
+            // would otherwise fire the trailing debug trap *after* this
+            // teardown and restore a PTE into the freed address space —
+            // re-growing a pagetable on the zombie that nothing ever frees.
+            p.pending_step_addr = None;
         }
         self.sys.log(Event::ProcessExit { pid, code });
         if self.sys.current == Some(pid) {
+            self.sys.machine.cpu.regs.set_flag(flags::TF, false);
             self.sys.current = None;
         }
         if self.sys.loaded_cr3_for == Some(pid) {
             self.sys.loaded_cr3_for = None;
+        }
+        // Tagged TLBs never flush on switch, so a dead process's entries
+        // would otherwise linger forever under its ASID (its frames may be
+        // recycled into another address space). Shoot them all down here —
+        // the one full flush per exit is the tagged-mode analogue of the
+        // per-switch flush the mode avoids.
+        if self.sys.config.asid_tlbs {
+            self.sys.machine.flush_tlbs();
         }
         // Wake anyone in waitpid.
         self.sys.wake_where(|r| matches!(r, WaitReason::Child));

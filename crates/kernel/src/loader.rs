@@ -112,12 +112,23 @@ pub(crate) fn load_into(k: &mut Kernel, pid: Pid, image: &ExecImage) -> Result<(
 /// [`SpawnError::BadImage`] for missing/corrupt libraries,
 /// [`SpawnError::VerificationFailed`] if the engine rejects the signature.
 pub(crate) fn load_library(k: &mut Kernel, pid: Pid, path: &str) -> Result<u32, SpawnError> {
-    let bytes = k
+    // Reading the library off disk is a filesystem operation like any
+    // other: the chaos plan may fail it outright or hand back a truncated
+    // image (which then fails to parse). Either way the caller unwinds
+    // cleanly — nothing has been mapped yet.
+    let fault = k.sys.chaos_fs_fault();
+    if fault.error {
+        return Err(SpawnError::Io(format!("reading {path}")));
+    }
+    let mut bytes = k
         .sys
         .fs
         .file(path)
         .ok_or_else(|| SpawnError::BadImage(format!("no such library {path}")))?
         .clone();
+    if fault.short {
+        bytes.truncate(1);
+    }
     let image =
         ExecImage::from_bytes(&bytes).map_err(|e| SpawnError::BadImage(format!("{path}: {e}")))?;
     match k.engine.verify_library(&mut k.sys, pid, &image) {

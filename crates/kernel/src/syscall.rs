@@ -76,6 +76,8 @@ pub const SYS_REGISTER_RECOVERY: u32 = 211;
 pub const ENOENT: i32 = -2;
 /// No such process.
 pub const ESRCH: i32 = -3;
+/// I/O error (injected by the chaos harness's disk-fault plans).
+pub const EIO: i32 = -5;
 /// Bad file descriptor.
 pub const EBADF: i32 = -9;
 /// No waitable child.
@@ -274,15 +276,23 @@ fn sys_read(k: &mut Kernel, pid: Pid, fd: u32, buf: u32, len: u32) -> Outcome {
             offset,
             flags,
         } => {
-            let Some(file) = k.sys.fs.file(&path) else {
+            // Disk faults are drawn before the transfer: a failed read
+            // moves no bytes and leaves the file offset where it was.
+            let fault = k.sys.chaos_fs_fault();
+            if fault.error {
+                return Outcome::Ret(EIO);
+            }
+            let want = if fault.short {
+                (len as usize).min(1)
+            } else {
+                len as usize
+            };
+            let Some(data) = k.sys.fs.read_at(&path, offset as usize, want) else {
                 return Outcome::Ret(ENOENT);
             };
-            let start = (offset as usize).min(file.len());
-            let n = (len as usize).min(file.len() - start);
-            let data = file[start..start + n].to_vec();
             k.sys.proc_mut(pid).fds[fd as usize] = Some(FdObject::File {
                 path,
-                offset: offset + n as u32,
+                offset: offset + data.len() as u32,
                 flags,
             });
             data
@@ -354,22 +364,30 @@ fn sys_write(k: &mut Kernel, pid: Pid, fd: u32, buf: u32, len: u32) -> Outcome {
             if flags & (fs::O_WRONLY | fs::O_RDWR) == 0 {
                 return Outcome::Ret(EBADF);
             }
-            let file = k.sys.fs.file_mut(&path);
-            let at = if flags & fs::O_APPEND != 0 {
-                file.len()
-            } else {
-                offset as usize
-            };
-            if file.len() < at + data.len() {
-                file.resize(at + data.len(), 0);
+            // Disk faults are drawn after validation but before the
+            // transfer: a failed write moves no bytes, a short write
+            // commits exactly one and reports it.
+            let fault = k.sys.chaos_fs_fault();
+            if fault.error {
+                return Outcome::Ret(EIO);
             }
-            file[at..at + data.len()].copy_from_slice(&data);
+            let n = if fault.short {
+                data.len().min(1)
+            } else {
+                data.len()
+            };
+            let end = k.sys.fs.write_at(
+                &path,
+                offset as usize,
+                &data[..n],
+                flags & fs::O_APPEND != 0,
+            );
             k.sys.proc_mut(pid).fds[fd as usize] = Some(FdObject::File {
                 path,
-                offset: (at + data.len()) as u32,
+                offset: end as u32,
                 flags,
             });
-            Outcome::Ret(len as i32)
+            Outcome::Ret(n as i32)
         }
         FdObject::PipeWrite(id) | FdObject::Socket { tx: id, .. } => {
             // POSIX semantics: EPIPE only when *no* read end exists
@@ -444,9 +462,20 @@ fn sys_execve(k: &mut Kernel, pid: Pid, path_ptr: u32) -> Outcome {
     let Some(path) = k.user_cstr(pid, path_ptr) else {
         return Outcome::Ret(EFAULT);
     };
-    let Some(bytes) = k.sys.fs.file(&path).cloned() else {
+    // The image read happens *before* teardown, so a disk fault here
+    // leaves the calling process intact: EIO to the caller, old address
+    // space untouched. A short read truncates the image, which then fails
+    // to parse the same way a corrupt file would.
+    let fault = k.sys.chaos_fs_fault();
+    if fault.error {
+        return Outcome::Ret(EIO);
+    }
+    let Some(mut bytes) = k.sys.fs.file(&path).cloned() else {
         return Outcome::Ret(ENOENT);
     };
+    if fault.short {
+        bytes.truncate(1);
+    }
     let Ok(image) = ExecImage::from_bytes(&bytes) else {
         return Outcome::Ret(ENOENT);
     };
@@ -688,6 +717,7 @@ fn sys_dlopen(k: &mut Kernel, pid: Pid, path_ptr: u32) -> Outcome {
     match crate::loader::load_library(k, pid, &path) {
         Ok(base) => Outcome::Ret(base as i32),
         Err(crate::kernel::SpawnError::VerificationFailed(_)) => Outcome::Ret(EACCES),
+        Err(crate::kernel::SpawnError::Io(_)) => Outcome::Ret(EIO),
         Err(_) => Outcome::Ret(ENOENT),
     }
 }

@@ -47,6 +47,16 @@ pub struct FaultPlan {
     /// Flush both TLBs whenever the current process sits in the
     /// single-step window.
     pub flush_in_window: bool,
+    /// Fail every N-th filesystem operation (reads *and* writes) with an
+    /// I/O error — the disk analogue of `oom_at`. Counted on a separate
+    /// per-fs-op clock ([`ChaosState::on_fs_op`]), so the fault lands on
+    /// the N-th `read`/`write`/`execve`/`dlopen` touch of the RAM fs, not
+    /// the N-th instruction.
+    pub fs_error_every: Option<u64>,
+    /// Truncate every N-th filesystem read/write to a single byte (a
+    /// short-I/O fault: the syscall succeeds but transfers less than
+    /// asked, which POSIX permits and sloppy callers mishandle).
+    pub fs_short_every: Option<u64>,
     /// Seed for the fault stream's own randomness (eviction draws). Kept
     /// separate from the kernel seed so the same workload can be replayed
     /// under many fault streams.
@@ -62,6 +72,8 @@ impl FaultPlan {
             || self.oom_at.is_some()
             || self.signal_in_window
             || self.flush_in_window
+            || self.fs_error_every.is_some()
+            || self.fs_short_every.is_some()
     }
 }
 
@@ -99,6 +111,23 @@ pub struct ChaosStats {
     pub window_flushes: u64,
     /// Signals fired inside the single-step window.
     pub window_signals: u64,
+    /// Filesystem operations observed.
+    pub fs_ops: u64,
+    /// Injected filesystem I/O errors.
+    pub fs_errors: u64,
+    /// Injected short filesystem transfers.
+    pub fs_shorts: u64,
+}
+
+/// The fault decision for one filesystem operation
+/// ([`ChaosState::on_fs_op`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FsFault {
+    /// Fail the operation with an I/O error (takes precedence over
+    /// `short`).
+    pub error: bool,
+    /// Truncate the transfer to one byte.
+    pub short: bool,
 }
 
 /// The live decision stream for one [`FaultPlan`].
@@ -166,6 +195,29 @@ impl ChaosState {
         }
         if f.preempt {
             self.stats.preemptions += 1;
+        }
+        f
+    }
+
+    /// Advance the filesystem-operation clock and report whether this
+    /// operation should fail or transfer short. A pure function of
+    /// `(plan, fs-op count)` — independent of the instruction-step stream,
+    /// so adding fs traffic never perturbs the TLB/preemption schedule and
+    /// vice versa. When both faults are due on the same operation the hard
+    /// error wins.
+    pub fn on_fs_op(&mut self) -> FsFault {
+        self.stats.fs_ops += 1;
+        let ops = self.stats.fs_ops;
+        let due = |every: Option<u64>| every.is_some_and(|n| ops.is_multiple_of(n.max(1)));
+        let f = FsFault {
+            error: due(self.plan.fs_error_every),
+            short: !due(self.plan.fs_error_every) && due(self.plan.fs_short_every),
+        };
+        if f.error {
+            self.stats.fs_errors += 1;
+        }
+        if f.short {
+            self.stats.fs_shorts += 1;
         }
         f
     }
@@ -250,6 +302,51 @@ mod tests {
             // the two values are not that projection of one another.
             assert_ne!(d, i >> 32);
         }
+    }
+
+    #[test]
+    fn fs_faults_fire_on_their_own_clock() {
+        let mut c = ChaosState::new(FaultPlan {
+            fs_error_every: Some(3),
+            fs_short_every: Some(2),
+            ..FaultPlan::default()
+        });
+        // Instruction steps never advance the fs clock.
+        for _ in 0..50 {
+            c.on_step(false);
+        }
+        assert_eq!(c.stats.fs_ops, 0);
+        let decisions: Vec<FsFault> = (0..6).map(|_| c.on_fs_op()).collect();
+        // op 1: clean; op 2: short; op 3: error; op 4: short;
+        // op 5: clean; op 6: error wins over short.
+        let e = |error, short| FsFault { error, short };
+        assert_eq!(
+            decisions,
+            vec![
+                e(false, false),
+                e(false, true),
+                e(true, false),
+                e(false, true),
+                e(false, false),
+                e(true, false),
+            ]
+        );
+        assert_eq!(c.stats.fs_errors, 2);
+        assert_eq!(c.stats.fs_shorts, 2);
+    }
+
+    #[test]
+    fn inert_plan_never_faults_fs_ops() {
+        let mut c = ChaosState::new(FaultPlan::default());
+        for _ in 0..100 {
+            assert_eq!(c.on_fs_op(), FsFault::default());
+        }
+        assert!(!FaultPlan::default().is_active());
+        assert!(FaultPlan {
+            fs_error_every: Some(5),
+            ..FaultPlan::default()
+        }
+        .is_active());
     }
 
     #[test]

@@ -190,6 +190,19 @@ impl Machine {
         self.charge(self.config.costs.cr3_load);
     }
 
+    /// Load CR3 with a new page-directory frame *without* flushing the
+    /// TLBs, retagging both with `asid` instead (tagged-TLB context
+    /// switch). Entries belonging to other address spaces stay resident
+    /// but unreachable; the cost model still charges a CR3 load, but the
+    /// switched-to process keeps its warm translations.
+    pub fn set_cr3_tagged(&mut self, dir: Frame, asid: u16) {
+        self.cpu.regs.cr3 = dir.0;
+        self.itlb.set_asid(asid);
+        self.dtlb.set_asid(asid);
+        self.stats.cr3_loads += 1;
+        self.charge(self.config.costs.cr3_load);
+    }
+
     /// Current page-directory frame.
     pub fn cr3(&self) -> Frame {
         Frame(self.cpu.regs.cr3)
@@ -286,6 +299,7 @@ impl Machine {
         let e = TlbEntry {
             vpn,
             pfn: pte::frame(entry).0,
+            asid: 0, // fill() restamps with the active ASID
             user: pte::has(pde, pte::USER) && pte::has(entry, pte::USER),
             writable: pte::has(pde, pte::WRITABLE) && pte::has(entry, pte::WRITABLE),
             nx: pte::has(entry, pte::NX),

@@ -173,6 +173,13 @@ pub struct FrameAllocator {
     /// Lowest never-allocated frame: `next_fresh..total` are all free, so
     /// construction is O(1) instead of materialising the whole free list.
     next_fresh: u32,
+    /// Per-frame reference count. `alloc` hands a frame out at count 1;
+    /// [`FrameAllocator::retain`] bumps it (COW sharing, shared code
+    /// frames); [`FrameAllocator::release`] drops it and only returns the
+    /// frame to the free pool when the count reaches 0. The legacy
+    /// [`FrameAllocator::free`] path is equivalent to releasing a count-1
+    /// frame. A count of 0 means "not allocated".
+    refcounts: Vec<u32>,
     total: u32,
     allocated: u32,
     /// High-water mark of simultaneously allocated frames.
@@ -195,6 +202,7 @@ impl FrameAllocator {
         FrameAllocator {
             free: Vec::new(),
             next_fresh: 1,
+            refcounts: vec![0; total as usize],
             total,
             allocated: 0,
             peak: 0,
@@ -238,6 +246,11 @@ impl FrameAllocator {
         };
         self.allocated += 1;
         self.peak = self.peak.max(self.allocated);
+        debug_assert_eq!(
+            self.refcounts[f.0 as usize], 0,
+            "allocator handed out live frame {f}"
+        );
+        self.refcounts[f.0 as usize] = 1;
         Ok(f)
     }
 
@@ -256,8 +269,63 @@ impl FrameAllocator {
         assert!(f.0 != 0 && f.0 < self.total, "freeing invalid {f}");
         debug_assert!(f.0 < self.next_fresh, "freeing never-allocated {f}");
         debug_assert!(!self.free.contains(&f), "double free of {f}");
+        debug_assert!(
+            self.refcounts[f.0 as usize] <= 1,
+            "freeing shared frame {f} (refcount {})",
+            self.refcounts[f.0 as usize]
+        );
+        self.refcounts[f.0 as usize] = 0;
         self.allocated -= 1;
         self.free.push(f);
+    }
+
+    /// Bump the reference count of an allocated frame (the frame is now
+    /// shared: COW after fork, or a pristine code frame mapped into several
+    /// address spaces).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is frame 0 or out of range; retaining a frame that is
+    /// not currently allocated is caught in debug builds.
+    pub fn retain(&mut self, f: Frame) {
+        assert!(f.0 != 0 && f.0 < self.total, "retaining invalid {f}");
+        debug_assert!(
+            self.refcounts[f.0 as usize] > 0,
+            "retaining unallocated {f}"
+        );
+        self.refcounts[f.0 as usize] += 1;
+    }
+
+    /// Drop one reference to `f`. Returns `true` — and recycles the frame
+    /// onto the free list — when this was the last reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is frame 0 or out of range. Releasing a frame whose
+    /// count is already 0 (a double free / refcount underflow) is caught in
+    /// debug builds; release builds tolerate it and return `false` so a
+    /// long-running sweep degrades instead of corrupting the free list.
+    pub fn release(&mut self, f: Frame) -> bool {
+        assert!(f.0 != 0 && f.0 < self.total, "releasing invalid {f}");
+        let rc = &mut self.refcounts[f.0 as usize];
+        debug_assert!(*rc > 0, "refcount underflow on {f}");
+        if *rc == 0 {
+            return false;
+        }
+        *rc -= 1;
+        if *rc > 0 {
+            return false;
+        }
+        debug_assert!(f.0 < self.next_fresh, "freeing never-allocated {f}");
+        debug_assert!(!self.free.contains(&f), "double free of {f}");
+        self.allocated -= 1;
+        self.free.push(f);
+        true
+    }
+
+    /// Current reference count of `f` (0 when free or out of range).
+    pub fn refcount(&self, f: Frame) -> u32 {
+        self.refcounts.get(f.0 as usize).copied().unwrap_or(0)
     }
 
     /// Number of frames currently free.
@@ -393,5 +461,56 @@ mod tests {
     fn free_frame_zero_panics() {
         let mut a = FrameAllocator::new(3);
         a.free(Frame(0));
+    }
+
+    #[test]
+    fn refcounts_share_and_release() {
+        let mut a = FrameAllocator::new(8);
+        let f = a.alloc().unwrap();
+        assert_eq!(a.refcount(f), 1);
+        a.retain(f);
+        a.retain(f);
+        assert_eq!(a.refcount(f), 3);
+        // Dropping references keeps the frame allocated until the last one.
+        assert!(!a.release(f));
+        assert!(!a.release(f));
+        assert_eq!(a.allocated_count(), 1);
+        assert!(a.release(f));
+        assert_eq!(a.refcount(f), 0);
+        assert_eq!(a.allocated_count(), 0);
+        // Recycled LIFO: the released frame comes back first, at count 1.
+        let again = a.alloc().unwrap();
+        assert_eq!(again, f);
+        assert_eq!(a.refcount(again), 1);
+    }
+
+    #[test]
+    fn refcount_of_free_or_out_of_range_frame_is_zero() {
+        let a = FrameAllocator::new(4);
+        assert_eq!(a.refcount(Frame(1)), 0);
+        assert_eq!(a.refcount(Frame(999)), 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn release_underflow_is_caught_in_debug() {
+        // Regression for the recycled-LIFO double-free hazard: releasing a
+        // frame past zero must trip the debug assertion instead of pushing
+        // the frame onto the free list twice.
+        let mut a = FrameAllocator::new(4);
+        let f = a.alloc().unwrap();
+        assert!(a.release(f));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| a.release(f)));
+        assert!(r.is_err(), "refcount underflow must panic in debug builds");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "freeing shared frame")]
+    fn legacy_free_of_shared_frame_panics_in_debug() {
+        let mut a = FrameAllocator::new(4);
+        let f = a.alloc().unwrap();
+        a.retain(f);
+        a.free(f);
     }
 }

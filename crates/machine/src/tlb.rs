@@ -121,6 +121,11 @@ pub struct TlbEntry {
     pub vpn: u32,
     /// Physical frame number it maps to.
     pub pfn: u32,
+    /// Address-space identifier stamped at fill time ([`Tlb::set_asid`]).
+    /// Always 0 in the default flush-on-switch configuration; in tagged
+    /// mode it records which address space the translation belongs to, and
+    /// lookups from a different ASID miss instead of aliasing.
+    pub asid: u16,
     /// Snapshot of the PTE user bit: user-mode accesses allowed.
     pub user: bool,
     /// Snapshot of the PTE writable bit.
@@ -186,14 +191,23 @@ pub struct Tlb {
     geometry: TlbGeometry,
     /// `sets[i]` is ordered most-recently-used first; `len() <= ways`.
     sets: Vec<Vec<TlbEntry>>,
-    /// Shadow fully-associative LRU of the same total capacity (VPNs,
-    /// MRU-first), fed the same access/invalidation stream; the reference
-    /// for conflict-miss classification.
-    shadow: Vec<u32>,
-    /// Every VPN ever filled (cold-miss classification).
-    seen: HashSet<u32>,
+    /// Shadow fully-associative LRU of the same total capacity
+    /// (`(asid, vpn)` keys, MRU-first), fed the same access/invalidation
+    /// stream; the reference for conflict-miss classification.
+    shadow: Vec<u64>,
+    /// Every `(asid, vpn)` ever filled (cold-miss classification).
+    seen: HashSet<u64>,
+    /// ASID stamped on fills and required on lookups. Stays 0 unless the
+    /// machine runs with tagged TLBs.
+    current_asid: u16,
     /// Counters; reset with [`TlbStats::default`] assignment if needed.
     pub stats: TlbStats,
+}
+
+/// Shadow/seen key: the ASID in the high bits, the VPN in the low 32.
+#[inline]
+fn key_of(asid: u16, vpn: u32) -> u64 {
+    ((asid as u64) << 32) | vpn as u64
 }
 
 impl Tlb {
@@ -214,8 +228,23 @@ impl Tlb {
             sets: vec![Vec::with_capacity(geometry.ways); geometry.sets],
             shadow: Vec::with_capacity(geometry.capacity()),
             seen: HashSet::new(),
+            current_asid: 0,
             stats: TlbStats::default(),
         }
+    }
+
+    /// Switch the active address-space identifier. Subsequent fills are
+    /// stamped with `asid` and lookups only hit entries stamped with it —
+    /// entries belonging to other address spaces stay resident but
+    /// unreachable, which is the whole point of tagged TLBs (no flush on
+    /// context switch).
+    pub fn set_asid(&mut self, asid: u16) {
+        self.current_asid = asid;
+    }
+
+    /// The active address-space identifier (0 unless tagged mode is used).
+    pub fn asid(&self) -> u16 {
+        self.current_asid
     }
 
     /// The set/way shape.
@@ -228,32 +257,38 @@ impl Tlb {
         self.geometry.capacity()
     }
 
-    /// Move `vpn` to the front of the shadow model (inserting if absent),
+    /// Move `key` to the front of the shadow model (inserting if absent),
     /// evicting its own LRU tail at capacity.
-    fn shadow_touch(&mut self, vpn: u32) {
+    fn shadow_touch(&mut self, key: u64) {
         // MRU-rotation in place: equivalent to remove+insert(0) but one
         // bounded memmove instead of two, and free when already MRU — this
         // runs on every TLB access, so it is part of the step() hot path.
-        if self.shadow.first() == Some(&vpn) {
+        if self.shadow.first() == Some(&key) {
             return;
         }
-        if let Some(i) = self.shadow.iter().position(|v| *v == vpn) {
+        if let Some(i) = self.shadow.iter().position(|v| *v == key) {
             self.shadow[..=i].rotate_right(1);
         } else {
-            self.shadow.insert(0, vpn);
+            self.shadow.insert(0, key);
             self.shadow.truncate(self.geometry.capacity());
         }
     }
 
-    fn shadow_drop(&mut self, vpn: u32) {
-        self.shadow.retain(|v| *v != vpn);
+    /// Drop `vpn` from the shadow for *every* ASID (`invlpg` semantics:
+    /// software invalidation is conservative across address spaces).
+    fn shadow_drop_vpn(&mut self, vpn: u32) {
+        self.shadow.retain(|k| (*k & 0xFFFF_FFFF) != vpn as u64);
     }
 
-    /// Look up a virtual page number, updating hit/miss statistics and the
-    /// per-set LRU order.
+    /// Look up a virtual page number in the active address space, updating
+    /// hit/miss statistics and the per-set LRU order.
     pub fn lookup(&mut self, vpn: u32) -> Option<TlbEntry> {
+        let asid = self.current_asid;
         let si = self.geometry.set_of(vpn);
-        if let Some(i) = self.sets[si].iter().position(|e| e.vpn == vpn) {
+        if let Some(i) = self.sets[si]
+            .iter()
+            .position(|e| e.vpn == vpn && e.asid == asid)
+        {
             // Rotate the hit entry to MRU in place (identical order to the
             // old remove+insert, without shifting the set twice; a hit on
             // the already-MRU way — the hot-loop common case — moves
@@ -262,14 +297,15 @@ impl Tlb {
                 self.sets[si][..=i].rotate_right(1);
             }
             let e = self.sets[si][0];
-            self.shadow_touch(vpn);
+            self.shadow_touch(key_of(asid, vpn));
             self.stats.hits += 1;
             return Some(e);
         }
         self.stats.misses += 1;
-        if !self.seen.contains(&vpn) {
+        let key = key_of(asid, vpn);
+        if !self.seen.contains(&key) {
             self.stats.cold_misses += 1;
-        } else if self.shadow.contains(&vpn) {
+        } else if self.shadow.contains(&key) {
             self.stats.conflict_misses += 1;
         } else {
             self.stats.capacity_misses += 1;
@@ -277,26 +313,34 @@ impl Tlb {
         None
     }
 
-    /// Look up a virtual page number without touching statistics or the
-    /// LRU order (used by tests and by the kernel when it inspects —
-    /// rather than simulates — TLB state). Only the page's own set is
-    /// searched.
+    /// Look up a virtual page number in the active address space without
+    /// touching statistics or the LRU order (used by tests and by the
+    /// kernel when it inspects — rather than simulates — TLB state). Only
+    /// the page's own set is searched.
     pub fn peek(&self, vpn: u32) -> Option<TlbEntry> {
         self.sets[self.geometry.set_of(vpn)]
             .iter()
-            .find(|e| e.vpn == vpn)
+            .find(|e| e.vpn == vpn && e.asid == self.current_asid)
             .copied()
     }
 
-    /// Insert an entry, replacing any existing entry for the same page and
-    /// otherwise evicting the least-recently-used way of the page's set.
+    /// Insert an entry — stamped with the active ASID — replacing any
+    /// existing same-ASID entry for the same page and otherwise evicting
+    /// the least-recently-used way of the page's set.
     pub fn fill(&mut self, entry: TlbEntry) {
+        let entry = TlbEntry {
+            asid: self.current_asid,
+            ..entry
+        };
         self.stats.fills += 1;
-        self.seen.insert(entry.vpn);
-        self.shadow_touch(entry.vpn);
+        self.seen.insert(key_of(entry.asid, entry.vpn));
+        self.shadow_touch(key_of(entry.asid, entry.vpn));
         let si = self.geometry.set_of(entry.vpn);
         let set = &mut self.sets[si];
-        if let Some(i) = set.iter().position(|e| e.vpn == entry.vpn) {
+        if let Some(i) = set
+            .iter()
+            .position(|e| e.vpn == entry.vpn && e.asid == entry.asid)
+        {
             if i != 0 {
                 set[..=i].rotate_right(1);
             }
@@ -326,10 +370,13 @@ impl Tlb {
         self.drop_entry(vpn)
     }
 
-    /// Drop any entry for `vpn` without counting it as a software
-    /// invalidation (hardware-initiated eviction on a rights violation).
+    /// Drop any entry for `vpn` — in *every* address space — without
+    /// counting it as a software invalidation (hardware-initiated eviction
+    /// on a rights violation). Dropping across ASIDs keeps `invlpg`
+    /// conservative: the kernel never has to know which tag a stale
+    /// translation was cached under.
     pub fn drop_entry(&mut self, vpn: u32) -> bool {
-        self.shadow_drop(vpn);
+        self.shadow_drop_vpn(vpn);
         let set = &mut self.sets[self.geometry.set_of(vpn)];
         let before = set.len();
         set.retain(|e| e.vpn != vpn);
@@ -352,10 +399,11 @@ impl Tlb {
         }
         let si = nonempty[(draw % nonempty.len() as u64) as usize];
         let wi = ((draw >> 32) % self.sets[si].len() as u64) as usize;
-        let vpn = self.sets[si].remove(wi).vpn;
-        self.shadow_drop(vpn);
+        let victim = self.sets[si].remove(wi);
+        self.shadow
+            .retain(|k| *k != key_of(victim.asid, victim.vpn));
         self.stats.chaos_evictions += 1;
-        Some(vpn)
+        Some(victim.vpn)
     }
 
     /// Number of currently valid entries.
@@ -389,6 +437,7 @@ mod tests {
         TlbEntry {
             vpn,
             pfn,
+            asid: 0,
             user: true,
             writable: true,
             nx: false,
@@ -430,6 +479,7 @@ mod tests {
         t.fill(TlbEntry {
             vpn: 5,
             pfn: 50,
+            asid: 0,
             user: true,
             writable: false,
             nx: false,
@@ -631,6 +681,55 @@ mod tests {
             "{:?}",
             t.stats
         );
+    }
+
+    #[test]
+    fn asid_tags_isolate_address_spaces_without_flushing() {
+        let mut t = Tlb::new(4);
+        t.fill(entry(7, 42)); // asid 0
+        t.set_asid(1);
+        // The other address space's entry is resident but unreachable.
+        assert!(t.lookup(7).is_none());
+        assert!(t.peek(7).is_none());
+        assert_eq!(t.len(), 1, "asid miss must not discard the entry");
+        // Same page, different frame, different tag: both coexist.
+        t.fill(entry(7, 99));
+        assert_eq!(t.lookup(7).unwrap().pfn, 99);
+        assert_eq!(t.len(), 2);
+        t.set_asid(0);
+        assert_eq!(t.lookup(7).unwrap().pfn, 42);
+    }
+
+    #[test]
+    fn fill_stamps_the_active_asid() {
+        let mut t = Tlb::new(4);
+        t.set_asid(3);
+        t.fill(entry(1, 10)); // helper says asid 0; fill must restamp
+        assert_eq!(t.peek(1).unwrap().asid, 3);
+    }
+
+    #[test]
+    fn invlpg_drops_every_asid_for_the_page() {
+        let mut t = Tlb::new(4);
+        t.fill(entry(5, 1));
+        t.set_asid(2);
+        t.fill(entry(5, 2));
+        assert_eq!(t.len(), 2);
+        assert!(t.flush_page(5));
+        assert!(t.is_empty(), "invlpg must be conservative across ASIDs");
+    }
+
+    #[test]
+    fn asid_zero_stream_is_identical_to_untagged_model() {
+        // The default configuration never calls set_asid, so the miss
+        // classification stream must be exactly what the untagged model
+        // produced (byte-identical sweep outputs depend on this).
+        let mut t = Tlb::with_geometry(TlbGeometry::new(2, 1));
+        t.fill(entry(0, 1));
+        t.fill(entry(2, 2));
+        assert!(t.lookup(0).is_none());
+        assert_eq!(t.stats.conflict_misses, 1, "{:?}", t.stats);
+        assert_eq!(t.stats.capacity_misses, 0);
     }
 
     #[test]

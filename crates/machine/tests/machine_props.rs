@@ -164,6 +164,7 @@ fn softtlb_mode_never_walks() {
     m.fill_dtlb(TlbEntry {
         vpn: 2,
         pfn: (m.read_pte(0x2000).unwrap()) >> 12,
+        asid: 0,
         user: true,
         writable: true,
         nx: false,

@@ -93,6 +93,7 @@ fn entry(vpn: u32) -> TlbEntry {
     TlbEntry {
         vpn,
         pfn: vpn.wrapping_mul(7) + 1,
+        asid: 0,
         user: true,
         writable: vpn.is_multiple_of(2),
         nx: vpn.is_multiple_of(3),

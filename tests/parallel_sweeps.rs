@@ -56,6 +56,35 @@ fn parallel_sweep_is_deterministic_across_runs() {
 }
 
 #[test]
+fn interference_sweep_is_byte_identical_to_serial_and_across_runs() {
+    // The two-guest fork/COW sweep gets the same pure-speedup guarantee:
+    // whatever RAYON_NUM_THREADS is pinned to, results must match the
+    // single-threaded reference byte for byte, run after run.
+    use sm_bench::interference;
+    let seeds = [2u64];
+    let split = Protection::SplitMem(ResponseMode::Break);
+    let tlb = TlbPreset::default();
+    let render = |combos: &[interference::InterferenceCombo]| -> Vec<String> {
+        combos.iter().map(|c| format!("{c:?}")).collect()
+    };
+    let serial = render(&interference::sweep_interference_serial_on(
+        &seeds, &split, tlb, false,
+    ));
+    let parallel = render(&interference::sweep_interference_on(
+        &seeds, &split, tlb, false,
+    ));
+    assert_eq!(serial, parallel);
+    let again = render(&interference::sweep_interference_on(
+        &seeds, &split, tlb, false,
+    ));
+    assert_eq!(parallel, again);
+    assert_eq!(
+        parallel.len(),
+        seeds.len() * chaos::perturbation_plans(2).len()
+    );
+}
+
+#[test]
 fn parallel_oom_sweep_is_deterministic_across_runs() {
     let seeds = [1u64, 2];
     let combined = Protection::Combined(ResponseMode::Break);
