@@ -136,11 +136,22 @@ fn spawn_server(
     prog: &BuiltProgram,
     aslr: bool,
 ) -> (Kernel, Pid) {
+    spawn_server_traced(protection, tlb, prog, aslr, 0)
+}
+
+fn spawn_server_traced(
+    protection: &Protection,
+    tlb: TlbPreset,
+    prog: &BuiltProgram,
+    aslr: bool,
+    trace: u32,
+) -> (Kernel, Pid) {
     let mut k = kernel_with_on(
         protection,
         tlb,
         KernelConfig {
             aslr_stack: aslr,
+            trace,
             ..KernelConfig::default()
         },
     );
@@ -689,8 +700,20 @@ pub fn run_wuftpd_with_on(
     protection: &Protection,
     tlb: TlbPreset,
 ) -> (ScenarioReport, Kernel, Option<crate::harness::ExternalConn>) {
+    run_wuftpd_traced_on(protection, tlb, 0)
+}
+
+/// [`run_wuftpd_with_on`] with the trace subsystem armed (`trace` is a
+/// [`sm_machine::trace::mask`] bitmask): the returned kernel's ring holds
+/// the exploit's cycle-stamped event stream, which the Fig. 5 response-mode
+/// demo renders with `--trace`.
+pub fn run_wuftpd_traced_on(
+    protection: &Protection,
+    tlb: TlbPreset,
+    trace: u32,
+) -> (ScenarioReport, Kernel, Option<crate::harness::ExternalConn>) {
     let prog = wuftpd_server();
-    let (mut k, _pid) = spawn_server(protection, tlb, &prog, false);
+    let (mut k, _pid) = spawn_server_traced(protection, tlb, &prog, false, trace);
     let conn = external_connect_patiently(&mut k, 2121, BUDGET).expect("server listening");
     let banner = String::from_utf8_lossy(&ext_recv_wait(&mut k, &conn, BUDGET)).into_owned();
     let gbuf = parse_leak(&banner, 1).expect("gbuf leak");

@@ -136,24 +136,23 @@ fn main() {
     });
 
     println!("==== Interpreter throughput =====================================\n");
-    for enabled in [true, false] {
-        let p = summary.section(
-            if enabled {
-                "probe-cache-on"
-            } else {
-                "probe-cache-off"
-            },
-            || sm_bench::summary::steps_probe(enabled),
-        );
+    for (name, cache, trace) in [
+        ("probe-cache-on", true, false),
+        ("probe-cache-off", false, false),
+        ("probe-trace-on", true, true),
+    ] {
+        let p = summary.section(name, || sm_bench::summary::steps_probe(cache, trace));
         println!(
-            "decode cache {:>3}: {:.2} Minsn/s ({} insns in {:.1} ms; hits={} misses={} invalidations={})",
-            if enabled { "on" } else { "off" },
+            "decode cache {:>3}, trace {:>3}: {:.2} Minsn/s ({} insns in {:.1} ms; hits={} misses={} invalidations={} trace_events={})",
+            if cache { "on" } else { "off" },
+            if trace { "on" } else { "off" },
             p.steps_per_sec / 1e6,
             p.instructions,
             p.wall_ms,
             p.dcache.hits,
             p.dcache.misses,
             p.dcache.invalidations,
+            p.trace_events,
         );
         summary.probes.push(p);
     }

@@ -9,6 +9,11 @@
 //!
 //! Exits non-zero on any verdict mismatch, invariant violation, or
 //! attack success under injected faults.
+//!
+//! `--trace` arms the trace subsystem: a canonical traced run is always
+//! written to `chaos_trace_sample.jsonl` (CI schema-validates it), and any
+//! failing combo is re-run serially with all trace layers enabled, its
+//! event tail dumped to `chaos_trace.jsonl`.
 
 use sm_attacks::wilander::{self, InjectLocation, Technique};
 use sm_bench::chaos::{self, Scenario};
@@ -16,7 +21,18 @@ use sm_bench::interference;
 use sm_core::setup::Protection;
 use sm_kernel::events::ResponseMode;
 use sm_kernel::kernel::RunExit;
+use sm_machine::trace::mask;
 use sm_machine::TlbPreset;
+use std::collections::HashMap;
+
+/// A failing combo queued for a traced re-run.
+struct FailedCombo {
+    scenario: String,
+    plan: &'static str,
+    seed: u64,
+    protection: Protection,
+    tlb: TlbPreset,
+}
 
 /// The reduced pre-matrix scenario set: one wilander column per technique
 /// (on the stack) plus the FuncPtrVariable row across locations.
@@ -58,6 +74,7 @@ fn full_scenarios() -> Vec<Scenario> {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let trace = std::env::args().any(|a| a == "--trace");
     let scenarios = if quick {
         quick_scenarios()
     } else {
@@ -81,6 +98,7 @@ fn main() {
 
     let mut combos = 0usize;
     let mut failures = 0usize;
+    let mut failed_combos: Vec<FailedCombo> = Vec::new();
 
     let perturbed = chaos::sweep(&seeds, &scenarios, &split);
     for r in &perturbed {
@@ -98,7 +116,15 @@ fn main() {
         if matches!(r.run.exit, RunExit::Livelock { .. }) {
             bad.push("livelock".into());
         }
-        report(r, &mut failures, bad);
+        if report(r, &mut failures, bad) && trace {
+            failed_combos.push(FailedCombo {
+                scenario: r.scenario.clone(),
+                plan: r.plan,
+                seed: r.seed,
+                protection: split.clone(),
+                tlb: TlbPreset::default(),
+            });
+        }
     }
 
     // The mixed-segment self-patcher is swept separately: its *observable
@@ -117,7 +143,15 @@ fn main() {
         if !matches!(r.run.exit, RunExit::AllExited) {
             bad.push(format!("did not converge: {:?}", r.run.exit));
         }
-        report(r, &mut failures, bad);
+        if report(r, &mut failures, bad) && trace {
+            failed_combos.push(FailedCombo {
+                scenario: r.scenario.clone(),
+                plan: r.plan,
+                seed: r.seed,
+                protection: split.clone(),
+                tlb: TlbPreset::default(),
+            });
+        }
     }
 
     let oom = chaos::sweep_oom(&seeds, &scenarios, &combined);
@@ -130,7 +164,15 @@ fn main() {
         if !r.run.violations.is_empty() {
             bad.push(format!("{} invariant violations", r.run.violations.len()));
         }
-        report(r, &mut failures, bad);
+        if report(r, &mut failures, bad) && trace {
+            failed_combos.push(FailedCombo {
+                scenario: r.scenario.clone(),
+                plan: r.plan,
+                seed: r.seed,
+                protection: combined.clone(),
+                tlb: TlbPreset::default(),
+            });
+        }
     }
 
     // Set-associative pass: the same guarantees must hold when chaos
@@ -156,7 +198,15 @@ fn main() {
         if matches!(r.run.exit, RunExit::Livelock { .. }) {
             bad.push("livelock".into());
         }
-        report(r, &mut failures, bad);
+        if report(r, &mut failures, bad) && trace {
+            failed_combos.push(FailedCombo {
+                scenario: r.scenario.clone(),
+                plan: r.plan,
+                seed: r.seed,
+                protection: split.clone(),
+                tlb: p3,
+            });
+        }
     }
     let oom = chaos::sweep_oom_on(&p3_seeds, &scenarios, &combined, p3);
     for r in &oom {
@@ -168,7 +218,15 @@ fn main() {
         if !r.run.violations.is_empty() {
             bad.push(format!("{} invariant violations", r.run.violations.len()));
         }
-        report(r, &mut failures, bad);
+        if report(r, &mut failures, bad) && trace {
+            failed_combos.push(FailedCombo {
+                scenario: r.scenario.clone(),
+                plan: r.plan,
+                seed: r.seed,
+                protection: combined.clone(),
+                tlb: p3,
+            });
+        }
     }
 
     // Cross-process pass: one image forks into attacker and victim
@@ -236,18 +294,78 @@ fn main() {
         }
     }
 
+    if trace {
+        write_trace_sample(&scenarios, &split);
+        if !failed_combos.is_empty() {
+            let mut by_name: HashMap<String, Scenario> =
+                scenarios.iter().map(|&s| (s.name(), s)).collect();
+            by_name.insert(Scenario::MixedPatch.name(), Scenario::MixedPatch);
+            dump_failed_traces(&by_name, &failed_combos);
+        }
+    }
+
     println!("\n{combos} combos swept, {failures} failures");
     if failures > 0 {
         std::process::exit(1);
     }
 }
 
-fn report(r: &chaos::ComboResult, failures: &mut usize, bad: Vec<String>) {
+/// Trace one canonical combo (first Wilander cell, split memory, inert
+/// plan) and write its event stream for CI schema validation.
+fn write_trace_sample(scenarios: &[Scenario], split: &Protection) {
+    let scenario = scenarios
+        .iter()
+        .copied()
+        .find(|s| matches!(s, Scenario::Wilander(_)))
+        .unwrap_or(Scenario::Benign);
+    let plan = chaos::plan_by_name("inert", 1).expect("inert plan exists");
+    let (_, jsonl) =
+        chaos::run_scenario_traced_on(scenario, split, TlbPreset::default(), plan, mask::ALL);
+    std::fs::write("chaos_trace_sample.jsonl", &jsonl).expect("write chaos_trace_sample.jsonl");
+    println!(
+        "\ntrace sample: {} events ({}) -> chaos_trace_sample.jsonl",
+        jsonl.lines().count(),
+        scenario.name()
+    );
+}
+
+/// Re-run every failing combo serially with all trace layers on and dump
+/// the concatenated event tails. (Interference combos are built by a
+/// different harness and are not re-traced here.)
+fn dump_failed_traces(by_name: &HashMap<String, Scenario>, failed: &[FailedCombo]) {
+    let mut out = String::new();
+    for fc in failed {
+        let Some(&scenario) = by_name.get(&fc.scenario) else {
+            println!("  (no traced re-run for unknown scenario {})", fc.scenario);
+            continue;
+        };
+        let Some(plan) = chaos::plan_by_name(fc.plan, fc.seed) else {
+            println!("  (no traced re-run for unknown plan {})", fc.plan);
+            continue;
+        };
+        let (run, jsonl) =
+            chaos::run_scenario_traced_on(scenario, &fc.protection, fc.tlb, plan, mask::ALL);
+        println!(
+            "  traced re-run {} {} seed={} -> {} ({} events)",
+            fc.scenario,
+            fc.plan,
+            fc.seed,
+            run.verdict,
+            jsonl.lines().count()
+        );
+        out.push_str(&jsonl);
+    }
+    std::fs::write("chaos_trace.jsonl", &out).expect("write chaos_trace.jsonl");
+    println!("failure event tails -> chaos_trace.jsonl");
+}
+
+fn report(r: &chaos::ComboResult, failures: &mut usize, bad: Vec<String>) -> bool {
     if bad.is_empty() {
         println!(
             "  ok   {:<44} {:<18} seed={} -> {}",
             r.scenario, r.plan, r.seed, r.run.verdict
         );
+        false
     } else {
         *failures += 1;
         println!(
@@ -261,5 +379,6 @@ fn report(r: &chaos::ComboResult, failures: &mut usize, bad: Vec<String>) {
         for v in &r.run.violations {
             println!("       violation: {v}");
         }
+        true
     }
 }

@@ -262,9 +262,38 @@ fn run_image_on(
     tlb: TlbPreset,
     plan: FaultPlan,
 ) -> ChaosRun {
+    run_image_traced_on(image, marker, protection, tlb, plan, 0).0
+}
+
+/// [`run_scenario_on`] with the trace subsystem enabled: re-runs one
+/// `(scenario, plan)` combo with `trace_mask` layers recorded and returns
+/// the run plus the ring buffer's contents as JSONL (the last
+/// [`sm_trace::Tracer::DEFAULT_CAPACITY`] events). Used by the chaos bin's
+/// `--trace` mode to dump the event tail of a failing combo, and by CI to
+/// produce a schema-checkable sample.
+pub fn run_scenario_traced_on(
+    scenario: Scenario,
+    protection: &Protection,
+    tlb: TlbPreset,
+    plan: FaultPlan,
+    trace_mask: u32,
+) -> (ChaosRun, String) {
+    let (image, marker) = scenario_image(scenario);
+    run_image_traced_on(&image, marker, protection, tlb, plan, trace_mask)
+}
+
+fn run_image_traced_on(
+    image: &ExecImage,
+    marker: Option<u8>,
+    protection: &Protection,
+    tlb: TlbPreset,
+    plan: FaultPlan,
+    trace_mask: u32,
+) -> (ChaosRun, String) {
     let kconfig = KernelConfig {
         aslr_stack: false,
         chaos: plan,
+        trace: trace_mask,
         ..KernelConfig::default()
     };
     let mut k = kernel_with_on(protection, tlb, kconfig);
@@ -273,12 +302,15 @@ fn run_image_on(
         Err(sm_kernel::kernel::SpawnError::OutOfMemory) => {
             // A clean refusal at load time is a legitimate OOM-plan
             // outcome: nothing ran, nothing leaked.
-            return ChaosRun {
-                verdict: "spawn-oom".into(),
-                attack_succeeded: false,
-                exit: RunExit::AllExited,
-                violations: invariants::check(&k),
-            };
+            return (
+                ChaosRun {
+                    verdict: "spawn-oom".into(),
+                    attack_succeeded: false,
+                    exit: RunExit::AllExited,
+                    violations: invariants::check(&k),
+                },
+                k.sys.machine.tracer.to_jsonl(),
+            );
         }
         Err(e) => panic!("spawn failed: {e:?}"),
     };
@@ -301,12 +333,25 @@ fn run_image_on(
             false,
         ),
     };
-    ChaosRun {
-        verdict,
-        attack_succeeded,
-        exit,
-        violations,
-    }
+    (
+        ChaosRun {
+            verdict,
+            attack_succeeded,
+            exit,
+            violations,
+        },
+        k.sys.machine.tracer.to_jsonl(),
+    )
+}
+
+/// Find a named fault plan by label across the perturbation and OOM
+/// families (for re-running a reported combo, e.g. under `--trace`).
+pub fn plan_by_name(name: &str, seed: u64) -> Option<FaultPlan> {
+    perturbation_plans(seed)
+        .into_iter()
+        .chain(oom_plans(seed))
+        .find(|np| np.name == name)
+        .map(|np| np.plan)
 }
 
 /// One line of a sweep report.

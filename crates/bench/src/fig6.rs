@@ -72,7 +72,10 @@ impl Fig6Params {
     }
 }
 
-fn ub_iterations(test: UnixbenchTest, base: u32) -> u32 {
+/// Per-test iteration scaling for the Unixbench index (expensive tests
+/// are scaled down so the index stays in budget). Public so profiling
+/// tools can reproduce the exact per-test workloads.
+pub fn ub_iterations_for(test: UnixbenchTest, base: u32) -> u32 {
     match test {
         UnixbenchTest::Syscall => base,
         UnixbenchTest::Dhrystone => base / 2,
@@ -98,7 +101,7 @@ pub fn unixbench_index_on(base: &Protection, prot: &Protection, tlb: TlbPreset, 
     let ratios: Vec<f64> = UnixbenchTest::ALL
         .par_iter()
         .map(|t| {
-            let n = ub_iterations(*t, iters);
+            let n = ub_iterations_for(*t, iters);
             let b = run_unixbench_on(base, tlb, *t, n);
             let p = run_unixbench_on(prot, tlb, *t, n);
             normalized(&p, &b)

@@ -29,6 +29,10 @@ pub struct SectionTiming {
 pub struct StepsProbe {
     /// Whether the decoded-instruction cache was enabled.
     pub decode_cache: bool,
+    /// Whether the trace subsystem was enabled (all layers).
+    pub trace: bool,
+    /// Trace events captured by the run (zero when tracing is off).
+    pub trace_events: u64,
     /// Instructions retired.
     pub instructions: u64,
     /// Elapsed wall-clock in milliseconds.
@@ -109,10 +113,13 @@ impl BenchSummary {
             .iter()
             .map(|p| {
                 format!(
-                    "    {{\"decode_cache\": {}, \"instructions\": {}, \"wall_ms\": {:.3}, \
+                    "    {{\"decode_cache\": {}, \"trace\": {}, \"trace_events\": {}, \
+                     \"instructions\": {}, \"wall_ms\": {:.3}, \
                      \"steps_per_sec\": {:.0}, \"dcache_hits\": {}, \"dcache_misses\": {}, \
                      \"dcache_invalidations\": {}}}",
                     p.decode_cache,
+                    p.trace,
+                    p.trace_events,
                     p.instructions,
                     p.wall_ms,
                     p.steps_per_sec,
@@ -159,8 +166,11 @@ impl BenchSummary {
 }
 
 /// Measure raw interpreter throughput on a tight user-mode loop under
-/// stand-alone split memory, with the decode cache on or off.
-pub fn steps_probe(decode_cache: bool) -> StepsProbe {
+/// stand-alone split memory, with the decode cache on or off and the
+/// trace subsystem on or off. The trace-on/trace-off pair bounds the
+/// disabled-path cost of tracing: the loop emits essentially no events,
+/// so any throughput gap is pure mask-check overhead on the hot path.
+pub fn steps_probe(decode_cache: bool, trace: bool) -> StepsProbe {
     let prog = ProgramBuilder::new("/bin/probe")
         .code(
             "_start:
@@ -177,6 +187,7 @@ pub fn steps_probe(decode_cache: bool) -> StepsProbe {
         TlbPreset::default(),
         KernelConfig {
             aslr_stack: false,
+            trace: if trace { sm_trace::mask::ALL } else { 0 },
             ..KernelConfig::default()
         },
     );
@@ -189,6 +200,8 @@ pub fn steps_probe(decode_cache: bool) -> StepsProbe {
     let instructions = k.sys.machine.stats.instructions;
     StepsProbe {
         decode_cache,
+        trace,
+        trace_events: k.sys.machine.tracer.emitted(),
         instructions,
         wall_ms: dt.as_secs_f64() * 1e3,
         steps_per_sec: instructions as f64 / dt.as_secs_f64(),
@@ -202,12 +215,28 @@ mod tests {
 
     #[test]
     fn probe_counts_instructions_and_cache_traffic() {
-        let on = steps_probe(true);
+        let on = steps_probe(true, false);
         assert!(on.instructions > 2_000_000);
         assert!(on.dcache.hits > 1_000_000, "{:?}", on.dcache);
-        let off = steps_probe(false);
+        assert_eq!(on.trace_events, 0);
+        let off = steps_probe(false, false);
         assert_eq!(off.dcache, DecodeCacheStats::default());
         assert!(off.instructions > 2_000_000);
+    }
+
+    #[test]
+    fn traced_probe_captures_events_without_changing_the_run() {
+        let traced = steps_probe(true, true);
+        assert!(traced.trace, "flag must round-trip");
+        assert!(
+            traced.trace_events > 0,
+            "spawn/exit must emit at least a few events"
+        );
+        let plain = steps_probe(true, false);
+        assert_eq!(
+            traced.instructions, plain.instructions,
+            "tracing must not perturb the simulation"
+        );
     }
 
     #[test]

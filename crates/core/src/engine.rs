@@ -220,6 +220,10 @@ impl SplitMemEngine {
             },
         );
         self.stats.pages_split += 1;
+        sys.trace(sm_trace::mask::PTE, || sm_trace::TraceEvent::PageSplit {
+            pid: pid.0,
+            vpn,
+        });
         true
     }
 
@@ -304,6 +308,10 @@ impl SplitMemEngine {
             sys.release_frame(c);
         }
         self.stats.oom_degraded += 1;
+        sys.trace(sm_trace::mask::PTE, || sm_trace::TraceEvent::PageUnsplit {
+            pid: pid.0,
+            vpn,
+        });
         sys.log(Event::SplitDegraded {
             pid,
             vaddr: base,
@@ -345,6 +353,10 @@ impl SplitMemEngine {
             sys.release_frame(c);
         }
         self.stats.pages_locked += 1;
+        sys.trace(sm_trace::mask::PTE, || sm_trace::TraceEvent::PageUnsplit {
+            pid: pid.0,
+            vpn,
+        });
     }
 
     /// Capture the leading injected bytes from the *data* frame (where the
@@ -376,6 +388,10 @@ impl SplitMemEngine {
         }
         for (vpn, sp, base) in to_remove {
             table.remove(vpn);
+            sys.trace(sm_trace::mask::PTE, || sm_trace::TraceEvent::PageUnsplit {
+                pid: pid.0,
+                vpn,
+            });
             let Some(code) = sp.code else {
                 continue; // lazy page whose code half never materialised
             };
@@ -492,6 +508,13 @@ impl ProtectionEngine for SplitMemEngine {
                 };
                 let reload = pte::with_frame(entry | pte::USER, code);
                 sys.set_pte(pid, base, reload);
+                sys.trace(sm_trace::mask::PTE, || {
+                    sm_trace::TraceEvent::PteUnrestrict {
+                        pid: pid.0,
+                        vpn,
+                        reload: sm_trace::ReloadKind::Code,
+                    }
+                });
                 match self.config.itlb_load {
                     ItlbLoadMethod::SingleStep => {
                         // Unrestrict the PTE pointed at the code frame, arm
@@ -499,6 +522,10 @@ impl ProtectionEngine for SplitMemEngine {
                         // lines 2–5). The debug handler re-restricts.
                         sys.machine.cpu.regs.set_flag(flags::TF, true);
                         sys.proc_mut(pid).pending_step_addr = Some(base);
+                        sys.trace(sm_trace::mask::STEP, || sm_trace::TraceEvent::StepArm {
+                            pid: pid.0,
+                            vpn,
+                        });
                     }
                     ItlbLoadMethod::PlantedRet => {
                         // Plant-and-call: executing a kernel-planted `ret`
@@ -517,6 +544,10 @@ impl ProtectionEngine for SplitMemEngine {
                         // single-step loader) so kernel copies, COW and
                         // teardown see a consistent mapping.
                         sys.set_pte(pid, base, pte::with_frame(reload & !pte::USER, sp.data));
+                        sys.trace(sm_trace::mask::PTE, || sm_trace::TraceEvent::PteRestrict {
+                            pid: pid.0,
+                            vpn,
+                        });
                     }
                 }
                 FaultOutcome::Handled
@@ -536,6 +567,13 @@ impl ProtectionEngine for SplitMemEngine {
                 self.stats.data_reloads += 1;
                 let reload = pte::with_frame(entry | pte::USER, sp.data);
                 sys.set_pte(pid, base, reload);
+                sys.trace(sm_trace::mask::PTE, || {
+                    sm_trace::TraceEvent::PteUnrestrict {
+                        pid: pid.0,
+                        vpn,
+                        reload: sm_trace::ReloadKind::Data,
+                    }
+                });
                 let _ = sys.machine.kernel_read_u8(pf.addr);
                 let filled = sys
                     .machine
@@ -544,14 +582,29 @@ impl ProtectionEngine for SplitMemEngine {
                     .is_some_and(|e| e.user && e.pfn == sp.data.0);
                 // Restrict again; the D-TLB keeps the permissive snapshot.
                 sys.set_pte(pid, base, reload & !pte::USER);
+                sys.trace(sm_trace::mask::PTE, || sm_trace::TraceEvent::PteRestrict {
+                    pid: pid.0,
+                    vpn,
+                });
                 if !filled {
                     // "Occasionally, the pagetable walk does not
                     // successfully load the data-TLB. In this case, single
                     // stepping mode must be used." (paper §5.2 footnote 1)
                     self.stats.data_reload_fallbacks += 1;
                     sys.set_pte(pid, base, reload);
+                    sys.trace(sm_trace::mask::PTE, || {
+                        sm_trace::TraceEvent::PteUnrestrict {
+                            pid: pid.0,
+                            vpn,
+                            reload: sm_trace::ReloadKind::Data,
+                        }
+                    });
                     sys.machine.cpu.regs.set_flag(flags::TF, true);
                     sys.proc_mut(pid).pending_step_addr = Some(base);
+                    sys.trace(sm_trace::mask::STEP, || sm_trace::TraceEvent::StepArm {
+                        pid: pid.0,
+                        vpn,
+                    });
                 }
                 FaultOutcome::Handled
             }
@@ -567,6 +620,12 @@ impl ProtectionEngine for SplitMemEngine {
         let cost = sys.machine.config.costs.debug_handler;
         sys.charge(cost);
         let vpn = pte::vpn(base);
+        let eip = sys.machine.cpu.regs.eip;
+        sys.trace(sm_trace::mask::STEP, || sm_trace::TraceEvent::StepFire {
+            pid: pid.0,
+            eip,
+            vpn,
+        });
         let entry = sys.pte_of(pid, base);
         let sp = self.tables.get(&pid.0).and_then(|t| t.get(vpn));
         // Restrict, and normalise the at-rest frame to the data half so
@@ -588,6 +647,10 @@ impl ProtectionEngine for SplitMemEngine {
             }
         }
         sys.set_pte(pid, base, restored);
+        sys.trace(sm_trace::mask::PTE, || sm_trace::TraceEvent::PteRestrict {
+            pid: pid.0,
+            vpn,
+        });
         sys.machine.cpu.regs.set_flag(flags::TF, false);
         true
     }
@@ -615,11 +678,22 @@ impl ProtectionEngine for SplitMemEngine {
         // at-rest PTE state (restricted, data frame) that the debug handler
         // would have established — execution may continue in this process
         // (observe mode, recovery handler) and its data must stay readable.
-        sys.proc_mut(pid).pending_step_addr = None;
+        let was_armed = sys.proc_mut(pid).pending_step_addr.take().is_some();
+        if was_armed {
+            sys.trace(sm_trace::mask::STEP, || sm_trace::TraceEvent::StepDisarm {
+                pid: pid.0,
+                vpn,
+                cause: sm_trace::DisarmCause::Detection,
+            });
+        }
         sys.machine.cpu.regs.set_flag(flags::TF, false);
         let base = pte::page_base(eip);
         let entry = sys.pte_of(pid, base);
         sys.set_pte(pid, base, pte::with_frame(entry & !pte::USER, sp.data));
+        sys.trace(sm_trace::mask::PTE, || sm_trace::TraceEvent::PteRestrict {
+            pid: pid.0,
+            vpn,
+        });
         if sys
             .machine
             .dtlb
@@ -631,6 +705,16 @@ impl ProtectionEngine for SplitMemEngine {
         self.stats.detections += 1;
         let shellcode = self.dump_shellcode(sys, sp, eip);
         let mode = self.config.response;
+        let trace_mode = match mode {
+            ResponseMode::Break => sm_trace::ResponseKind::Break,
+            ResponseMode::Observe => sm_trace::ResponseKind::Observe,
+            ResponseMode::Forensics => sm_trace::ResponseKind::Forensics,
+        };
+        sys.trace(sm_trace::mask::DETECT, || sm_trace::TraceEvent::Detection {
+            pid: pid.0,
+            eip,
+            mode: trace_mode,
+        });
         sys.log(Event::AttackDetected {
             pid,
             eip,

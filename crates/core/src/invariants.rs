@@ -153,6 +153,15 @@ pub enum Violation {
         /// Page base address.
         vaddr: u32,
     },
+    /// The trace-event stream violated the Algorithm-1/2 ordering rules
+    /// (an unrestrict left open, an armed window that never fired, a
+    /// cycle regression). Strictly stronger than the state snapshots
+    /// above: those can miss a window that opened *and* closed improperly
+    /// between two checks; the trace records the whole interleaving.
+    TraceOrder(
+        /// Human-readable description from [`sm_trace::check_order`].
+        String,
+    ),
 }
 
 impl fmt::Display for Violation {
@@ -211,6 +220,7 @@ impl fmt::Display for Violation {
                 f,
                 "{pid} page {vaddr:#010x}: SPLIT bit set but no split-table entry"
             ),
+            Violation::TraceOrder(msg) => write!(f, "trace order: {msg}"),
         }
     }
 }
@@ -468,6 +478,23 @@ pub fn check(k: &Kernel) -> Vec<Violation> {
     out
 }
 
+/// Check the tracer's event stream against the Algorithm-1/2 ordering
+/// rules ([`sm_trace::check_order`]). Pass `complete = true` only when
+/// the run has finished (every process exited), so leftover open windows
+/// are flagged; between slices an armed single-step window is legal.
+/// No-op (returns empty) when tracing is disabled or nothing was emitted.
+pub fn check_trace(k: &Kernel, complete: bool) -> Vec<Violation> {
+    let tracer = &k.sys.machine.tracer;
+    if tracer.emitted() == 0 {
+        return Vec::new();
+    }
+    let records = tracer.snapshot();
+    sm_trace::check_order(&records, tracer.truncated(), complete)
+        .into_iter()
+        .map(Violation::TraceOrder)
+        .collect()
+}
+
 /// Run the kernel in `stride`-cycle slices up to `max_cycles`, checking
 /// every invariant between slices. Stops early (returning what was found)
 /// as soon as a slice ends with violations, or when the kernel exits.
@@ -477,8 +504,10 @@ pub fn run_with_checks(k: &mut Kernel, max_cycles: u64, stride: u64) -> (RunExit
     loop {
         let remaining = deadline.saturating_sub(k.sys.machine.cycles);
         let exit = k.run(stride.min(remaining));
-        let violations = check(k);
-        if !violations.is_empty() || exit != RunExit::CyclesExhausted || remaining <= stride {
+        let done = exit != RunExit::CyclesExhausted || remaining <= stride;
+        let mut violations = check(k);
+        violations.extend(check_trace(k, exit == RunExit::AllExited));
+        if !violations.is_empty() || done {
             return (exit, violations);
         }
     }

@@ -9,7 +9,7 @@
 use sm_kernel::kernel::System;
 use sm_kernel::process::Pid;
 use sm_machine::pte::{Frame, PAGE_SIZE};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The two physical halves of one split virtual page.
 ///
@@ -31,9 +31,14 @@ pub struct SplitPages {
 }
 
 /// Per-process map of split pages, keyed by virtual page number.
+///
+/// Ordered (`BTreeMap`): iteration drives teardown — the order pages are
+/// unsplit and their code frames released — and that order must be
+/// deterministic or frame numbers (and the event/trace streams that
+/// record them) diverge between otherwise identical runs.
 #[derive(Debug, Default, Clone)]
 pub struct SplitTable {
-    pages: HashMap<u32, SplitPages>,
+    pages: BTreeMap<u32, SplitPages>,
 }
 
 impl SplitTable {

@@ -64,6 +64,10 @@ pub struct KernelConfig {
     /// reloads fault the same instruction a handful of times; anything in
     /// the tens means the fault handler's work is being undone each round.
     pub livelock_threshold: u64,
+    /// Kernel/engine-layer trace mask ([`sm_trace::mask`] bits), OR'd into
+    /// the machine's tracer at boot so all layers share one ring and one
+    /// cycle clock. 0 (the default) adds nothing.
+    pub trace: u32,
 }
 
 impl Default for KernelConfig {
@@ -79,6 +83,7 @@ impl Default for KernelConfig {
             chaos: FaultPlan::default(),
             livelock_threshold: 64,
             asid_tlbs: false,
+            trace: 0,
         }
     }
 }
@@ -171,6 +176,7 @@ pub struct System {
 impl System {
     fn new(mconfig: MachineConfig, config: KernelConfig) -> System {
         let mut machine = Machine::new(mconfig);
+        machine.enable_trace(config.trace);
         if let Some(at) = config.chaos.oom_at {
             machine
                 .phys
@@ -282,6 +288,14 @@ impl System {
     /// Append an event stamped with the current cycle count.
     pub fn log(&mut self, event: Event) {
         self.events.push(self.machine.cycles, event);
+    }
+
+    /// Record a trace event at the current cycle if `layer` is enabled
+    /// (same clock and ring as the machine's own events; see
+    /// [`Machine::trace`]).
+    #[inline(always)]
+    pub fn trace(&mut self, layer: u32, f: impl FnOnce() -> sm_trace::TraceEvent) {
+        self.machine.trace(layer, f);
     }
 
     /// Consult the chaos plan about the filesystem operation about to run.
@@ -448,6 +462,10 @@ impl Kernel {
         let cs = self.sys.machine.config.costs.context_switch;
         self.sys.charge(cs);
         self.sys.stats.context_switches += 1;
+        let from = self.sys.loaded_cr3_for.map_or(u32::MAX, |p| p.0);
+        self.sys.trace(sm_trace::mask::SCHED, || {
+            sm_trace::TraceEvent::SchedSwitch { from, to: pid.0 }
+        });
         let dir = self.sys.proc(pid).aspace.dir;
         let ctx = self.sys.proc(pid).ctx;
         // Load the register file first: set_cr3 writes the (architectural)
@@ -478,20 +496,28 @@ impl Kernel {
             if self.sys.machine.cycles >= slice_end || std::mem::take(&mut self.sys.preempt) {
                 return; // preempted or yielded
             }
-            if self.sys.procs.get(&pid.0).map(|p| p.state) != Some(ProcState::Ready)
-                || self.sys.current != Some(pid)
-            {
+            // One process lookup serves the state check, the pending-signal
+            // probe and the user-cycle accounting for the step; `machine`
+            // and `procs` are disjoint fields, so the borrow rides across
+            // `step()`.
+            let Some(mut p) = self.sys.procs.get_mut(&pid.0) else {
+                return;
+            };
+            if p.state != ProcState::Ready || self.sys.current != Some(pid) {
                 return;
             }
-            if !self.deliver_pending_signals(pid) {
-                return; // killed by a signal
+            if !p.signals.pending.is_empty() {
+                if !self.deliver_pending_signals(pid) {
+                    return; // killed by a signal
+                }
+                let Some(fresh) = self.sys.procs.get_mut(&pid.0) else {
+                    return;
+                };
+                p = fresh;
             }
             let before = self.sys.machine.cycles;
             let trap = self.sys.machine.step();
-            let spent = self.sys.machine.cycles - before;
-            if let Some(p) = self.sys.procs.get_mut(&pid.0) {
-                p.user_cycles += spent;
-            }
+            p.user_cycles += self.sys.machine.cycles - before;
             match trap {
                 Trap::None => {}
                 Trap::Syscall { vector: 0x80 } => {
@@ -556,21 +582,60 @@ impl Kernel {
         } else {
             self.sys.watchdog = None;
         }
-        let in_window = self
-            .sys
-            .procs
-            .get(&pid.0)
-            .is_some_and(|p| p.pending_step_addr.is_some());
-        let faults = match self.sys.chaos.as_mut() {
-            Some(c) => c.on_step(in_window),
-            None => StepFaults::default(),
+        // The armed-window probe is only for the chaos plan's benefit;
+        // chaos-free runs (every performance workload) skip the process
+        // lookup entirely.
+        let faults = if self.sys.chaos.is_some() {
+            let in_window = self
+                .sys
+                .procs
+                .get(&pid.0)
+                .is_some_and(|p| p.pending_step_addr.is_some());
+            match self.sys.chaos.as_mut() {
+                Some(c) => c.on_step(in_window),
+                None => StepFaults::default(),
+            }
+        } else {
+            StepFaults::default()
         };
         if faults.flush {
+            self.sys.trace(sm_trace::mask::CHAOS, || {
+                sm_trace::TraceEvent::ChaosInject {
+                    pid: pid.0,
+                    kind: sm_trace::ChaosKind::Flush,
+                }
+            });
             self.sys.machine.flush_tlbs();
         }
         if faults.evict {
-            self.sys.machine.itlb.evict_one(faults.evict_draws[0]);
-            self.sys.machine.dtlb.evict_one(faults.evict_draws[1]);
+            self.sys.trace(sm_trace::mask::CHAOS, || {
+                sm_trace::TraceEvent::ChaosInject {
+                    pid: pid.0,
+                    kind: sm_trace::ChaosKind::Evict,
+                }
+            });
+            let iv = self.sys.machine.itlb.evict_one(faults.evict_draws[0]);
+            let dv = self.sys.machine.dtlb.evict_one(faults.evict_draws[1]);
+            if self.sys.machine.tracer.wants(sm_trace::mask::TLB) {
+                for (side, victim, tlb) in [
+                    (sm_trace::TlbSide::Instruction, iv, &self.sys.machine.itlb),
+                    (sm_trace::TlbSide::Data, dv, &self.sys.machine.dtlb),
+                ] {
+                    if let Some(vpn) = victim {
+                        let set = tlb.geometry().set_of(vpn) as u32;
+                        let cycles = self.sys.machine.cycles;
+                        self.sys.machine.tracer.record(
+                            cycles,
+                            sm_trace::TraceEvent::TlbEvict {
+                                tlb: side,
+                                vpn,
+                                set,
+                                cause: sm_trace::EvictCause::Chaos,
+                            },
+                        );
+                    }
+                }
+            }
         }
         if faults.preempt {
             // A real preemption: route the next switch_to through the full
@@ -607,6 +672,39 @@ impl Kernel {
     pub(crate) fn service_fault(&mut self, pid: Pid, pf: PageFaultInfo) -> bool {
         let vaddr = pf.addr;
         let entry = self.sys.pte_of(pid, vaddr);
+        if self.sys.machine.tracer.wants(sm_trace::mask::FAULT) {
+            let present = pte::has(entry, pte::PRESENT);
+            // The disambiguation verdict (Algorithm 1): a fault on a present,
+            // split, supervisor-restricted page is the engine's I/D probe;
+            // everything else (demand paging, COW, genuine violations) is Other.
+            let verdict = if present && pte::has(entry, pte::SPLIT) && !pte::has(entry, pte::USER) {
+                if pf.access == sm_machine::cpu::Access::Fetch {
+                    sm_trace::FaultVerdict::Instruction
+                } else {
+                    sm_trace::FaultVerdict::Data
+                }
+            } else {
+                sm_trace::FaultVerdict::Other
+            };
+            let access = match pf.access {
+                sm_machine::cpu::Access::Fetch => sm_trace::AccessKind::Fetch,
+                sm_machine::cpu::Access::Read => sm_trace::AccessKind::Read,
+                sm_machine::cpu::Access::Write => sm_trace::AccessKind::Write,
+            };
+            let eip = self.sys.machine.cpu.regs.eip;
+            let cycles = self.sys.machine.cycles;
+            self.sys.machine.tracer.record(
+                cycles,
+                sm_trace::TraceEvent::PageFault {
+                    pid: pid.0,
+                    addr: vaddr,
+                    eip,
+                    access,
+                    present,
+                    verdict,
+                },
+            );
+        }
         if !pte::has(entry, pte::PRESENT) {
             // Demand paging, if a region covers the address.
             let covered = self.sys.proc(pid).aspace.find_vma(vaddr).is_some();
@@ -741,6 +839,12 @@ impl Kernel {
         );
         self.sys.set_pte(pid, base, new_entry);
         self.sys.machine.invlpg(base);
+        self.sys
+            .trace(sm_trace::mask::COW, || sm_trace::TraceEvent::CowBreak {
+                pid: pid.0,
+                vpn: pte::vpn(base),
+                new_pfn: new_frame.0,
+            });
         self.engine
             .on_cow_copied(&mut self.sys, pid, base, new_frame);
         true
@@ -950,9 +1054,24 @@ impl Kernel {
             // would otherwise fire the trailing debug trap *after* this
             // teardown and restore a PTE into the freed address space —
             // re-growing a pagetable on the zombie that nothing ever frees.
-            p.pending_step_addr = None;
+            let armed = p.pending_step_addr.take();
+            if let Some(addr) = armed {
+                let cycles = sys.machine.cycles;
+                sys.machine.tracer.emit(sm_trace::mask::STEP, cycles, || {
+                    sm_trace::TraceEvent::StepDisarm {
+                        pid: pid.0,
+                        vpn: pte::vpn(addr),
+                        cause: sm_trace::DisarmCause::Exit,
+                    }
+                });
+            }
         }
         self.sys.log(Event::ProcessExit { pid, code });
+        self.sys
+            .trace(sm_trace::mask::PROC, || sm_trace::TraceEvent::ProcessExit {
+                pid: pid.0,
+                code,
+            });
         if self.sys.current == Some(pid) {
             self.sys.machine.cpu.regs.set_flag(flags::TF, false);
             self.sys.current = None;

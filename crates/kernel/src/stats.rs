@@ -24,18 +24,26 @@ pub struct KernelStats {
 }
 
 impl KernelStats {
-    /// Field-wise `self - earlier` for measuring a region.
+    /// Field-wise `self - earlier` for measuring a region. Saturating:
+    /// a baseline from a different (or reset) kernel yields zeros for
+    /// regressed fields rather than a debug panic / release wrap-around.
     pub fn since(&self, earlier: &KernelStats) -> KernelStats {
         KernelStats {
-            context_switches: self.context_switches - earlier.context_switches,
-            demand_pages: self.demand_pages - earlier.demand_pages,
-            cow_breaks: self.cow_breaks - earlier.cow_breaks,
-            syscalls: self.syscalls - earlier.syscalls,
-            handler_signals: self.handler_signals - earlier.handler_signals,
-            fatal_signals: self.fatal_signals - earlier.fatal_signals,
-            processes_spawned: self.processes_spawned - earlier.processes_spawned,
-            libraries_loaded: self.libraries_loaded - earlier.libraries_loaded,
-            soft_tlb_fills: self.soft_tlb_fills - earlier.soft_tlb_fills,
+            context_switches: self
+                .context_switches
+                .saturating_sub(earlier.context_switches),
+            demand_pages: self.demand_pages.saturating_sub(earlier.demand_pages),
+            cow_breaks: self.cow_breaks.saturating_sub(earlier.cow_breaks),
+            syscalls: self.syscalls.saturating_sub(earlier.syscalls),
+            handler_signals: self.handler_signals.saturating_sub(earlier.handler_signals),
+            fatal_signals: self.fatal_signals.saturating_sub(earlier.fatal_signals),
+            processes_spawned: self
+                .processes_spawned
+                .saturating_sub(earlier.processes_spawned),
+            libraries_loaded: self
+                .libraries_loaded
+                .saturating_sub(earlier.libraries_loaded),
+            soft_tlb_fills: self.soft_tlb_fills.saturating_sub(earlier.soft_tlb_fills),
         }
     }
 }

@@ -258,6 +258,11 @@ fn sys_fork(k: &mut Kernel, pid: Pid) -> Outcome {
     k.sys.stats.processes_spawned += 1;
     k.sys.enqueue(child_pid);
     k.engine.on_fork(&mut k.sys, pid, child_pid);
+    k.sys
+        .trace(sm_trace::mask::COW, || sm_trace::TraceEvent::CowShare {
+            parent: pid.0,
+            child: child_pid.0,
+        });
     Outcome::Ret(child_pid.0 as i32)
 }
 

@@ -56,3 +56,7 @@ mod machine;
 pub use decode_cache::DecodeCacheStats;
 pub use machine::{Machine, MachineConfig, Trap};
 pub use tlb::{TlbGeometry, TlbPreset};
+
+/// Re-export of the trace substrate so embedders reach the event types
+/// through the machine they trace.
+pub use sm_trace as trace;

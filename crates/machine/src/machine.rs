@@ -9,6 +9,7 @@ use crate::phys::{OutOfFrames, PhysMemory};
 use crate::pte::{self, Frame, PAGE_SIZE};
 use crate::stats::MachineStats;
 use crate::tlb::{Tlb, TlbEntry, TlbPreset};
+use sm_trace::{mask, FlushScope, Tracer};
 
 /// Construction-time machine parameters.
 #[derive(Debug, Clone, Copy)]
@@ -37,6 +38,13 @@ pub struct MachineConfig {
     /// behaviour either way — so it defaults to on; tests flip it off to
     /// check exactly that equivalence.
     pub decode_cache: bool,
+    /// Machine-layer trace mask ([`sm_trace::mask`] bits). 0 (the default)
+    /// disables tracing entirely; the kernel ORs its own layers in at
+    /// construction. Tracing is transparent to the modeled machine:
+    /// identical stats, cycles and TLB behaviour either way.
+    pub trace: u32,
+    /// Ring capacity of the tracer when any layer is enabled.
+    pub trace_capacity: usize,
     /// Cycle cost model.
     pub costs: CycleCosts,
 }
@@ -49,6 +57,8 @@ impl Default for MachineConfig {
             nx_enabled: false,
             software_tlb: false,
             decode_cache: true,
+            trace: 0,
+            trace_capacity: Tracer::DEFAULT_CAPACITY,
             costs: CycleCosts::default(),
         }
     }
@@ -104,6 +114,14 @@ impl Trap {
     }
 }
 
+/// Which TLB an access kind goes through, in trace-event terms.
+fn side_of(access: Access) -> sm_trace::TlbSide {
+    match access {
+        Access::Fetch => sm_trace::TlbSide::Instruction,
+        _ => sm_trace::TlbSide::Data,
+    }
+}
+
 /// The simulated machine.
 ///
 /// See the [crate documentation](crate) for an end-to-end example.
@@ -128,6 +146,10 @@ pub struct Machine {
     /// [`MachineConfig::decode_cache`] is set; its counters stay zero
     /// otherwise).
     pub decode_cache: DecodeCache,
+    /// Flight recorder. Owned by the machine so every layer — hardware,
+    /// kernel, engine — stamps events with the one simulated-cycle clock
+    /// ([`Machine::cycles`]) and shares one ring.
+    pub tracer: Tracer,
     pending_singlestep: bool,
 }
 
@@ -140,11 +162,37 @@ impl Machine {
             itlb: Tlb::with_geometry(config.tlb.itlb),
             dtlb: Tlb::with_geometry(config.tlb.dtlb),
             decode_cache: DecodeCache::new(config.phys_frames),
+            tracer: Tracer::new(
+                config.trace,
+                if config.trace == 0 {
+                    0
+                } else {
+                    config.trace_capacity
+                },
+            ),
             config,
             cycles: 0,
             stats: MachineStats::default(),
             pending_singlestep: false,
         }
+    }
+
+    /// Record a trace event at the current cycle if `layer` is enabled;
+    /// the closure is not called otherwise. The single funnel every layer
+    /// uses keeps trace stamps and kernel `EventLog` stamps on the same
+    /// clock.
+    #[inline(always)]
+    pub fn trace(&mut self, layer: u32, f: impl FnOnce() -> sm_trace::TraceEvent) {
+        let cycles = self.cycles;
+        self.tracer.emit(layer, cycles, f);
+    }
+
+    /// Enable additional trace layers (the kernel ORs its configured mask
+    /// in at construction), sizing the ring from
+    /// [`MachineConfig::trace_capacity`].
+    pub fn enable_trace(&mut self, layers: u32) {
+        let cap = self.config.trace_capacity;
+        self.tracer.enable(layers, cap);
     }
 
     /// Advance the cycle counter (used by the kernel to charge software
@@ -188,6 +236,10 @@ impl Machine {
         self.dtlb.flush_all();
         self.stats.cr3_loads += 1;
         self.charge(self.config.costs.cr3_load);
+        self.trace(mask::TLB, || sm_trace::TraceEvent::TlbFlush {
+            scope: FlushScope::All,
+            vpn: 0,
+        });
     }
 
     /// Load CR3 with a new page-directory frame *without* flushing the
@@ -216,6 +268,10 @@ impl Machine {
         self.dtlb.flush_page(vpn);
         self.stats.invlpgs += 1;
         self.charge(self.config.costs.invlpg);
+        self.trace(mask::TLB, || sm_trace::TraceEvent::TlbFlush {
+            scope: FlushScope::Page,
+            vpn,
+        });
     }
 
     /// Flush both TLBs without touching CR3 (used by tests and by the
@@ -223,6 +279,10 @@ impl Machine {
     pub fn flush_tlbs(&mut self) {
         self.itlb.flush_all();
         self.dtlb.flush_all();
+        self.trace(mask::TLB, || sm_trace::TraceEvent::TlbFlush {
+            scope: FlushScope::All,
+            vpn: 0,
+        });
     }
 
     /// True if the just-completed `int` instruction had the trap flag set,
@@ -265,6 +325,13 @@ impl Machine {
             // TLB entries may be *stale-permissive* (the property split
             // memory exploits) but are never authoritative for denial.
             tlb.drop_entry(vpn);
+            let set = tlb.geometry().set_of(vpn) as u32;
+            self.trace(mask::TLB, || sm_trace::TraceEvent::TlbEvict {
+                tlb: side_of(access),
+                vpn,
+                set,
+                cause: sm_trace::EvictCause::Drop,
+            });
         }
         if self.config.software_tlb {
             // Software-loaded TLBs: the hardware raises a miss fault and
@@ -313,9 +380,30 @@ impl Machine {
         }
         self.phys.write_u32(pte_addr, new_entry);
         let paddr = (e.pfn << pte::PAGE_SHIFT) | pte::page_offset(vaddr);
-        match access {
-            Access::Fetch => self.itlb.fill(e),
-            _ => self.dtlb.fill(e),
+        let tlb = match access {
+            Access::Fetch => &mut self.itlb,
+            _ => &mut self.dtlb,
+        };
+        let outcome = tlb.fill(e);
+        if self.tracer.wants(mask::TLB) {
+            let class = tlb.last_miss_class();
+            let side = side_of(access);
+            if let Some(victim) = outcome.victim {
+                self.trace(mask::TLB, || sm_trace::TraceEvent::TlbEvict {
+                    tlb: side,
+                    vpn: victim.vpn,
+                    set: outcome.set,
+                    cause: sm_trace::EvictCause::Capacity,
+                });
+            }
+            self.trace(mask::TLB, || sm_trace::TraceEvent::TlbFill {
+                tlb: side,
+                vpn,
+                pfn: e.pfn,
+                set: outcome.set,
+                way: outcome.way,
+                class,
+            });
         }
         Ok(paddr)
     }
@@ -351,12 +439,41 @@ impl Machine {
 
     /// Kernel-managed instruction-TLB fill (software-TLB mode, §4.7).
     pub fn fill_itlb(&mut self, entry: TlbEntry) {
-        self.itlb.fill(entry);
+        let outcome = self.itlb.fill(entry);
+        let class = self.itlb.last_miss_class();
+        self.trace_soft_fill(sm_trace::TlbSide::Instruction, entry, outcome, class);
     }
 
     /// Kernel-managed data-TLB fill (software-TLB mode, §4.7).
     pub fn fill_dtlb(&mut self, entry: TlbEntry) {
-        self.dtlb.fill(entry);
+        let outcome = self.dtlb.fill(entry);
+        let class = self.dtlb.last_miss_class();
+        self.trace_soft_fill(sm_trace::TlbSide::Data, entry, outcome, class);
+    }
+
+    fn trace_soft_fill(
+        &mut self,
+        side: sm_trace::TlbSide,
+        entry: TlbEntry,
+        outcome: crate::tlb::FillOutcome,
+        class: sm_trace::MissClass,
+    ) {
+        if let Some(victim) = outcome.victim {
+            self.trace(mask::TLB, || sm_trace::TraceEvent::TlbEvict {
+                tlb: side,
+                vpn: victim.vpn,
+                set: outcome.set,
+                cause: sm_trace::EvictCause::Capacity,
+            });
+        }
+        self.trace(mask::TLB, || sm_trace::TraceEvent::TlbFill {
+            tlb: side,
+            vpn: entry.vpn,
+            pfn: entry.pfn,
+            set: outcome.set,
+            way: outcome.way,
+            class,
+        });
     }
 
     /// Read the PTE for `vaddr` under the current CR3 directly from

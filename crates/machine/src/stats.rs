@@ -31,18 +31,21 @@ pub struct MachineStats {
 
 impl MachineStats {
     /// Field-wise difference `self - earlier`; use with a snapshot taken
-    /// before a measured region.
+    /// before a measured region. Saturating: a snapshot taken from a
+    /// *different* (or reset) machine yields zeros for regressed fields
+    /// rather than a debug panic / release wrap-around, so harness code
+    /// diffing across process teardown never reports 2^64-ish counts.
     pub fn since(&self, earlier: &MachineStats) -> MachineStats {
         MachineStats {
-            instructions: self.instructions - earlier.instructions,
-            walks: self.walks - earlier.walks,
-            page_faults: self.page_faults - earlier.page_faults,
-            invalid_opcodes: self.invalid_opcodes - earlier.invalid_opcodes,
-            debug_traps: self.debug_traps - earlier.debug_traps,
-            divide_errors: self.divide_errors - earlier.divide_errors,
-            syscalls: self.syscalls - earlier.syscalls,
-            cr3_loads: self.cr3_loads - earlier.cr3_loads,
-            invlpgs: self.invlpgs - earlier.invlpgs,
+            instructions: self.instructions.saturating_sub(earlier.instructions),
+            walks: self.walks.saturating_sub(earlier.walks),
+            page_faults: self.page_faults.saturating_sub(earlier.page_faults),
+            invalid_opcodes: self.invalid_opcodes.saturating_sub(earlier.invalid_opcodes),
+            debug_traps: self.debug_traps.saturating_sub(earlier.debug_traps),
+            divide_errors: self.divide_errors.saturating_sub(earlier.divide_errors),
+            syscalls: self.syscalls.saturating_sub(earlier.syscalls),
+            cr3_loads: self.cr3_loads.saturating_sub(earlier.cr3_loads),
+            invlpgs: self.invlpgs.saturating_sub(earlier.invlpgs),
         }
     }
 }

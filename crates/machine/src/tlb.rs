@@ -167,21 +167,40 @@ pub struct TlbStats {
 
 impl TlbStats {
     /// Field-wise difference `self - earlier`; use with a snapshot taken
-    /// before a measured region.
+    /// before a measured region. Saturating: a baseline from a different
+    /// (or reset) TLB yields zeros for regressed fields rather than a
+    /// debug panic / release wrap-around.
     pub fn since(&self, earlier: &TlbStats) -> TlbStats {
         TlbStats {
-            hits: self.hits - earlier.hits,
-            misses: self.misses - earlier.misses,
-            cold_misses: self.cold_misses - earlier.cold_misses,
-            capacity_misses: self.capacity_misses - earlier.capacity_misses,
-            conflict_misses: self.conflict_misses - earlier.conflict_misses,
-            fills: self.fills - earlier.fills,
-            flushes: self.flushes - earlier.flushes,
-            page_invalidations: self.page_invalidations - earlier.page_invalidations,
-            evictions: self.evictions - earlier.evictions,
-            chaos_evictions: self.chaos_evictions - earlier.chaos_evictions,
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            cold_misses: self.cold_misses.saturating_sub(earlier.cold_misses),
+            capacity_misses: self.capacity_misses.saturating_sub(earlier.capacity_misses),
+            conflict_misses: self.conflict_misses.saturating_sub(earlier.conflict_misses),
+            fills: self.fills.saturating_sub(earlier.fills),
+            flushes: self.flushes.saturating_sub(earlier.flushes),
+            page_invalidations: self
+                .page_invalidations
+                .saturating_sub(earlier.page_invalidations),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            chaos_evictions: self.chaos_evictions.saturating_sub(earlier.chaos_evictions),
         }
     }
+}
+
+/// What [`Tlb::fill`] did: where the entry landed and what (if anything)
+/// per-set LRU pushed out to make room. Consumed by the machine's trace
+/// emit sites; existing callers are free to ignore it.
+#[derive(Debug, Clone, Copy)]
+pub struct FillOutcome {
+    /// Set index the entry was inserted into.
+    pub set: u32,
+    /// MRU position the entry landed in (always 0: fills are
+    /// most-recently-used by definition).
+    pub way: u32,
+    /// The entry evicted from the set's LRU tail, if the set was full and
+    /// the fill was not an in-place replacement.
+    pub victim: Option<TlbEntry>,
 }
 
 /// A single TLB (the machine instantiates one for instructions and one for
@@ -200,6 +219,9 @@ pub struct Tlb {
     /// ASID stamped on fills and required on lookups. Stays 0 unless the
     /// machine runs with tagged TLBs.
     current_asid: u16,
+    /// 3C class of the most recent miss (the classification happens inline
+    /// in [`Tlb::lookup`]; the walker reads it back when tracing fills).
+    last_miss: sm_trace::MissClass,
     /// Counters; reset with [`TlbStats::default`] assignment if needed.
     pub stats: TlbStats,
 }
@@ -229,6 +251,7 @@ impl Tlb {
             shadow: Vec::with_capacity(geometry.capacity()),
             seen: HashSet::new(),
             current_asid: 0,
+            last_miss: sm_trace::MissClass::Cold,
             stats: TlbStats::default(),
         }
     }
@@ -260,6 +283,17 @@ impl Tlb {
     /// Move `key` to the front of the shadow model (inserting if absent),
     /// evicting its own LRU tail at capacity.
     fn shadow_touch(&mut self, key: u64) {
+        // With a single set the buffer *is* its own fully-associative
+        // shadow: the set's MRU order and the shadow's recency order are
+        // the same list, every miss key is absent from both, and conflict
+        // misses are structurally zero. Maintaining the duplicate list
+        // would recompute the scan-and-rotate `lookup`/`fill` just did on
+        // every access, so it is skipped (the shadow stays empty and the
+        // miss classifier's `contains` is vacuously false, exactly as the
+        // populated shadow would answer).
+        if self.geometry.sets == 1 {
+            return;
+        }
         // MRU-rotation in place: equivalent to remove+insert(0) but one
         // bounded memmove instead of two, and free when already MRU — this
         // runs on every TLB access, so it is part of the step() hot path.
@@ -305,12 +339,21 @@ impl Tlb {
         let key = key_of(asid, vpn);
         if !self.seen.contains(&key) {
             self.stats.cold_misses += 1;
+            self.last_miss = sm_trace::MissClass::Cold;
         } else if self.shadow.contains(&key) {
             self.stats.conflict_misses += 1;
+            self.last_miss = sm_trace::MissClass::Conflict;
         } else {
             self.stats.capacity_misses += 1;
+            self.last_miss = sm_trace::MissClass::Capacity;
         }
         None
+    }
+
+    /// 3C class of the most recent miss (valid right after a [`Tlb::lookup`]
+    /// that returned `None`; used by the walker's trace emit site).
+    pub fn last_miss_class(&self) -> sm_trace::MissClass {
+        self.last_miss
     }
 
     /// Look up a virtual page number in the active address space without
@@ -326,8 +369,9 @@ impl Tlb {
 
     /// Insert an entry — stamped with the active ASID — replacing any
     /// existing same-ASID entry for the same page and otherwise evicting
-    /// the least-recently-used way of the page's set.
-    pub fn fill(&mut self, entry: TlbEntry) {
+    /// the least-recently-used way of the page's set. Returns where the
+    /// entry landed and any LRU victim.
+    pub fn fill(&mut self, entry: TlbEntry) -> FillOutcome {
         let entry = TlbEntry {
             asid: self.current_asid,
             ..entry
@@ -337,6 +381,11 @@ impl Tlb {
         self.shadow_touch(key_of(entry.asid, entry.vpn));
         let si = self.geometry.set_of(entry.vpn);
         let set = &mut self.sets[si];
+        let mut outcome = FillOutcome {
+            set: si as u32,
+            way: 0,
+            victim: None,
+        };
         if let Some(i) = set
             .iter()
             .position(|e| e.vpn == entry.vpn && e.asid == entry.asid)
@@ -345,13 +394,14 @@ impl Tlb {
                 set[..=i].rotate_right(1);
             }
             set[0] = entry;
-            return;
+            return outcome;
         }
         if set.len() == self.geometry.ways {
-            set.pop();
+            outcome.victim = set.pop();
             self.stats.evictions += 1;
         }
         set.insert(0, entry);
+        outcome
     }
 
     /// Drop every entry (a CR3 load — e.g. a context switch — does this).

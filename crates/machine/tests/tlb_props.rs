@@ -159,7 +159,9 @@ proptest! {
                         tlb.fill(entry(vpn));
                     }
                 }
-                Op::Fill(vpn) => tlb.fill(entry(vpn)),
+                Op::Fill(vpn) => {
+                    tlb.fill(entry(vpn));
+                }
                 Op::FlushAll => tlb.flush_all(),
                 Op::FlushPage(vpn) => {
                     tlb.flush_page(vpn);
