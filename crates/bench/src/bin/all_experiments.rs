@@ -158,6 +158,20 @@ fn main() {
     }
     println!();
 
+    println!("==== Snapshot save/restore throughput ===========================\n");
+    let snap = summary.section("probe-snapshot", || sm_bench::summary::snapshot_probe(25));
+    println!(
+        "snapshot: {} bytes; save {:.1} MB/s, restore {:.1} MB/s ({} iterations, {:.1}/{:.1} ms)",
+        snap.snapshot_bytes,
+        snap.save_mb_per_sec,
+        snap.restore_mb_per_sec,
+        snap.iterations,
+        snap.save_ms,
+        snap.restore_ms,
+    );
+    summary.snapshot = Some(snap);
+    println!();
+
     summary.total_wall_ms = t_total.elapsed().as_secs_f64() * 1e3;
     println!("==== Section timings ============================================\n");
     for s in &summary.sections {

@@ -13,7 +13,14 @@
 //! `--trace` arms the trace subsystem: a canonical traced run is always
 //! written to `chaos_trace_sample.jsonl` (CI schema-validates it), and any
 //! failing combo is re-run serially with all trace layers enabled, its
-//! event tail dumped to `chaos_trace.jsonl`.
+//! event tail dumped to `chaos_trace.jsonl` plus a replayable checkpoint
+//! dump per combo (`chaos_dump_<n>.smcdump`).
+//!
+//! `--dump-demo <path>` runs one canonical seeded detection combo under a
+//! checkpointing, snapshot-faulting plan and writes its dump — the
+//! artifact `--replay` consumes. `--replay <path>` restores a dump,
+//! re-runs it from the checkpoint, and exits non-zero unless the original
+//! verdict reproduces and the trace tail splices byte-identically.
 
 use sm_attacks::wilander::{self, InjectLocation, Technique};
 use sm_bench::chaos::{self, Scenario};
@@ -73,6 +80,15 @@ fn full_scenarios() -> Vec<Scenario> {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--replay") {
+        let path = args.get(i + 1).expect("--replay needs a dump path");
+        std::process::exit(replay(path));
+    }
+    if let Some(i) = args.iter().position(|a| a == "--dump-demo") {
+        let path = args.get(i + 1).expect("--dump-demo needs an output path");
+        std::process::exit(dump_demo(path));
+    }
     let quick = std::env::args().any(|a| a == "--quick");
     let trace = std::env::args().any(|a| a == "--trace");
     let scenarios = if quick {
@@ -330,11 +346,12 @@ fn write_trace_sample(scenarios: &[Scenario], split: &Protection) {
 }
 
 /// Re-run every failing combo serially with all trace layers on and dump
-/// the concatenated event tails. (Interference combos are built by a
-/// different harness and are not re-traced here.)
+/// the concatenated event tails, plus a replayable checkpoint dump per
+/// combo. (Interference combos are built by a different harness and are
+/// not re-traced here.)
 fn dump_failed_traces(by_name: &HashMap<String, Scenario>, failed: &[FailedCombo]) {
     let mut out = String::new();
-    for fc in failed {
+    for (i, fc) in failed.iter().enumerate() {
         let Some(&scenario) = by_name.get(&fc.scenario) else {
             println!("  (no traced re-run for unknown scenario {})", fc.scenario);
             continue;
@@ -354,9 +371,135 @@ fn dump_failed_traces(by_name: &HashMap<String, Scenario>, failed: &[FailedCombo
             jsonl.lines().count()
         );
         out.push_str(&jsonl);
+        // Also preserve a replayable dump: the combo re-run checkpointed,
+        // its latest snapshot + plan + expected verdict in one file.
+        // A short checkpoint interval (5 × 1000 cycles) so even quick
+        // guests leave a restorable snapshot behind.
+        match chaos::checkpointed_dump(
+            scenario,
+            &fc.protection,
+            fc.tlb,
+            fc.plan,
+            plan,
+            mask::ALL,
+            chaos::Cadence {
+                every: 5,
+                stride: 1_000,
+            },
+        ) {
+            Ok((cp, dump)) => {
+                let path = format!("chaos_dump_{i}.smcdump");
+                std::fs::write(&path, &dump).expect("write chaos dump");
+                println!(
+                    "  replay dump: checkpoint @ slice {} ({} checkpoints) -> {path}",
+                    cp.snapshot_slice, cp.checkpoints_taken
+                );
+            }
+            Err(e) => println!("  (no replay dump: {e})"),
+        }
     }
     std::fs::write("chaos_trace.jsonl", &out).expect("write chaos_trace.jsonl");
     println!("failure event tails -> chaos_trace.jsonl");
+}
+
+/// Canonical `--dump-demo` combo: the first applicable Wilander cell under
+/// stand-alone split memory, a perturbation plan that also faults every
+/// other checkpoint. Deterministic, so the dump it writes is stable for a
+/// given build — CI restores a checked-in copy and replays it.
+fn dump_demo(path: &str) -> i32 {
+    let scenario = full_scenarios()
+        .into_iter()
+        .find(|s| matches!(s, Scenario::Wilander(_)))
+        .expect("at least one applicable wilander cell");
+    let split = Protection::SplitMem(ResponseMode::Break);
+    let plan = sm_machine::chaos::FaultPlan {
+        flush_every: Some(101),
+        evict_every: Some(17),
+        snap_fault_every: Some(2),
+        seed: 1,
+        ..sm_machine::chaos::FaultPlan::default()
+    };
+    match chaos::checkpointed_dump(
+        scenario,
+        &split,
+        TlbPreset::default(),
+        "demo-flush-evict-snapfault",
+        plan,
+        mask::ALL,
+        chaos::Cadence {
+            every: 2,
+            stride: 500,
+        },
+    ) {
+        Ok((cp, dump)) => {
+            std::fs::write(path, &dump).expect("write demo dump");
+            println!(
+                "demo dump: {} -> {} ({} checkpoints, {} snapshot faults injected+detected, \
+                 checkpoint @ slice {}, {} bytes) -> {path}",
+                scenario.name(),
+                cp.run.verdict,
+                cp.checkpoints_taken,
+                cp.snap_faults_injected,
+                cp.snapshot_slice,
+                dump.len()
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("dump-demo failed: {e}");
+            1
+        }
+    }
+}
+
+/// `--replay <path>`: restore a dump, finish its run, verify verdict and
+/// trace splice.
+fn replay(path: &str) -> i32 {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    match chaos::replay_dump(&bytes) {
+        Ok(r) => {
+            println!(
+                "replay {path}: {} {} (seed={}, checkpoint @ slice {})",
+                r.scenario, r.plan_name, r.plan.seed, r.slice
+            );
+            println!(
+                "  verdict: {} (expected {}) -> {}",
+                r.verdict,
+                r.expected_verdict,
+                if r.verdict_matches {
+                    "MATCH"
+                } else {
+                    "MISMATCH"
+                }
+            );
+            println!(
+                "  trace splice: {} events re-emitted -> {}",
+                r.events_replayed,
+                if r.splice_matches {
+                    "byte-identical"
+                } else {
+                    "DIVERGED"
+                }
+            );
+            println!("  exit: {:?}, violations: {}", r.exit, r.violations.len());
+            let ok = r.verdict_matches && r.splice_matches && r.violations.is_empty();
+            if ok {
+                0
+            } else {
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("replay rejected: {e}");
+            1
+        }
+    }
 }
 
 fn report(r: &chaos::ComboResult, failures: &mut usize, bad: Vec<String>) -> bool {

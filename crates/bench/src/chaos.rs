@@ -24,11 +24,23 @@ use sm_attacks::harness::{classify_marker, kernel_with_on, AttackOutcome};
 use sm_attacks::wilander::{self, Case, MARKER};
 use sm_core::invariants::{self, Violation};
 use sm_core::setup::Protection;
+use sm_kernel::events::ResponseMode;
 use sm_kernel::image::ExecImage;
-use sm_kernel::kernel::{KernelConfig, RunExit};
+use sm_kernel::kernel::{Kernel, KernelConfig, RunExit};
+use sm_kernel::process::Pid;
+use sm_kernel::snapshot as ksnap;
 use sm_kernel::userlib::{BuiltProgram, ProgramBuilder};
 use sm_machine::chaos::FaultPlan;
+use sm_machine::sha256::sha256;
+use sm_machine::snapshot::{read_plan, write_plan, Reader, SnapshotError, Writer};
+use sm_machine::trace::TraceRecord;
 use sm_machine::TlbPreset;
+
+/// Cycle budget every chaos run gets before it is declared hung.
+pub const RUN_MAX_CYCLES: u64 = 80_000_000;
+/// Cycles per execution slice: invariants are checked (and checkpoints
+/// taken) on slice boundaries.
+pub const RUN_STRIDE: u64 = 100_000;
 
 /// A fault plan with a human-readable name for reports.
 #[derive(Debug, Clone, Copy)]
@@ -314,10 +326,27 @@ fn run_image_traced_on(
         }
         Err(e) => panic!("spawn failed: {e:?}"),
     };
-    let (exit, violations) = invariants::run_with_checks(&mut k, 80_000_000, 100_000);
-    let (verdict, attack_succeeded) = match marker {
+    let (exit, violations) = invariants::run_with_checks(&mut k, RUN_MAX_CYCLES, RUN_STRIDE);
+    let (verdict, attack_succeeded) = classify_run(&k, pid, marker);
+    (
+        ChaosRun {
+            verdict,
+            attack_succeeded,
+            exit,
+            violations,
+        },
+        k.sys.machine.tracer.to_jsonl(),
+    )
+}
+
+/// Map a finished kernel to a compact verdict label and an
+/// attacker-got-execution flag. Shared by the plain, traced and
+/// checkpointed runners and by dump replay, so all four agree on what a
+/// verdict string looks like.
+fn classify_run(k: &Kernel, pid: Pid, marker: Option<u8>) -> (String, bool) {
+    match marker {
         Some(m) => {
-            let outcome = classify_marker(&k, pid, m);
+            let outcome = classify_marker(k, pid, m);
             let label = match &outcome {
                 AttackOutcome::ShellSpawned => "shell".to_string(),
                 AttackOutcome::PayloadExecuted => "payload".to_string(),
@@ -332,16 +361,7 @@ fn run_image_traced_on(
             ),
             false,
         ),
-    };
-    (
-        ChaosRun {
-            verdict,
-            attack_succeeded,
-            exit,
-            violations,
-        },
-        k.sys.machine.tracer.to_jsonl(),
-    )
+    }
 }
 
 /// Find a named fault plan by label across the perturbation and OOM
@@ -497,4 +517,458 @@ pub fn sweep_oom_on(
     tlb: TlbPreset,
 ) -> Vec<ComboResult> {
     sweep_plans_on(seeds, scenarios, protection, tlb, oom_plans, false)
+}
+
+// ---- checkpointed runs + failure dumps ------------------------------------
+//
+// A checkpointed run snapshots the whole kernel every `every` slices. When
+// the run fails (or is worth preserving), the *latest good* snapshot plus
+// everything needed to finish the run — the fault plan, combo metadata and
+// the expected verdict — is serialized into a self-contained `.smcdump`
+// file. `replay_dump` restores it and re-executes only the tail, and
+// because the simulation is deterministic the replay reproduces the same
+// verdict and splices into the byte-identical trace stream.
+//
+// Checkpointing itself runs under fault injection: if the plan arms
+// `snap_fault_every`, every n-th snapshot is corrupted (truncation,
+// bit-flip, section reorder, version skew) before validation. A corrupted
+// snapshot must be *detected and discarded* — the runner keeps the previous
+// good checkpoint and carries on, which is exactly the graceful degradation
+// a production checkpoint subsystem owes its caller.
+
+/// Result of one checkpointed chaos run.
+#[derive(Debug, Clone)]
+pub struct Checkpointed {
+    /// The run verdict, exactly as the uncheckpointed runner reports it.
+    pub run: ChaosRun,
+    /// Final trace-ring contents as JSONL.
+    pub jsonl: String,
+    /// Attack marker of the scenario (needed to re-classify on replay).
+    pub marker: Option<u8>,
+    /// Guest pid the verdict was classified against.
+    pub pid: u32,
+    /// Absolute cycle deadline the run was given.
+    pub deadline: u64,
+    /// Good checkpoints kept.
+    pub checkpoints_taken: u64,
+    /// Snapshot faults the plan injected into checkpoint bytes.
+    pub snap_faults_injected: u64,
+    /// Injected faults that validation FAILED to catch (must stay zero).
+    pub snap_faults_undetected: u64,
+    /// Latest good snapshot, if any checkpoint survived.
+    pub snapshot: Option<Vec<u8>>,
+    /// Slice index the latest good snapshot was taken at.
+    pub snapshot_slice: u64,
+    /// Trace sequence number at that snapshot (`Tracer::emitted`).
+    pub snapshot_seq: u64,
+    /// JSONL of final-ring records with `seq >= snapshot_seq` — the part
+    /// of the stream a replay from the snapshot re-emits.
+    pub tail_jsonl: String,
+    /// sha-256 of `tail_jsonl`; dumps embed it so replay can prove the
+    /// splice byte-identical.
+    pub tail_sha: [u8; 32],
+}
+
+/// How often a checkpointed run snapshots: every `every` healthy slices
+/// of `stride` cycles each (both clamped to a minimum of 1). Short guests
+/// need a short stride to see any checkpoint at all; sweeps over long
+/// guests use [`RUN_STRIDE`].
+#[derive(Debug, Clone, Copy)]
+pub struct Cadence {
+    /// Checkpoint every this many slices.
+    pub every: u64,
+    /// Cycles per slice.
+    pub stride: u64,
+}
+
+/// Run one scenario under one plan, checkpointing on `cadence` and
+/// injecting snapshot faults per the plan's `snap_fault_every`.
+pub fn run_scenario_checkpointed_on(
+    scenario: Scenario,
+    protection: &Protection,
+    tlb: TlbPreset,
+    plan: FaultPlan,
+    trace_mask: u32,
+    cadence: Cadence,
+) -> Checkpointed {
+    let (image, marker) = scenario_image(scenario);
+    let every = cadence.every.max(1);
+    let stride = cadence.stride.max(1);
+    let kconfig = KernelConfig {
+        aslr_stack: false,
+        chaos: plan,
+        trace: trace_mask,
+        ..KernelConfig::default()
+    };
+    let mut k = kernel_with_on(protection, tlb, kconfig);
+    let pid = match k.spawn(&image) {
+        Ok(pid) => pid,
+        Err(sm_kernel::kernel::SpawnError::OutOfMemory) => {
+            return Checkpointed {
+                run: ChaosRun {
+                    verdict: "spawn-oom".into(),
+                    attack_succeeded: false,
+                    exit: RunExit::AllExited,
+                    violations: invariants::check(&k),
+                },
+                jsonl: k.sys.machine.tracer.to_jsonl(),
+                marker,
+                pid: 0,
+                deadline: k.sys.machine.cycles,
+                checkpoints_taken: 0,
+                snap_faults_injected: 0,
+                snap_faults_undetected: 0,
+                snapshot: None,
+                snapshot_slice: 0,
+                snapshot_seq: 0,
+                tail_jsonl: String::new(),
+                tail_sha: sha256(b""),
+            };
+        }
+        Err(e) => panic!("spawn failed: {e:?}"),
+    };
+    let deadline = k.sys.machine.cycles.saturating_add(RUN_MAX_CYCLES);
+    let mut latest: Option<(Vec<u8>, u64, u64)> = None;
+    let mut taken = 0u64;
+    let mut injected = 0u64;
+    let mut undetected = 0u64;
+    let (exit, violations) =
+        invariants::run_with_checks_hook(&mut k, RUN_MAX_CYCLES, stride, |k, slice| {
+            if slice % every != 0 {
+                return;
+            }
+            let mut bytes = ksnap::save(k);
+            // The snapshot-op clock is independent of the step/fs streams,
+            // so taking (or faulting) checkpoints never perturbs the run
+            // being checkpointed — the property the splice test pins.
+            match k.sys.chaos.as_mut().and_then(|c| c.on_snapshot_op()) {
+                Some(fault) => {
+                    injected += 1;
+                    let fseed = plan.seed ^ k.sys.chaos.as_ref().map_or(0, |c| c.stats.snap_ops);
+                    ksnap::corrupt_snapshot(&mut bytes, fault, fseed);
+                    if ksnap::validate(&bytes).is_ok() {
+                        undetected += 1;
+                    }
+                    // Detected → discard; the previous good checkpoint
+                    // stays live.
+                }
+                None => {
+                    let seq = k.sys.machine.tracer.emitted();
+                    latest = Some((bytes, slice, seq));
+                    taken += 1;
+                }
+            }
+        });
+    let (verdict, attack_succeeded) = classify_run(&k, pid, marker);
+    let (snapshot, snapshot_slice, snapshot_seq) = match latest {
+        Some((bytes, slice, seq)) => (Some(bytes), slice, seq),
+        None => (None, 0, 0),
+    };
+    let tail = tail_jsonl(&k.sys.machine.tracer.snapshot(), snapshot_seq);
+    Checkpointed {
+        run: ChaosRun {
+            verdict,
+            attack_succeeded,
+            exit,
+            violations,
+        },
+        jsonl: k.sys.machine.tracer.to_jsonl(),
+        marker,
+        pid: pid.0,
+        deadline,
+        checkpoints_taken: taken,
+        snap_faults_injected: injected,
+        snap_faults_undetected: undetected,
+        snapshot,
+        snapshot_slice,
+        snapshot_seq,
+        tail_sha: sha256(tail.as_bytes()),
+        tail_jsonl: tail,
+    }
+}
+
+/// Serialize the trace records with `seq >= seq0` as JSONL, oldest first.
+/// Both sides of a replay compute this over their final ring; equality of
+/// the two strings is the splice-correctness criterion.
+pub fn tail_jsonl(records: &[TraceRecord], seq0: u64) -> String {
+    let mut out = String::new();
+    for r in records.iter().filter(|r| r.seq >= seq0) {
+        out.push_str(&r.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Everything a replay needs, gathered from a [`Checkpointed`] run plus
+/// the combo metadata the sweep knew.
+#[derive(Debug, Clone)]
+pub struct FailureDump {
+    /// Scenario label (provenance; the snapshot carries the actual guest).
+    pub scenario: String,
+    /// Plan label.
+    pub plan_name: &'static str,
+    /// Protection the combo ran under (rebuilt on replay to restore the
+    /// engine).
+    pub protection: Protection,
+    /// TLB geometry of the combo (provenance; the snapshot carries the
+    /// live TLBs).
+    pub tlb: TlbPreset,
+    /// The full fault plan, embedded so a dump is self-describing.
+    pub plan: FaultPlan,
+    /// Attack marker for verdict classification.
+    pub marker: Option<u8>,
+    /// Guest pid the verdict is classified against.
+    pub pid: u32,
+    /// Trace mask the run used.
+    pub trace_mask: u32,
+    /// Slice the snapshot was taken at.
+    pub slice: u64,
+    /// Trace sequence number at the snapshot.
+    pub seq0: u64,
+    /// Absolute cycle deadline of the original run.
+    pub deadline: u64,
+    /// Cycles per slice the original run used (replay re-checks
+    /// invariants on the same boundaries).
+    pub stride: u64,
+    /// The verdict the original run produced (replay must reproduce it).
+    pub expected_verdict: String,
+    /// sha-256 of the original run's post-checkpoint trace tail.
+    pub tail_sha: [u8; 32],
+    /// The kernel snapshot itself.
+    pub snapshot: Vec<u8>,
+}
+
+const DUMP_MAGIC: [u8; 8] = *b"SMCDUMP\0";
+const DUMP_VERSION: u32 = 1;
+/// Upper bound on TLB sets/ways read back from a dump header.
+const MAX_DUMP_GEOMETRY: u64 = 1 << 16;
+
+fn response_tag(m: &ResponseMode) -> u8 {
+    match m {
+        ResponseMode::Break => 0,
+        ResponseMode::Observe => 1,
+        ResponseMode::Forensics => 2,
+    }
+}
+
+fn protection_tags(p: &Protection) -> Result<(u8, u8), String> {
+    match p {
+        Protection::Unprotected => Ok((0, 0)),
+        Protection::SplitMem(m) => Ok((1, response_tag(m))),
+        Protection::Nx => Ok((2, 0)),
+        Protection::Combined(m) => Ok((3, response_tag(m))),
+        other => Err(format!("protection {other:?} has no dump encoding")),
+    }
+}
+
+fn protection_from_tags(kind: u8, mode: u8) -> Result<Protection, String> {
+    let m = match mode {
+        0 => ResponseMode::Break,
+        1 => ResponseMode::Observe,
+        2 => ResponseMode::Forensics,
+        _ => return Err(format!("unknown response-mode tag {mode}")),
+    };
+    match kind {
+        0 => Ok(Protection::Unprotected),
+        1 => Ok(Protection::SplitMem(m)),
+        2 => Ok(Protection::Nx),
+        3 => Ok(Protection::Combined(m)),
+        _ => Err(format!("unknown protection tag {kind}")),
+    }
+}
+
+/// Serialize a failure dump: `SMCDUMP` header, combo metadata, the full
+/// fault plan, the expected verdict, the trace-tail digest, the kernel
+/// snapshot, and a whole-file sha-256 trailer.
+///
+/// # Errors
+///
+/// If the protection has no stable dump encoding (custom split configs).
+pub fn write_dump(d: &FailureDump) -> Result<Vec<u8>, String> {
+    let (kind, mode) = protection_tags(&d.protection)?;
+    let mut w = Writer::new();
+    w.raw(&DUMP_MAGIC);
+    w.u32(DUMP_VERSION);
+    w.str(&d.scenario);
+    w.str(d.plan_name);
+    w.u8(kind);
+    w.u8(mode);
+    w.u64(d.tlb.itlb.sets as u64);
+    w.u64(d.tlb.itlb.ways as u64);
+    w.u64(d.tlb.dtlb.sets as u64);
+    w.u64(d.tlb.dtlb.ways as u64);
+    write_plan(&mut w, &d.plan);
+    w.opt_u32(d.marker.map(u32::from));
+    w.u32(d.pid);
+    w.u32(d.trace_mask);
+    w.u64(d.slice);
+    w.u64(d.seq0);
+    w.u64(d.deadline);
+    w.u64(d.stride);
+    w.str(&d.expected_verdict);
+    w.raw(&d.tail_sha);
+    w.bytes(&d.snapshot);
+    let mut out = w.into_bytes();
+    let sha = sha256(&out);
+    out.extend_from_slice(&sha);
+    Ok(out)
+}
+
+/// Run a combo checkpointed and package its latest good snapshot as a
+/// dump. The dump's expected verdict is the verdict the checkpointed run
+/// itself produced.
+///
+/// # Errors
+///
+/// If the run finished before its first checkpoint (nothing to dump), a
+/// snapshot fault was missed, or the protection cannot be encoded.
+pub fn checkpointed_dump(
+    scenario: Scenario,
+    protection: &Protection,
+    tlb: TlbPreset,
+    plan_name: &'static str,
+    plan: FaultPlan,
+    trace_mask: u32,
+    cadence: Cadence,
+) -> Result<(Checkpointed, Vec<u8>), String> {
+    let cp = run_scenario_checkpointed_on(scenario, protection, tlb, plan, trace_mask, cadence);
+    if cp.snap_faults_undetected > 0 {
+        return Err(format!(
+            "{} corrupted snapshot(s) passed validation",
+            cp.snap_faults_undetected
+        ));
+    }
+    let snapshot = cp
+        .snapshot
+        .clone()
+        .ok_or("run finished before the first checkpoint; nothing to dump")?;
+    let dump = write_dump(&FailureDump {
+        scenario: scenario.name(),
+        plan_name,
+        protection: protection.clone(),
+        tlb,
+        plan,
+        marker: cp.marker,
+        pid: cp.pid,
+        trace_mask,
+        slice: cp.snapshot_slice,
+        seq0: cp.snapshot_seq,
+        deadline: cp.deadline,
+        stride: cadence.stride.max(1),
+        expected_verdict: cp.run.verdict.clone(),
+        tail_sha: cp.tail_sha,
+        snapshot,
+    })?;
+    Ok((cp, dump))
+}
+
+/// What a replay established.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Scenario label from the dump header.
+    pub scenario: String,
+    /// Plan label from the dump header.
+    pub plan_name: String,
+    /// The embedded fault plan.
+    pub plan: FaultPlan,
+    /// Slice the restored snapshot was taken at.
+    pub slice: u64,
+    /// Verdict the original run produced.
+    pub expected_verdict: String,
+    /// Verdict the replay produced.
+    pub verdict: String,
+    /// `verdict == expected_verdict`.
+    pub verdict_matches: bool,
+    /// The replayed trace tail hashed byte-identical to the original's.
+    pub splice_matches: bool,
+    /// Attacker got execution during the replayed tail.
+    pub attack_succeeded: bool,
+    /// How the replayed tail ended.
+    pub exit: RunExit,
+    /// Invariant violations during the replayed tail (must be empty).
+    pub violations: Vec<Violation>,
+    /// Trace events the replay re-emitted past the checkpoint.
+    pub events_replayed: usize,
+}
+
+/// Restore a dump and re-run it from the checkpoint to its original
+/// deadline, verifying the verdict reproduces and the trace tail splices
+/// byte-identically.
+///
+/// # Errors
+///
+/// A human-readable message for every malformed, corrupted or
+/// version-skewed dump — replay never panics on bad input.
+pub fn replay_dump(bytes: &[u8]) -> Result<ReplayReport, String> {
+    let s = |e: SnapshotError| format!("malformed dump: {e}");
+    if bytes.len() < DUMP_MAGIC.len() + 32 {
+        return Err("dump too short".into());
+    }
+    let (body, sha_stored) = bytes.split_at(bytes.len() - 32);
+    if sha256(body) != sha_stored {
+        return Err("dump checksum mismatch (file corrupted?)".into());
+    }
+    let mut r = Reader::new(body);
+    if r.take_raw(DUMP_MAGIC.len()).map_err(s)? != DUMP_MAGIC {
+        return Err("not a chaos dump (bad magic)".into());
+    }
+    let version = r.u32().map_err(s)?;
+    if version != DUMP_VERSION {
+        return Err(format!("unsupported dump version {version}"));
+    }
+    let scenario = r.str().map_err(s)?;
+    let plan_name = r.str().map_err(s)?;
+    let kind = r.u8().map_err(s)?;
+    let mode = r.u8().map_err(s)?;
+    let protection = protection_from_tags(kind, mode)?;
+    // Geometry is provenance (the snapshot carries the live TLBs), but a
+    // nonsense header still means a corrupted or foreign file.
+    for _ in 0..2 {
+        let sets = r.u64().map_err(s)?;
+        let ways = r.u64().map_err(s)?;
+        if sets == 0 || !sets.is_power_of_two() || sets > MAX_DUMP_GEOMETRY {
+            return Err(format!("implausible TLB set count {sets}"));
+        }
+        if ways == 0 || ways > MAX_DUMP_GEOMETRY {
+            return Err(format!("implausible TLB way count {ways}"));
+        }
+    }
+    let plan = read_plan(&mut r).map_err(s)?;
+    let marker = r.opt_u32().map_err(s)?.map(|v| v as u8);
+    let pid = r.u32().map_err(s)?;
+    let _trace_mask = r.u32().map_err(s)?;
+    let slice = r.u64().map_err(s)?;
+    let seq0 = r.u64().map_err(s)?;
+    let deadline = r.u64().map_err(s)?;
+    let stride = r.u64().map_err(s)?.max(1);
+    let expected_verdict = r.str().map_err(s)?;
+    let tail_sha: [u8; 32] = r
+        .take_raw(32)
+        .map_err(s)?
+        .try_into()
+        .expect("32-byte slice");
+    let snapshot = r.bytes().map_err(s)?;
+    if !r.is_done() {
+        return Err("trailing bytes after dump payload".into());
+    }
+    let mut k = ksnap::restore(&snapshot, protection.engine())
+        .map_err(|e| format!("embedded snapshot rejected: {e}"))?;
+    let remaining = deadline.saturating_sub(k.sys.machine.cycles);
+    let (exit, violations) = invariants::run_with_checks(&mut k, remaining, stride);
+    let (verdict, attack_succeeded) = classify_run(&k, Pid(pid), marker);
+    let tail = tail_jsonl(&k.sys.machine.tracer.snapshot(), seq0);
+    Ok(ReplayReport {
+        scenario,
+        plan_name,
+        plan,
+        slice,
+        verdict_matches: verdict == expected_verdict,
+        expected_verdict,
+        verdict,
+        splice_matches: sha256(tail.as_bytes()) == tail_sha,
+        attack_succeeded,
+        exit,
+        violations,
+        events_replayed: tail.lines().count(),
+    })
 }

@@ -70,6 +70,24 @@ pub struct InterferenceCounters {
     pub processes: Vec<ProcessProbe>,
 }
 
+/// Save/restore throughput of the kernel checkpoint subsystem, measured
+/// on a mid-run kernel (live guest, warm TLBs, populated page tables).
+#[derive(Debug, Clone)]
+pub struct SnapshotProbe {
+    /// Size of one serialized snapshot in bytes.
+    pub snapshot_bytes: usize,
+    /// Save (and restore) iterations timed.
+    pub iterations: u32,
+    /// Total wall-clock across all saves, milliseconds.
+    pub save_ms: f64,
+    /// Total wall-clock across all restores, milliseconds.
+    pub restore_ms: f64,
+    /// Serialization throughput, snapshot megabytes per second.
+    pub save_mb_per_sec: f64,
+    /// Deserialization + validation throughput, megabytes per second.
+    pub restore_mb_per_sec: f64,
+}
+
 /// The whole summary.
 #[derive(Debug, Clone, Default)]
 pub struct BenchSummary {
@@ -82,6 +100,8 @@ pub struct BenchSummary {
     /// Cross-process interference counters (absent if the section did not
     /// run).
     pub interference: Option<InterferenceCounters>,
+    /// Snapshot save/restore throughput (absent if the probe did not run).
+    pub snapshot: Option<SnapshotProbe>,
 }
 
 impl BenchSummary {
@@ -155,12 +175,27 @@ impl BenchSummary {
                 )
             }
         };
+        let snapshot = match &self.snapshot {
+            None => String::new(),
+            Some(p) => format!(
+                ",\n  \"snapshot_probe\": {{\"snapshot_bytes\": {}, \"iterations\": {}, \
+                 \"save_ms\": {:.3}, \"restore_ms\": {:.3}, \
+                 \"save_mb_per_sec\": {:.1}, \"restore_mb_per_sec\": {:.1}}}",
+                p.snapshot_bytes,
+                p.iterations,
+                p.save_ms,
+                p.restore_ms,
+                p.save_mb_per_sec,
+                p.restore_mb_per_sec
+            ),
+        };
         format!(
-            "{{\n  \"total_wall_ms\": {:.3},\n  \"sections\": [\n{}\n  ],\n  \"steps_probes\": [\n{}\n  ]{}\n}}\n",
+            "{{\n  \"total_wall_ms\": {:.3},\n  \"sections\": [\n{}\n  ],\n  \"steps_probes\": [\n{}\n  ]{}{}\n}}\n",
             self.total_wall_ms,
             sections.join(",\n"),
             probes.join(",\n"),
-            interference
+            interference,
+            snapshot
         )
     }
 }
@@ -209,6 +244,60 @@ pub fn steps_probe(decode_cache: bool, trace: bool) -> StepsProbe {
     }
 }
 
+/// Measure checkpoint save/restore throughput on a mid-run kernel: spawn
+/// the tight-loop probe guest, advance it far enough to warm TLBs and
+/// populate page tables, then time `iterations` full serializations and
+/// validated restores of the whole system state.
+pub fn snapshot_probe(iterations: u32) -> SnapshotProbe {
+    let iterations = iterations.max(1);
+    let prog = ProgramBuilder::new("/bin/snapprobe")
+        .code(
+            "_start:
+                mov ecx, 1000000
+            again:
+                dec ecx
+                jnz again
+                mov ebx, 0
+                call exit",
+        )
+        .build()
+        .expect("probe assembles");
+    let split = Protection::SplitMem(ResponseMode::Break);
+    let mut k = split.kernel_on(
+        TlbPreset::default(),
+        KernelConfig {
+            aslr_stack: false,
+            ..KernelConfig::default()
+        },
+    );
+    k.spawn(&prog.image).expect("probe spawns");
+    assert_eq!(
+        k.run(50_000),
+        RunExit::CyclesExhausted,
+        "guest must be live"
+    );
+    let t0 = Instant::now();
+    let mut bytes = Vec::new();
+    for _ in 0..iterations {
+        bytes = sm_kernel::snapshot::save(&k);
+    }
+    let save_dt = t0.elapsed();
+    let t0 = Instant::now();
+    for _ in 0..iterations {
+        sm_kernel::snapshot::restore(&bytes, split.engine()).expect("own snapshot restores");
+    }
+    let restore_dt = t0.elapsed();
+    let total_mb = bytes.len() as f64 * iterations as f64 / 1e6;
+    SnapshotProbe {
+        snapshot_bytes: bytes.len(),
+        iterations,
+        save_ms: save_dt.as_secs_f64() * 1e3,
+        restore_ms: restore_dt.as_secs_f64() * 1e3,
+        save_mb_per_sec: total_mb / save_dt.as_secs_f64().max(1e-9),
+        restore_mb_per_sec: total_mb / restore_dt.as_secs_f64().max(1e-9),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,5 +338,22 @@ mod tests {
         assert!(j.contains("\"total_wall_ms\": 1.500"), "{j}");
         assert!(j.contains("\"name\": \"demo\""), "{j}");
         assert!(j.ends_with("}\n"), "{j}");
+        assert!(!j.contains("snapshot_probe"), "{j}");
+    }
+
+    #[test]
+    fn snapshot_probe_round_trips_and_reports() {
+        let p = snapshot_probe(3);
+        assert!(p.snapshot_bytes > 1000, "{p:?}");
+        assert!(
+            p.save_mb_per_sec > 0.0 && p.restore_mb_per_sec > 0.0,
+            "{p:?}"
+        );
+        let s = BenchSummary {
+            snapshot: Some(p),
+            ..BenchSummary::default()
+        };
+        let j = s.to_json();
+        assert!(j.contains("\"snapshot_probe\": {\"snapshot_bytes\""), "{j}");
     }
 }

@@ -143,4 +143,23 @@ impl ProtectionEngine for CombinedEngine {
         self.nx.exempt_trampoline(sys, pid, vaddr, bytes.len());
         Ok(())
     }
+
+    fn snapshot_state(&self) -> Vec<u8> {
+        let mut w = sm_machine::snapshot::Writer::new();
+        w.bytes(&self.split.snapshot_state());
+        w.bytes(&self.nx.snapshot_state());
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let s = |e: sm_machine::snapshot::SnapshotError| e.to_string();
+        let mut r = sm_machine::snapshot::Reader::new(bytes);
+        let split = r.bytes().map_err(s)?;
+        let nx = r.bytes().map_err(s)?;
+        if !r.is_done() {
+            return Err("trailing bytes in combined engine state".into());
+        }
+        self.split.restore_state(&split)?;
+        self.nx.restore_state(&nx)
+    }
 }

@@ -26,6 +26,7 @@ use sm_machine::cpu::{flags, Access, PageFaultInfo};
 use sm_machine::isa::SPLIT_FILL_OPCODE;
 use sm_machine::phys::OutOfFrames;
 use sm_machine::pte::{self, Frame, PAGE_SIZE};
+use sm_machine::snapshot::{Reader, Writer};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -874,6 +875,80 @@ impl ProtectionEngine for SplitMemEngine {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Split tables (sorted by pid, then vpn — canonical bytes) plus the
+    /// engine counters. Config is *not* serialized: the restoring side
+    /// constructs the engine with the same configuration it booted with.
+    fn snapshot_state(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        let mut pids: Vec<u32> = self.tables.keys().copied().collect();
+        pids.sort_unstable();
+        w.u64(pids.len() as u64);
+        for pid in pids {
+            let table = &self.tables[&pid];
+            w.u32(pid);
+            w.u64(table.len() as u64);
+            for (vpn, sp) in table.iter() {
+                w.u32(vpn);
+                w.opt_u32(sp.code.map(|f| f.0));
+                w.u32(sp.data.0);
+                w.bool(sp.filler);
+            }
+        }
+        for v in [
+            self.stats.pages_split,
+            self.stats.data_reloads,
+            self.stats.code_reloads,
+            self.stats.data_reload_fallbacks,
+            self.stats.detections,
+            self.stats.pages_locked,
+            self.stats.cow_splits,
+            self.stats.lazy_materializations,
+            self.stats.oom_degraded,
+        ] {
+            w.u64(v);
+        }
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let s = |e: sm_machine::snapshot::SnapshotError| e.to_string();
+        let mut r = Reader::new(bytes);
+        let ntables = r.count(1 << 16).map_err(s)?;
+        let mut tables = HashMap::new();
+        for _ in 0..ntables {
+            let pid = r.u32().map_err(s)?;
+            let npages = r.count(1 << 20).map_err(s)?;
+            let mut table = SplitTable::new();
+            for _ in 0..npages {
+                let vpn = r.u32().map_err(s)?;
+                let code = r.opt_u32().map_err(s)?.map(Frame);
+                let data = Frame(r.u32().map_err(s)?);
+                let filler = r.bool().map_err(s)?;
+                table.insert(vpn, SplitPages { code, data, filler });
+            }
+            if tables.insert(pid, table).is_some() {
+                return Err("duplicate split table pid".into());
+            }
+        }
+        let stats = SplitStats {
+            pages_split: r.u64().map_err(s)?,
+            data_reloads: r.u64().map_err(s)?,
+            code_reloads: r.u64().map_err(s)?,
+            data_reload_fallbacks: r.u64().map_err(s)?,
+            detections: r.u64().map_err(s)?,
+            pages_locked: r.u64().map_err(s)?,
+            cow_splits: r.u64().map_err(s)?,
+            lazy_materializations: r.u64().map_err(s)?,
+            oom_degraded: r.u64().map_err(s)?,
+        };
+        if !r.is_done() {
+            return Err("trailing bytes in split-memory engine state".into());
+        }
+        self.tables = tables;
+        self.stats = stats;
         Ok(())
     }
 }

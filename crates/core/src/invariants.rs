@@ -499,8 +499,26 @@ pub fn check_trace(k: &Kernel, complete: bool) -> Vec<Violation> {
 /// every invariant between slices. Stops early (returning what was found)
 /// as soon as a slice ends with violations, or when the kernel exits.
 pub fn run_with_checks(k: &mut Kernel, max_cycles: u64, stride: u64) -> (RunExit, Vec<Violation>) {
+    run_with_checks_hook(k, max_cycles, stride, |_, _| {})
+}
+
+/// [`run_with_checks`] with an observation hook called between slices.
+///
+/// The hook runs with `(kernel, slice_index)` only when the run is about to
+/// *continue* — after a healthy slice that is neither the last nor a
+/// violating one. The chaos harness checkpoints from this hook; the
+/// placement guarantees every snapshot it takes strictly precedes the
+/// failing slice, so a replay restored from the latest checkpoint always
+/// re-executes the failure.
+pub fn run_with_checks_hook(
+    k: &mut Kernel,
+    max_cycles: u64,
+    stride: u64,
+    mut hook: impl FnMut(&mut Kernel, u64),
+) -> (RunExit, Vec<Violation>) {
     let stride = stride.max(1);
     let deadline = k.sys.machine.cycles.saturating_add(max_cycles);
+    let mut slice: u64 = 0;
     loop {
         let remaining = deadline.saturating_sub(k.sys.machine.cycles);
         let exit = k.run(stride.min(remaining));
@@ -510,6 +528,8 @@ pub fn run_with_checks(k: &mut Kernel, max_cycles: u64, stride: u64) -> (RunExit
         if !violations.is_empty() || done {
             return (exit, violations);
         }
+        hook(k, slice);
+        slice += 1;
     }
 }
 

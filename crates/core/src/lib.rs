@@ -56,9 +56,10 @@ pub mod forensics;
 pub mod invariants;
 pub mod nx;
 pub mod setup;
-pub mod sha256;
 pub mod split;
 pub mod verify;
+
+pub use sm_machine::sha256;
 
 pub use combined::CombinedEngine;
 pub use engine::{SplitMemConfig, SplitMemEngine};

@@ -157,4 +157,27 @@ impl ProtectionEngine for NxEngine {
         self.exempt_trampoline(sys, pid, vaddr, bytes.len());
         Ok(())
     }
+
+    fn snapshot_state(&self) -> Vec<u8> {
+        let mut w = sm_machine::snapshot::Writer::new();
+        w.u64(self.stats.pages_marked);
+        w.u64(self.stats.detections);
+        w.u64(self.stats.trampoline_exemptions);
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let s = |e: sm_machine::snapshot::SnapshotError| e.to_string();
+        let mut r = sm_machine::snapshot::Reader::new(bytes);
+        let stats = NxStats {
+            pages_marked: r.u64().map_err(s)?,
+            detections: r.u64().map_err(s)?,
+            trampoline_exemptions: r.u64().map_err(s)?,
+        };
+        if !r.is_done() {
+            return Err("trailing bytes in execute-disable engine state".into());
+        }
+        self.stats = stats;
+        Ok(())
+    }
 }

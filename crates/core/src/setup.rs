@@ -97,6 +97,38 @@ impl Protection {
     pub fn kernel_on(&self, tlb: TlbPreset, kconfig: KernelConfig) -> Kernel {
         Kernel::new(self.machine_config_on(tlb), kconfig, self.engine())
     }
+
+    /// Like [`Protection::kernel_on`], but warm-started: the first call for
+    /// a given `(protection, tlb, kconfig)` boots a kernel cold and caches
+    /// its post-boot snapshot; later calls fork a fresh kernel from that
+    /// snapshot instead of re-booting. Sweep drivers running dozens of
+    /// combos over the same configuration share one boot this way — and
+    /// because the snapshot round-trip is exact, warm and cold kernels are
+    /// byte-identical (a property the snapshot test-suite pins).
+    ///
+    /// Falls back to a cold boot if the cached snapshot fails to restore
+    /// (it cannot in-process, but degradation beats a panic).
+    pub fn kernel_warm_on(&self, tlb: TlbPreset, kconfig: KernelConfig) -> Kernel {
+        use std::collections::HashMap;
+        use std::sync::{Mutex, OnceLock};
+        static CACHE: OnceLock<Mutex<HashMap<String, Vec<u8>>>> = OnceLock::new();
+        // Debug formatting covers every configuration field, so equal keys
+        // imply equal boots.
+        let key = format!("{self:?}|{tlb:?}|{kconfig:?}");
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let hit = cache.lock().unwrap().get(&key).cloned();
+        if let Some(bytes) = hit {
+            if let Ok(k) = sm_kernel::snapshot::restore(&bytes, self.engine()) {
+                return k;
+            }
+        }
+        let k = self.kernel_on(tlb, kconfig);
+        cache
+            .lock()
+            .unwrap()
+            .insert(key, sm_kernel::snapshot::save(&k));
+        k
+    }
 }
 
 #[cfg(test)]

@@ -17,7 +17,9 @@ use std::collections::HashMap;
 /// teardown is uniform.
 #[derive(Debug, Default)]
 pub struct FrameTable {
-    rc: HashMap<u32, u32>,
+    /// `pfn -> refcount`; `pub(crate)` so [`crate::snapshot`] can rebuild
+    /// the map verbatim (the allocator mirror is restored separately).
+    pub(crate) rc: HashMap<u32, u32>,
 }
 
 impl FrameTable {
@@ -129,7 +131,10 @@ pub struct AddressSpace {
     pub stack_high: u32,
     /// Next address for kernel-chosen `mmap` placements.
     pub mmap_next: u32,
-    table_frames: Vec<Frame>,
+    /// Pagetable frames owned by this space, in allocation order;
+    /// `pub(crate)` so [`crate::snapshot`] can save and restore the list
+    /// (order matters only for deterministic teardown traces).
+    pub(crate) table_frames: Vec<Frame>,
 }
 
 impl AddressSpace {

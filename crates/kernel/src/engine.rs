@@ -152,6 +152,33 @@ pub trait ProtectionEngine {
         let _ = pid;
         sys.machine.copy_to_user(vaddr, bytes)
     }
+
+    /// Serialize the engine's internal bookkeeping (split tables, counters)
+    /// for a system snapshot ([`crate::snapshot`]). Stateless engines keep
+    /// the default empty encoding.
+    fn snapshot_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restore bookkeeping previously produced by
+    /// [`ProtectionEngine::snapshot_state`] on a freshly constructed engine
+    /// of the same kind.
+    ///
+    /// # Errors
+    ///
+    /// A description of the malformed payload. The default accepts only the
+    /// empty encoding its `snapshot_state` produces.
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "engine '{}' carries no state but snapshot has {} bytes",
+                self.name(),
+                bytes.len()
+            ))
+        }
+    }
 }
 
 /// The unprotected baseline: every hook is a no-op.

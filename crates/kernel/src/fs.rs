@@ -24,7 +24,9 @@ pub const O_APPEND: u32 = 0x400;
 /// Simple flat ram filesystem: path → bytes.
 #[derive(Debug, Default)]
 pub struct RamFs {
-    files: BTreeMap<String, Vec<u8>>,
+    /// `pub(crate)` so [`crate::snapshot`] can serialize files in BTreeMap
+    /// (sorted) order — the canonical encoding.
+    pub(crate) files: BTreeMap<String, Vec<u8>>,
 }
 
 impl RamFs {
@@ -96,8 +98,10 @@ pub struct PipeId(pub usize);
 /// "would block" and the process is parked on the pipe id.
 #[derive(Debug)]
 pub struct Pipe {
-    buf: VecDeque<u8>,
-    capacity: usize,
+    /// FIFO contents; `pub(crate)` for [`crate::snapshot`].
+    pub(crate) buf: VecDeque<u8>,
+    /// Bound on buffered bytes; `pub(crate)` for [`crate::snapshot`].
+    pub(crate) capacity: usize,
     /// Open read endpoints.
     pub readers: u32,
     /// Open write endpoints.
@@ -108,7 +112,7 @@ pub struct Pipe {
 pub const PIPE_CAPACITY: usize = 4096;
 
 impl Pipe {
-    fn new(capacity: usize) -> Pipe {
+    pub(crate) fn new(capacity: usize) -> Pipe {
         Pipe {
             buf: VecDeque::new(),
             capacity,
@@ -152,7 +156,9 @@ impl Pipe {
 /// Table of live pipes.
 #[derive(Debug, Default)]
 pub struct PipeTable {
-    pipes: Vec<Option<Pipe>>,
+    /// Slot vector with `None` holes preserved (pipe ids are slot indices,
+    /// so [`crate::snapshot`] must restore holes verbatim).
+    pub(crate) pipes: Vec<Option<Pipe>>,
 }
 
 impl PipeTable {

@@ -68,6 +68,16 @@ pub struct KernelConfig {
     /// the machine's tracer at boot so all layers share one ring and one
     /// cycle clock. 0 (the default) adds nothing.
     pub trace: u32,
+    /// Trace ring capacity override. 0 (the default) inherits
+    /// [`sm_machine::MachineConfig::trace_capacity`]; any other value sizes
+    /// the ring directly, letting replay harnesses pin the exact drop
+    /// behaviour of the run they are reproducing.
+    pub trace_capacity: usize,
+    /// Restrict the trace ring to events involving this pid (plus
+    /// process-agnostic hardware events). `None` (the default) keeps
+    /// everything. Filtering happens *before* sequence assignment, so a
+    /// filtered stream stays gap-free.
+    pub trace_pid: Option<u32>,
 }
 
 impl Default for KernelConfig {
@@ -84,6 +94,8 @@ impl Default for KernelConfig {
             livelock_threshold: 64,
             asid_tlbs: false,
             trace: 0,
+            trace_capacity: 0,
+            trace_pid: None,
         }
     }
 }
@@ -176,7 +188,14 @@ pub struct System {
 impl System {
     fn new(mconfig: MachineConfig, config: KernelConfig) -> System {
         let mut machine = Machine::new(mconfig);
-        machine.enable_trace(config.trace);
+        if config.trace_capacity > 0 {
+            machine.tracer.enable(config.trace, config.trace_capacity);
+        } else {
+            machine.enable_trace(config.trace);
+        }
+        if config.trace_pid.is_some() {
+            machine.tracer.set_pid_filter(config.trace_pid);
+        }
         if let Some(at) = config.chaos.oom_at {
             machine
                 .phys

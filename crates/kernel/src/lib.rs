@@ -43,6 +43,7 @@ pub mod kernel;
 pub mod net;
 pub mod process;
 pub mod signal;
+pub mod snapshot;
 pub mod stats;
 pub mod syscall;
 pub mod userlib;

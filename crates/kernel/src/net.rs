@@ -25,7 +25,9 @@ pub struct Connection {
 /// Loopback network state.
 #[derive(Debug, Default)]
 pub struct NetStack {
-    listeners: HashMap<u16, VecDeque<Connection>>,
+    /// Port → pending-connection backlog; `pub(crate)` so
+    /// [`crate::snapshot`] can serialize ports in sorted order.
+    pub(crate) listeners: HashMap<u16, VecDeque<Connection>>,
 }
 
 impl NetStack {

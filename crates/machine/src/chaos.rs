@@ -57,6 +57,12 @@ pub struct FaultPlan {
     /// short-I/O fault: the syscall succeeds but transfers less than
     /// asked, which POSIX permits and sloppy callers mishandle).
     pub fs_short_every: Option<u64>,
+    /// Corrupt every N-th snapshot save ([`ChaosState::on_snapshot_op`])
+    /// with a seeded-random [`SnapshotFault`]. Counted on its own clock
+    /// with its own RNG stream, so checkpointing a run — corrupted or not
+    /// — never perturbs the step or fs fault schedules. Short *writes* of
+    /// snapshot files ride the existing fs-op clock instead.
+    pub snap_fault_every: Option<u64>,
     /// Seed for the fault stream's own randomness (eviction draws). Kept
     /// separate from the kernel seed so the same workload can be replayed
     /// under many fault streams.
@@ -74,8 +80,31 @@ impl FaultPlan {
             || self.flush_in_window
             || self.fs_error_every.is_some()
             || self.fs_short_every.is_some()
+            || self.snap_fault_every.is_some()
     }
 }
+
+/// How to corrupt a serialized snapshot ([`ChaosState::on_snapshot_op`]).
+/// Every kind must be *detected* at load time by the snapshot container's
+/// structural/checksum validation — a corruption that loads silently is a
+/// bug in the format, not in the consumer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotFault {
+    /// Cut the byte stream at a seeded-random offset (torn write / partial
+    /// flush).
+    Truncate,
+    /// Flip one seeded-random bit (media corruption).
+    BitFlip,
+    /// Swap two manifest entries without recomputing the manifest checksum
+    /// (reordered sections from an out-of-order writer).
+    SectionReorder,
+    /// Bump the format version field (a snapshot from a "future" writer).
+    VersionSkew,
+}
+
+/// Salt XORed into [`FaultPlan::seed`] for the snapshot-fault RNG stream,
+/// keeping it independent of the step stream's eviction draws.
+const SNAP_SEED_SALT: u64 = 0x534e_4150_4641_554c; // "SNAPFAUL"
 
 /// The faults due on one step, as decided by [`ChaosState::on_step`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -117,6 +146,10 @@ pub struct ChaosStats {
     pub fs_errors: u64,
     /// Injected short filesystem transfers.
     pub fs_shorts: u64,
+    /// Snapshot save operations observed.
+    pub snap_ops: u64,
+    /// Injected snapshot corruptions.
+    pub snap_faults: u64,
 }
 
 /// The fault decision for one filesystem operation
@@ -135,12 +168,15 @@ pub struct FsFault {
 pub struct ChaosState {
     /// The plan being executed (immutable once constructed).
     pub plan: FaultPlan,
-    rng: StdRng,
+    pub(crate) rng: StdRng,
+    /// Independent stream for snapshot-fault kind draws (see
+    /// [`FaultPlan::snap_fault_every`]).
+    pub(crate) snap_rng: StdRng,
     /// Injection counters.
     pub stats: ChaosStats,
     /// Whether the previous step was inside the window (edge detector for
     /// the per-window-entry faults).
-    was_in_window: bool,
+    pub(crate) was_in_window: bool,
 }
 
 impl ChaosState {
@@ -149,6 +185,7 @@ impl ChaosState {
         ChaosState {
             plan,
             rng: StdRng::seed_from_u64(plan.seed),
+            snap_rng: StdRng::seed_from_u64(plan.seed ^ SNAP_SEED_SALT),
             stats: ChaosStats::default(),
             was_in_window: false,
         }
@@ -220,6 +257,30 @@ impl ChaosState {
             self.stats.fs_shorts += 1;
         }
         f
+    }
+
+    /// Advance the snapshot-save clock and report the corruption (if any)
+    /// to apply to the bytes just serialized. A pure function of
+    /// `(plan, snapshot-op count)` on its own RNG stream — checkpointing a
+    /// run never perturbs the step or fs fault schedules, so a checkpointed
+    /// run stays byte-identical to an uncheckpointed one.
+    pub fn on_snapshot_op(&mut self) -> Option<SnapshotFault> {
+        self.stats.snap_ops += 1;
+        let ops = self.stats.snap_ops;
+        let due = self
+            .plan
+            .snap_fault_every
+            .is_some_and(|n| ops.is_multiple_of(n.max(1)));
+        if !due {
+            return None;
+        }
+        self.stats.snap_faults += 1;
+        Some(match self.snap_rng.next_u64() % 4 {
+            0 => SnapshotFault::Truncate,
+            1 => SnapshotFault::BitFlip,
+            2 => SnapshotFault::SectionReorder,
+            _ => SnapshotFault::VersionSkew,
+        })
     }
 }
 
@@ -347,6 +408,41 @@ mod tests {
             ..FaultPlan::default()
         }
         .is_active());
+    }
+
+    #[test]
+    fn snapshot_faults_fire_on_their_own_clock_and_stream() {
+        let plan = FaultPlan {
+            flush_every: Some(7),
+            evict_every: Some(4),
+            snap_fault_every: Some(2),
+            seed: 99,
+            ..FaultPlan::default()
+        };
+        assert!(plan.is_active());
+        // Two runs, one of which also takes snapshot ops: the step streams
+        // must be identical anyway.
+        let mut a = ChaosState::new(plan);
+        let mut b = ChaosState::new(plan);
+        let mut faults = Vec::new();
+        for i in 0..100 {
+            let fa = a.on_step(i % 13 == 0);
+            if i % 10 == 0 {
+                faults.push(b.on_snapshot_op());
+            }
+            let fb = b.on_step(i % 13 == 0);
+            assert_eq!(fa, fb, "snapshot ops must not perturb the step stream");
+        }
+        // Every second snapshot op injects a fault.
+        assert_eq!(faults.iter().filter(|f| f.is_some()).count(), 5);
+        assert_eq!(b.stats.snap_ops, 10);
+        assert_eq!(b.stats.snap_faults, 5);
+        assert_eq!(a.stats.snap_ops, 0);
+        // Inert plans never inject.
+        let mut c = ChaosState::new(FaultPlan::default());
+        for _ in 0..20 {
+            assert_eq!(c.on_snapshot_op(), None);
+        }
     }
 
     #[test]

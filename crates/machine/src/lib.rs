@@ -48,6 +48,8 @@ pub mod exec;
 pub mod isa;
 pub mod phys;
 pub mod pte;
+pub mod sha256;
+pub mod snapshot;
 pub mod stats;
 pub mod tlb;
 

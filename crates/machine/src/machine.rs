@@ -150,7 +150,7 @@ pub struct Machine {
     /// kernel, engine — stamps events with the one simulated-cycle clock
     /// ([`Machine::cycles`]) and shares one ring.
     pub tracer: Tracer,
-    pending_singlestep: bool,
+    pub(crate) pending_singlestep: bool,
 }
 
 impl Machine {

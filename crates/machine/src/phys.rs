@@ -14,14 +14,15 @@ use std::fmt;
 /// memory panic: the simulated kernel/hardware is trusted to stay in bounds
 /// (virtual-address safety is enforced separately by the MMU).
 pub struct PhysMemory {
-    bytes: Vec<u8>,
+    pub(crate) bytes: Vec<u8>,
     /// Per-frame write generation, bumped by every mutating accessor. The
     /// decoded-instruction cache snapshots a frame's version when it caches
     /// decodes from that frame and treats any later mismatch as "this frame
     /// was written, drop the decodes" — so *every* write path (user stores,
     /// kernel loads, COW copies, pagetable A/D updates, frame fills) must go
-    /// through the methods below.
-    versions: Vec<u64>,
+    /// through the methods below. The snapshot codec restores both fields
+    /// verbatim (bypassing `bump`) so generations survive a round trip.
+    pub(crate) versions: Vec<u64>,
     /// Allocator over this memory's frames.
     pub allocator: FrameAllocator,
 }
@@ -168,28 +169,30 @@ impl std::error::Error for OutOfFrames {}
 /// so that a completely empty entry is unambiguously "nothing".
 #[derive(Debug, Clone)]
 pub struct FrameAllocator {
-    /// Frames returned by [`FrameAllocator::free`], reallocated LIFO.
-    free: Vec<Frame>,
+    /// Frames returned by [`FrameAllocator::free`], reallocated LIFO. The
+    /// snapshot codec serializes this list verbatim (order included): LIFO
+    /// recycling order is part of the deterministic allocation stream.
+    pub(crate) free: Vec<Frame>,
     /// Lowest never-allocated frame: `next_fresh..total` are all free, so
     /// construction is O(1) instead of materialising the whole free list.
-    next_fresh: u32,
+    pub(crate) next_fresh: u32,
     /// Per-frame reference count. `alloc` hands a frame out at count 1;
     /// [`FrameAllocator::retain`] bumps it (COW sharing, shared code
     /// frames); [`FrameAllocator::release`] drops it and only returns the
     /// frame to the free pool when the count reaches 0. The legacy
     /// [`FrameAllocator::free`] path is equivalent to releasing a count-1
     /// frame. A count of 0 means "not allocated".
-    refcounts: Vec<u32>,
-    total: u32,
-    allocated: u32,
+    pub(crate) refcounts: Vec<u32>,
+    pub(crate) total: u32,
+    pub(crate) allocated: u32,
     /// High-water mark of simultaneously allocated frames.
-    peak: u32,
+    pub(crate) peak: u32,
     /// Total `alloc` calls, successful or not (the fault-injection clock).
-    alloc_calls: u64,
+    pub(crate) alloc_calls: u64,
     /// Absolute call number at which the next injected failure fires.
-    inject_next: Option<u64>,
+    pub(crate) inject_next: Option<u64>,
     /// After the first injected failure, keep failing every N-th call.
-    inject_every: Option<u64>,
+    pub(crate) inject_every: Option<u64>,
     /// Failures injected so far.
     pub injected_failures: u64,
 }

@@ -209,19 +209,21 @@ pub struct FillOutcome {
 pub struct Tlb {
     geometry: TlbGeometry,
     /// `sets[i]` is ordered most-recently-used first; `len() <= ways`.
-    sets: Vec<Vec<TlbEntry>>,
+    /// The snapshot codec serializes per-set MRU order verbatim: LRU
+    /// replacement order is part of the deterministic miss stream.
+    pub(crate) sets: Vec<Vec<TlbEntry>>,
     /// Shadow fully-associative LRU of the same total capacity
     /// (`(asid, vpn)` keys, MRU-first), fed the same access/invalidation
     /// stream; the reference for conflict-miss classification.
-    shadow: Vec<u64>,
+    pub(crate) shadow: Vec<u64>,
     /// Every `(asid, vpn)` ever filled (cold-miss classification).
-    seen: HashSet<u64>,
+    pub(crate) seen: HashSet<u64>,
     /// ASID stamped on fills and required on lookups. Stays 0 unless the
     /// machine runs with tagged TLBs.
-    current_asid: u16,
+    pub(crate) current_asid: u16,
     /// 3C class of the most recent miss (the classification happens inline
     /// in [`Tlb::lookup`]; the walker reads it back when tracing fills).
-    last_miss: sm_trace::MissClass,
+    pub(crate) last_miss: sm_trace::MissClass,
     /// Counters; reset with [`TlbStats::default`] assignment if needed.
     pub stats: TlbStats,
 }

@@ -83,6 +83,14 @@ impl StdRng {
     pub fn fork(&mut self) -> StdRng {
         StdRng::seed_from_u64(self.next_u64())
     }
+
+    /// The generator's internal state. SplitMix64's state *is* its seed:
+    /// `StdRng::seed_from_u64(rng.state())` reproduces the remaining
+    /// stream exactly, which is what lets a checkpoint serialize a live
+    /// generator with one u64.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
 }
 
 /// Ranges a [`StdRng`] can draw uniformly from.

@@ -455,6 +455,32 @@ impl TraceEvent {
         }
     }
 
+    /// True if the event concerns process `pid`. Machine-layer TLB events
+    /// carry no process id and always pass (they are the ambient hardware
+    /// context any per-process story still needs); two-process events
+    /// (`SchedSwitch`, `CowShare`) match on either side.
+    pub fn involves(&self, pid: u32) -> bool {
+        match *self {
+            TraceEvent::TlbFill { .. }
+            | TraceEvent::TlbEvict { .. }
+            | TraceEvent::TlbFlush { .. } => true,
+            TraceEvent::PageFault { pid: p, .. }
+            | TraceEvent::PageSplit { pid: p, .. }
+            | TraceEvent::PageUnsplit { pid: p, .. }
+            | TraceEvent::PteUnrestrict { pid: p, .. }
+            | TraceEvent::PteRestrict { pid: p, .. }
+            | TraceEvent::StepArm { pid: p, .. }
+            | TraceEvent::StepFire { pid: p, .. }
+            | TraceEvent::StepDisarm { pid: p, .. }
+            | TraceEvent::CowBreak { pid: p, .. }
+            | TraceEvent::ChaosInject { pid: p, .. }
+            | TraceEvent::Detection { pid: p, .. }
+            | TraceEvent::ProcessExit { pid: p, .. } => p == pid,
+            TraceEvent::CowShare { parent, child } => parent == pid || child == pid,
+            TraceEvent::SchedSwitch { from, to } => from == pid || to == pid,
+        }
+    }
+
     /// Short kind tag used as the JSONL `kind` field.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -580,6 +606,10 @@ pub struct Tracer {
     enabled_mask: u32,
     capacity: usize,
     next_seq: u64,
+    // When set, events not involving this pid are dropped *before* a
+    // sequence number is assigned, so a filtered stream still has gap-free
+    // seqs (the property CI's jq check asserts).
+    pid_filter: Option<u32>,
     buf: VecDeque<TraceRecord>,
 }
 
@@ -599,6 +629,7 @@ impl Tracer {
             enabled_mask: 0,
             capacity: 0,
             next_seq: 0,
+            pid_filter: None,
             buf: VecDeque::new(),
         }
     }
@@ -610,13 +641,48 @@ impl Tracer {
             enabled_mask: if capacity == 0 { 0 } else { mask },
             capacity,
             next_seq: 0,
+            pid_filter: None,
             buf: VecDeque::with_capacity(capacity.min(4096)),
         }
+    }
+
+    /// Rebuild a tracer from checkpoint metadata: same mask, capacity and
+    /// filter, sequence counter resumed at `next_seq`, ring empty. Records
+    /// emitted after restore splice seamlessly onto the pre-checkpoint
+    /// stream (the ring contents themselves are deliberately not part of a
+    /// snapshot — they are an observation, not machine state).
+    pub fn restore_meta(
+        mask: u32,
+        capacity: usize,
+        next_seq: u64,
+        pid_filter: Option<u32>,
+    ) -> Tracer {
+        let mut t = Tracer::new(mask, capacity);
+        t.next_seq = next_seq;
+        t.pid_filter = pid_filter;
+        t
     }
 
     /// The enabled-layer mask.
     pub fn enabled(&self) -> u32 {
         self.enabled_mask
+    }
+
+    /// The ring capacity in records.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The per-process filter, if one is set.
+    pub fn pid_filter(&self) -> Option<u32> {
+        self.pid_filter
+    }
+
+    /// Restrict recording to events involving `pid` (see
+    /// [`TraceEvent::involves`]); `None` clears the filter. Filtered
+    /// events never consume a sequence number.
+    pub fn set_pid_filter(&mut self, pid: Option<u32>) {
+        self.pid_filter = pid;
     }
 
     /// Enable additional layers (used by the kernel to OR its mask into
@@ -658,6 +724,11 @@ impl Tracer {
     }
 
     fn push(&mut self, cycles: u64, event: TraceEvent) {
+        if let Some(pid) = self.pid_filter {
+            if !event.involves(pid) {
+                return;
+            }
+        }
         if self.buf.len() == self.capacity {
             self.buf.pop_front();
         }
@@ -1010,6 +1081,43 @@ mod tests {
             lines[1],
             "{\"seq\":1,\"cycles\":9,\"kind\":\"page_fault\",\"pid\":1,\"addr\":4096,\"eip\":4096,\"access\":\"fetch\",\"present\":true,\"verdict\":\"instruction\"}"
         );
+    }
+
+    #[test]
+    fn pid_filter_drops_before_seq_assignment() {
+        let mut t = Tracer::new(mask::ALL, 16);
+        t.set_pid_filter(Some(2));
+        t.record(1, TraceEvent::ProcessExit { pid: 1, code: 0 });
+        t.record(2, TraceEvent::SchedSwitch { from: 1, to: 2 });
+        t.record(3, TraceEvent::ProcessExit { pid: 2, code: 0 });
+        // Machine-layer events carry no pid and always pass.
+        t.record(
+            4,
+            TraceEvent::TlbFlush {
+                scope: FlushScope::All,
+                vpn: 0,
+            },
+        );
+        let snap = t.snapshot();
+        assert_eq!(t.emitted(), 3);
+        let seqs: Vec<u64> = snap.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2], "filtered stream must stay gap-free");
+        assert!(matches!(snap[0].event, TraceEvent::SchedSwitch { .. }));
+        assert!(matches!(
+            snap[1].event,
+            TraceEvent::ProcessExit { pid: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn restore_meta_resumes_sequence_counter() {
+        let mut t = Tracer::restore_meta(mask::ALL, 8, 41, Some(7));
+        assert_eq!(t.capacity(), 8);
+        assert_eq!(t.pid_filter(), Some(7));
+        assert!(t.snapshot().is_empty());
+        t.record(5, TraceEvent::ProcessExit { pid: 7, code: 0 });
+        assert_eq!(t.snapshot()[0].seq, 41);
+        assert_eq!(t.emitted(), 42);
     }
 
     /// The canonical Algorithm 2 window: unrestrict, arm, fire, restrict.

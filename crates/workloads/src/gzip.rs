@@ -146,7 +146,7 @@ pub fn run_gzip(protection: &Protection, kilobytes: u32) -> WorkloadResult {
 pub fn run_gzip_on(protection: &Protection, tlb: TlbPreset, kilobytes: u32) -> WorkloadResult {
     // A 1 KiB pipe models the I/O batching of a disk-bound gzip run: the
     // pipeline context-switches about once per kilobyte.
-    let mut kernel = protection.kernel_on(
+    let mut kernel = protection.kernel_warm_on(
         tlb,
         KernelConfig {
             pipe_capacity: 1024,

@@ -166,7 +166,7 @@ pub fn run_httpd_on(
     page_size: u32,
     requests: u32,
 ) -> WorkloadResult {
-    let mut kernel = protection.kernel_on(tlb, workload_kconfig());
+    let mut kernel = protection.kernel_warm_on(tlb, workload_kconfig());
     kernel
         .spawn(&server_program(page_size, requests).image)
         .expect("server spawns");

@@ -184,7 +184,7 @@ pub fn run_nbench_on(
     kernel: NbenchKernel,
     iterations: u32,
 ) -> WorkloadResult {
-    let mut k = protection.kernel_on(tlb, workload_kconfig());
+    let mut k = protection.kernel_warm_on(tlb, workload_kconfig());
     k.spawn(&nbench_program(kernel, iterations).image)
         .expect("nbench spawns");
     measure(

@@ -60,7 +60,7 @@ pub fn run_tlb_probe(
     stride_pages: u32,
     rounds: u32,
 ) -> WorkloadResult {
-    let mut k = protection.kernel_on(tlb, workload_kconfig());
+    let mut k = protection.kernel_warm_on(tlb, workload_kconfig());
     k.spawn(&probe_program(pages, stride_pages, rounds).image)
         .expect("tlb probe spawns");
     measure(

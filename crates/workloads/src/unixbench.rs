@@ -374,7 +374,7 @@ pub fn run_unixbench_seeded_on(
     iterations: u32,
     seed: u64,
 ) -> WorkloadResult {
-    let k = protection.kernel_on(
+    let k = protection.kernel_warm_on(
         tlb,
         sm_kernel::kernel::KernelConfig {
             seed,

@@ -1,0 +1,398 @@
+//! System tests for the checkpoint/restore subsystem.
+//!
+//! * **Transparency** — a checkpointed chaos run retires the same
+//!   verdict and emits the same trace stream as the uncheckpointed run:
+//!   the snapshot-op fault clock is independent of the step/fs streams,
+//!   so taking (or corrupting) checkpoints never perturbs the guest.
+//! * **Splice correctness** — a run restored from its latest checkpoint
+//!   and driven to the original deadline reproduces the original verdict
+//!   and splices into the byte-identical trace JSONL, for arbitrary
+//!   perturbation plans and checkpoint intervals (proptest).
+//! * **Fault containment** — every corrupted snapshot or dump is detected
+//!   at load and rejected with an error; nothing panics (fuzz).
+//! * **Determinism** — snapshot and dump bytes are identical across rayon
+//!   thread counts, and warm-started kernels are byte-identical to cold
+//!   boots.
+//! * **Trace knobs** — `KernelConfig::trace_capacity` bounds the ring and
+//!   `KernelConfig::trace_pid` filters events without assigning sequence
+//!   numbers to dropped ones.
+
+use proptest::prelude::*;
+use sm_attacks::wilander;
+use sm_bench::chaos::{self, Scenario};
+use sm_core::setup::Protection;
+use sm_kernel::events::ResponseMode;
+use sm_kernel::kernel::{KernelConfig, RunExit};
+use sm_kernel::snapshot as ksnap;
+use sm_kernel::userlib::{BuiltProgram, ProgramBuilder};
+use sm_machine::chaos::{FaultPlan, SnapshotFault};
+use sm_machine::trace::mask;
+use sm_machine::TlbPreset;
+
+fn split_break() -> Protection {
+    Protection::SplitMem(ResponseMode::Break)
+}
+
+fn canonical_scenario() -> Scenario {
+    Scenario::Wilander(
+        wilander::all_cases()
+            .into_iter()
+            .find(|c| c.applicable())
+            .expect("an applicable wilander case"),
+    )
+}
+
+/// A plan that perturbs the run *and* faults every other checkpoint.
+fn snap_faulting_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        flush_every: Some(101),
+        evict_every: Some(17),
+        snap_fault_every: Some(2),
+        seed,
+        ..FaultPlan::default()
+    }
+}
+
+fn dump_of(cp: &chaos::Checkpointed, scenario: Scenario, plan: FaultPlan, stride: u64) -> Vec<u8> {
+    chaos::write_dump(&chaos::FailureDump {
+        scenario: scenario.name(),
+        plan_name: "test",
+        protection: split_break(),
+        tlb: TlbPreset::default(),
+        plan,
+        marker: cp.marker,
+        pid: cp.pid,
+        trace_mask: mask::ALL,
+        slice: cp.snapshot_slice,
+        seq0: cp.snapshot_seq,
+        deadline: cp.deadline,
+        stride,
+        expected_verdict: cp.run.verdict.clone(),
+        tail_sha: cp.tail_sha,
+        snapshot: cp.snapshot.clone().expect("checkpoint exists"),
+    })
+    .expect("dump encodes")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// For arbitrary perturbation plans and checkpoint intervals, the
+    /// checkpointed run matches the plain run exactly, and a replay from
+    /// its latest checkpoint reproduces the verdict and splices into the
+    /// byte-identical trace stream.
+    #[test]
+    fn replay_from_checkpoint_is_exact(seed in 1u64..32, plan_idx in 0usize..7, every in 1u64..4) {
+        let scenario = canonical_scenario();
+        let split = split_break();
+        let tlb = TlbPreset::default();
+        let plans = chaos::perturbation_plans(seed);
+        let plan = FaultPlan {
+            snap_fault_every: Some(3),
+            ..plans[plan_idx % plans.len()].plan
+        };
+        let (plain, plain_jsonl) =
+            chaos::run_scenario_traced_on(scenario, &split, tlb, plan, mask::ALL);
+        let cp = chaos::run_scenario_checkpointed_on(
+            scenario, &split, tlb, plan, mask::ALL, chaos::Cadence { every, stride: 500 },
+        );
+        // Checkpointing (and snapshot-fault injection) is invisible to
+        // the guest.
+        prop_assert_eq!(&cp.run.verdict, &plain.verdict);
+        prop_assert_eq!(&cp.jsonl, &plain_jsonl);
+        prop_assert_eq!(cp.snap_faults_undetected, 0);
+        prop_assert!(cp.run.violations.is_empty());
+        // Replay from the latest good checkpoint (present unless snapshot
+        // faults ate every single one).
+        if cp.snapshot.is_some() {
+            let dump = dump_of(&cp, scenario, plan, 500);
+            let rep = chaos::replay_dump(&dump).expect("dump replays");
+            prop_assert!(rep.verdict_matches, "verdict {} != {}", rep.verdict, rep.expected_verdict);
+            prop_assert!(rep.splice_matches, "trace tail diverged");
+            prop_assert!(rep.violations.is_empty());
+        }
+    }
+}
+
+/// Deterministic version of the splice property across two different
+/// checkpoint intervals, also pinning that multiple checkpoints were
+/// actually taken and that every injected snapshot fault was detected.
+#[test]
+fn replay_reproduces_detection_verdict_across_intervals() {
+    let scenario = canonical_scenario();
+    let split = split_break();
+    let plan = snap_faulting_plan(1);
+    for every in [1u64, 2] {
+        let (cp, dump) = chaos::checkpointed_dump(
+            scenario,
+            &split,
+            TlbPreset::default(),
+            "seeded-detection",
+            plan,
+            mask::ALL,
+            chaos::Cadence { every, stride: 500 },
+        )
+        .expect("combo dumps");
+        assert!(
+            cp.checkpoints_taken >= 2,
+            "interval {every}: want >=2 checkpoints, got {}",
+            cp.checkpoints_taken
+        );
+        assert!(cp.snap_faults_injected > 0, "plan must fault snapshots");
+        assert_eq!(cp.snap_faults_undetected, 0, "all faults must be caught");
+        assert_eq!(cp.run.verdict, "foiled(detected=true)");
+        let rep = chaos::replay_dump(&dump).expect("dump replays");
+        assert!(
+            rep.verdict_matches,
+            "{} != {}",
+            rep.verdict, rep.expected_verdict
+        );
+        assert_eq!(rep.verdict, "foiled(detected=true)");
+        assert!(rep.splice_matches, "interval {every}: trace tail diverged");
+        assert!(rep.violations.is_empty());
+        assert!(!rep.attack_succeeded);
+    }
+}
+
+/// Every structured snapshot fault and every unstructured dump mutation
+/// is rejected with a typed error — zero panics across the whole fuzz.
+#[test]
+fn corrupted_snapshots_and_dumps_never_panic() {
+    let scenario = canonical_scenario();
+    let split = split_break();
+    let plan = snap_faulting_plan(7);
+    let cp = chaos::run_scenario_checkpointed_on(
+        scenario,
+        &split,
+        TlbPreset::default(),
+        plan,
+        mask::ALL,
+        chaos::Cadence {
+            every: 1,
+            stride: 500,
+        },
+    );
+    let snap = cp.snapshot.clone().expect("checkpoint exists");
+    let dump = dump_of(&cp, scenario, plan, 500);
+
+    // Structured faults on the kernel snapshot: every kind, many seeds.
+    for seed in 0..48u64 {
+        for fault in [
+            SnapshotFault::Truncate,
+            SnapshotFault::BitFlip,
+            SnapshotFault::SectionReorder,
+            SnapshotFault::VersionSkew,
+        ] {
+            let mut b = snap.clone();
+            ksnap::corrupt_snapshot(&mut b, fault, seed);
+            assert!(
+                ksnap::validate(&b).is_err(),
+                "{fault:?} seed {seed} undetected"
+            );
+            assert!(
+                ksnap::restore(&b, split.engine()).is_err(),
+                "{fault:?} seed {seed} restored"
+            );
+        }
+    }
+
+    // Unstructured mutations on the dump: bit flips anywhere (including
+    // inside the embedded snapshot and the trailing digest) and
+    // truncations at arbitrary offsets.
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state
+    };
+    for _ in 0..200 {
+        let mut b = dump.clone();
+        let i = next() as usize % b.len();
+        b[i] ^= 1 << (next() % 8);
+        assert!(chaos::replay_dump(&b).is_err(), "flip at {i} accepted");
+    }
+    for _ in 0..50 {
+        let cut = next() as usize % dump.len();
+        assert!(
+            chaos::replay_dump(&dump[..cut]).is_err(),
+            "cut at {cut} accepted"
+        );
+    }
+    assert!(chaos::replay_dump(&[]).is_err());
+}
+
+/// Snapshot/dump bytes are a pure function of the run: identical whether
+/// the surrounding sweep machinery ran parallel (whatever
+/// `RAYON_NUM_THREADS` is pinned to) or on the single-threaded serial
+/// reference, and a restored snapshot re-saves to its exact input
+/// (canonical round-trip).
+#[test]
+fn snapshot_bytes_identical_across_thread_counts() {
+    let scenario = canonical_scenario();
+    let make = || {
+        let (cp, dump) = chaos::checkpointed_dump(
+            scenario,
+            &split_break(),
+            TlbPreset::default(),
+            "golden",
+            snap_faulting_plan(1),
+            mask::ALL,
+            chaos::Cadence {
+                every: 2,
+                stride: 500,
+            },
+        )
+        .expect("combo dumps");
+        (cp.snapshot.expect("checkpoint exists"), dump)
+    };
+    let lines = |combos: &[chaos::ComboResult]| -> Vec<String> {
+        combos.iter().map(|c| format!("{c:?}")).collect()
+    };
+    let parallel = chaos::sweep_on(&[1], &[scenario], &split_break(), TlbPreset::default());
+    let a = make();
+    let serial = chaos::sweep_serial_on(&[1], &[scenario], &split_break(), TlbPreset::default());
+    let b = make();
+    assert_eq!(lines(&parallel), lines(&serial));
+    assert_eq!(a.0, b.0, "snapshot bytes differ across runs/thread counts");
+    assert_eq!(a.1, b.1, "dump bytes differ across runs/thread counts");
+    let k = ksnap::restore(&a.0, split_break().engine()).expect("snapshot restores");
+    assert_eq!(ksnap::save(&k), a.0, "round-trip is not canonical");
+}
+
+fn loop_program() -> BuiltProgram {
+    ProgramBuilder::new("/bin/loop")
+        .code(
+            "_start:
+                mov ecx, 5000
+            again:
+                dec ecx
+                jnz again
+                mov ebx, 0
+                call exit",
+        )
+        .build()
+        .expect("loop assembles")
+}
+
+/// Warm-started kernels (restored from the cached post-boot snapshot) are
+/// byte-identical to cold boots, at construction and after running a
+/// guest to completion.
+#[test]
+fn warm_start_is_byte_identical_to_cold() {
+    let split = split_break();
+    let tlb = TlbPreset::default();
+    let kconfig = KernelConfig {
+        aslr_stack: false,
+        ..KernelConfig::default()
+    };
+    let cold = split.kernel_on(tlb, kconfig);
+    // First call seeds the cache (itself a cold boot), second restores.
+    let _ = split.kernel_warm_on(tlb, kconfig);
+    let warm = split.kernel_warm_on(tlb, kconfig);
+    assert_eq!(
+        ksnap::save(&cold),
+        ksnap::save(&warm),
+        "warm boot differs from cold boot"
+    );
+    let prog = loop_program();
+    let mut cold = cold;
+    let mut warm = warm;
+    cold.spawn(&prog.image).expect("spawns cold");
+    warm.spawn(&prog.image).expect("spawns warm");
+    assert_eq!(cold.run(50_000_000), RunExit::AllExited);
+    assert_eq!(warm.run(50_000_000), RunExit::AllExited);
+    assert_eq!(cold.sys.machine.cycles, warm.sys.machine.cycles);
+    assert_eq!(
+        format!("{:?}", cold.sys.machine.stats),
+        format!("{:?}", warm.sys.machine.stats)
+    );
+    assert_eq!(ksnap::save(&cold), ksnap::save(&warm));
+}
+
+/// `trace_capacity` bounds the ring; `trace_pid` filters events before a
+/// sequence number is assigned.
+#[test]
+fn trace_knobs_bound_and_filter_the_ring() {
+    let split = split_break();
+    let tlb = TlbPreset::default();
+    let prog = loop_program();
+
+    // Capacity knob: tiny ring, long event stream.
+    let mut k = split.kernel_on(
+        tlb,
+        KernelConfig {
+            aslr_stack: false,
+            trace: mask::ALL,
+            trace_capacity: 8,
+            ..KernelConfig::default()
+        },
+    );
+    k.spawn(&prog.image).expect("spawns");
+    assert_eq!(k.run(50_000_000), RunExit::AllExited);
+    let ring = k.sys.machine.tracer.snapshot();
+    assert!(ring.len() <= 8, "ring exceeded capacity: {}", ring.len());
+    assert!(
+        k.sys.machine.tracer.emitted() > 8,
+        "guest must emit more events than the ring holds"
+    );
+
+    // Pid filter: a filter on the real pid keeps only events involving
+    // it; a filter on a pid that never exists keeps (and numbers)
+    // nothing.
+    let spawn_traced = |pid_filter| {
+        let mut k = split.kernel_on(
+            tlb,
+            KernelConfig {
+                aslr_stack: false,
+                trace: mask::ALL,
+                trace_pid: pid_filter,
+                ..KernelConfig::default()
+            },
+        );
+        let pid = k.spawn(&prog.image).expect("spawns");
+        assert_eq!(k.run(50_000_000), RunExit::AllExited);
+        (k, pid)
+    };
+    let (unfiltered, pid) = spawn_traced(None);
+    let (filtered, pid2) = spawn_traced(Some(pid.0));
+    assert_eq!(pid, pid2, "spawn order is deterministic");
+    let kept = filtered.sys.machine.tracer.snapshot();
+    assert!(!kept.is_empty(), "the guest's own events must survive");
+    assert!(kept.iter().all(|r| r.event.involves(pid.0)));
+    assert!(filtered.sys.machine.tracer.emitted() <= unfiltered.sys.machine.tracer.emitted());
+    // A pid that never exists keeps only the ambient machine-layer TLB
+    // events (which carry no process id and pass any filter).
+    let (none, _) = spawn_traced(Some(9999));
+    assert!(
+        none.sys
+            .machine
+            .tracer
+            .snapshot()
+            .iter()
+            .all(|r| r.event.kind().starts_with("tlb_")),
+        "per-process events leaked past the filter"
+    );
+}
+
+/// The checked-in golden dump replays on the current build. Regenerate
+/// with `cargo run --release --bin chaos -- --dump-demo
+/// tests/golden/chaos_demo.smcdump` after intentional changes to the
+/// instruction stream, trace schema or snapshot format.
+#[test]
+fn golden_dump_replays() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden/chaos_demo.smcdump"
+    );
+    let bytes = std::fs::read(path).expect("golden dump is checked in");
+    let rep = chaos::replay_dump(&bytes).expect("golden dump replays");
+    assert!(
+        rep.verdict_matches,
+        "{} != {}",
+        rep.verdict, rep.expected_verdict
+    );
+    assert!(rep.splice_matches, "golden trace tail diverged");
+    assert!(rep.violations.is_empty());
+    assert_eq!(rep.verdict, "foiled(detected=true)");
+}
