@@ -158,6 +158,33 @@ fn main() {
     }
     println!();
 
+    println!("==== Sharded verification (fig6 workload) =======================\n");
+    let sharded = summary.section("fig6-sharded", || {
+        let split = Protection::SplitMem(ResponseMode::Break);
+        sm_bench::shards::fig6_sharded_probe(
+            &split,
+            TlbPreset::default(),
+            sm_bench::shards::FIG6_PROBE_REQUESTS,
+            sm_bench::shards::FIG6_PROBE_STRIDE,
+            8,
+        )
+    });
+    println!(
+        "serial {:.1} ms vs sharded {:.1} ms ({} segments, {} threads): {:.2}x, outputs {}",
+        sharded.serial_ms,
+        sharded.sharded_ms,
+        sharded.segments,
+        sharded.threads,
+        sharded.speedup,
+        if sharded.identical {
+            "byte-identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+    summary.sharded = Some(sharded);
+    println!();
+
     println!("==== Snapshot save/restore throughput ===========================\n");
     let snap = summary.section("probe-snapshot", || sm_bench::summary::snapshot_probe(25));
     println!(

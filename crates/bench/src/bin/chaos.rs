@@ -21,6 +21,13 @@
 //! artifact `--replay` consumes. `--replay <path>` restores a dump,
 //! re-runs it from the checkpoint, and exits non-zero unless the original
 //! verdict reproduces and the trace tail splices byte-identically.
+//! Adding `--stop-seq <seq>` time-travels instead: the run stops as soon
+//! as the tracer reaches that sequence number and prints the tail.
+//!
+//! `--shards N` runs the sharded splice-equality sweep: every quick
+//! scenario executed serial-checked and segment-parallel (N segments),
+//! asserting byte-identical output; divergences dump per-segment trace
+//! tails (`shard_seg_<i>.trace.jsonl`) and exit non-zero.
 
 use sm_attacks::wilander::{self, InjectLocation, Technique};
 use sm_bench::chaos::{self, Scenario};
@@ -79,15 +86,68 @@ fn full_scenarios() -> Vec<Scenario> {
     scenarios
 }
 
+/// A malformed command line: every arg-parsing failure funnels here
+/// (never a panic — the replay path handles untrusted files and must
+/// fail with a diagnostic and a nonzero exit however it is misused).
+fn usage_error(msg: &str) -> i32 {
+    eprintln!("chaos: {msg}");
+    eprintln!("usage: chaos [--quick] [--trace] [--shards N]");
+    eprintln!("       chaos --replay <dump.smcdump> [--stop-seq <seq>]");
+    eprintln!("       chaos --dump-demo <out.smcdump>");
+    2
+}
+
+/// Parse the flag's value argument, rejecting a missing value or another
+/// flag in value position.
+fn flag_value<'a>(args: &'a [String], i: usize, flag: &str) -> Result<&'a str, String> {
+    match args.get(i + 1) {
+        Some(v) if !v.starts_with("--") => Ok(v),
+        _ => Err(format!("{flag} needs a value")),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if let Some(i) = args.iter().position(|a| a == "--replay") {
-        let path = args.get(i + 1).expect("--replay needs a dump path");
-        std::process::exit(replay(path));
+        let path = match flag_value(&args, i, "--replay") {
+            Ok(p) => p,
+            Err(e) => std::process::exit(usage_error(&format!("{e} (a dump path)"))),
+        };
+        let stop_seq = match args.iter().position(|a| a == "--stop-seq") {
+            Some(j) => match flag_value(&args, j, "--stop-seq").map(str::parse::<u64>) {
+                Ok(Ok(s)) => Some(s),
+                Ok(Err(e)) => {
+                    std::process::exit(usage_error(&format!("--stop-seq is not a number: {e}")))
+                }
+                Err(e) => std::process::exit(usage_error(&format!("{e} (a trace seq)"))),
+            },
+            None => None,
+        };
+        std::process::exit(match stop_seq {
+            Some(s) => replay_to_seq(path, s),
+            None => replay(path),
+        });
+    }
+    if std::env::args().any(|a| a == "--stop-seq") {
+        std::process::exit(usage_error("--stop-seq only makes sense with --replay"));
     }
     if let Some(i) = args.iter().position(|a| a == "--dump-demo") {
-        let path = args.get(i + 1).expect("--dump-demo needs an output path");
+        let path = match flag_value(&args, i, "--dump-demo") {
+            Ok(p) => p,
+            Err(e) => std::process::exit(usage_error(&format!("{e} (an output path)"))),
+        };
         std::process::exit(dump_demo(path));
+    }
+    if let Some(i) = args.iter().position(|a| a == "--shards") {
+        let n = match flag_value(&args, i, "--shards").map(str::parse::<usize>) {
+            Ok(Ok(n)) if n >= 1 => n,
+            Ok(Ok(_)) => std::process::exit(usage_error("--shards must be >= 1")),
+            Ok(Err(e)) => {
+                std::process::exit(usage_error(&format!("--shards is not a number: {e}")))
+            }
+            Err(e) => std::process::exit(usage_error(&format!("{e} (a segment count)"))),
+        };
+        std::process::exit(sharded_sweep(n));
     }
     let quick = std::env::args().any(|a| a == "--quick");
     let trace = std::env::args().any(|a| a == "--trace");
@@ -499,6 +559,104 @@ fn replay(path: &str) -> i32 {
             eprintln!("replay rejected: {e}");
             1
         }
+    }
+}
+
+/// `--replay <path> --stop-seq <seq>`: time travel — restore a dump and
+/// run it forward only until the tracer reaches the given seq.
+fn replay_to_seq(path: &str, stop_seq: u64) -> i32 {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    match chaos::replay_dump_to_seq(&bytes, stop_seq) {
+        Ok(r) => {
+            println!(
+                "time travel {path}: {} {} (checkpoint seq {}, stop seq {stop_seq})",
+                r.scenario, r.plan_name, r.seq0
+            );
+            println!(
+                "  stopped at seq {} after {} cycles ({} events re-emitted) -> {}",
+                r.seq_reached,
+                r.cycles,
+                r.events_replayed,
+                if r.reached {
+                    "REACHED"
+                } else {
+                    "run ended first"
+                }
+            );
+            println!("  exit: {:?}, violations: {}", r.exit, r.violations.len());
+            print!("{}", r.tail_jsonl);
+            if r.violations.is_empty() {
+                0
+            } else {
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("replay rejected: {e}");
+            1
+        }
+    }
+}
+
+/// `--shards N`: the splice-equality sweep CI pins under a
+/// `RAYON_NUM_THREADS` matrix. Every quick scenario runs serial-checked
+/// and sharded-checked; any divergence dumps per-segment trace tails as
+/// `shard_seg_<i>.trace.jsonl` and exits non-zero.
+fn sharded_sweep(shards_n: usize) -> i32 {
+    use sm_bench::shards::{self, ShardSpec};
+    let split = Protection::SplitMem(ResponseMode::Break);
+    let plan = chaos::plan_by_name("kitchen-sink", 1).expect("kitchen-sink plan exists");
+    let mut scenarios = quick_scenarios();
+    scenarios.push(Scenario::MixedPatch);
+    println!(
+        "sharded splice-equality sweep: {} scenarios x {shards_n} shards ({} rayon threads)",
+        scenarios.len(),
+        rayon::current_num_threads()
+    );
+    let mut failures = 0usize;
+    for scenario in scenarios {
+        let mut spec =
+            ShardSpec::chaos(scenario, &split, TlbPreset::default(), plan, mask::ALL, 512);
+        // A finer stride than the sweep default so even short guests span
+        // several segments — the boundaries are what this sweep tests.
+        spec.stride = 2_000;
+        let serial = shards::run_serial(&spec);
+        let sharded = shards::run_sharded(&spec, shards_n);
+        let notes = shards::compare_runs(&serial, &sharded);
+        if notes.is_empty() {
+            println!(
+                "  ok   {:<44} {} segments -> {}",
+                scenario.name(),
+                sharded.segments,
+                sharded.verdict
+            );
+        } else {
+            failures += 1;
+            println!(
+                "  FAIL {:<44} {} segments [{}]",
+                scenario.name(),
+                sharded.segments,
+                notes.join("; ")
+            );
+            for (i, jsonl) in sharded.per_segment_jsonl.iter().enumerate() {
+                let path = format!("shard_seg_{i}.trace.jsonl");
+                std::fs::write(&path, jsonl).expect("write divergence artifact");
+                println!("       segment {i} trace tail -> {path}");
+            }
+        }
+    }
+    if failures > 0 {
+        println!("{failures} scenarios diverged");
+        1
+    } else {
+        println!("all scenarios byte-identical");
+        0
     }
 }
 

@@ -201,10 +201,11 @@ fn benign_program() -> BuiltProgram {
         .expect("benign program assembles")
 }
 
-fn mixed_patch_program() -> BuiltProgram {
-    // The limitations.rs single-step-window shape: a mixed page whose
-    // store targets its own page. Under split memory the store lands on
-    // the data frame, the fetch keeps seeing `mov ebx, 9`.
+/// The limitations.rs single-step-window shape: a mixed page whose
+/// store targets its own page. Under split memory the store lands on
+/// the data frame, the fetch keeps seeing `mov ebx, 9`. Public so the
+/// snapshot tests can catch the run *inside* an armed window.
+pub fn mixed_patch_program() -> BuiltProgram {
     ProgramBuilder::new("/bin/mixedpatch")
         .mixed_segment()
         .code(
@@ -254,7 +255,7 @@ pub fn run_scenario_on(
 /// Build a scenario's guest image. Assembly is a pure function of the
 /// scenario (and independent of plan/seed/protection), so sweeps build each
 /// image once and share it across all of the scenario's combos.
-fn scenario_image(scenario: Scenario) -> (ExecImage, Option<u8>) {
+pub(crate) fn scenario_image(scenario: Scenario) -> (ExecImage, Option<u8>) {
     match scenario {
         Scenario::Wilander(case) => (
             wilander::build_case(case).expect("applicable case").image,
@@ -343,7 +344,7 @@ fn run_image_traced_on(
 /// attacker-got-execution flag. Shared by the plain, traced and
 /// checkpointed runners and by dump replay, so all four agree on what a
 /// verdict string looks like.
-fn classify_run(k: &Kernel, pid: Pid, marker: Option<u8>) -> (String, bool) {
+pub(crate) fn classify_run(k: &Kernel, pid: Pid, marker: Option<u8>) -> (String, bool) {
     match marker {
         Some(m) => {
             let outcome = classify_marker(k, pid, m);
@@ -891,15 +892,32 @@ pub struct ReplayReport {
     pub events_replayed: usize,
 }
 
-/// Restore a dump and re-run it from the checkpoint to its original
-/// deadline, verifying the verdict reproduces and the trace tail splices
-/// byte-identically.
+/// A decoded dump: every header field plus the embedded snapshot, ready
+/// to restore. Shared by deadline replay and time-travel replay so both
+/// reject malformed input identically.
+struct ParsedDump {
+    scenario: String,
+    plan_name: String,
+    protection: Protection,
+    plan: FaultPlan,
+    marker: Option<u8>,
+    pid: u32,
+    slice: u64,
+    seq0: u64,
+    deadline: u64,
+    stride: u64,
+    expected_verdict: String,
+    tail_sha: [u8; 32],
+    snapshot: Vec<u8>,
+}
+
+/// Decode and integrity-check a dump without restoring it.
 ///
 /// # Errors
 ///
 /// A human-readable message for every malformed, corrupted or
-/// version-skewed dump — replay never panics on bad input.
-pub fn replay_dump(bytes: &[u8]) -> Result<ReplayReport, String> {
+/// version-skewed dump — parsing never panics on bad input.
+fn parse_dump(bytes: &[u8]) -> Result<ParsedDump, String> {
     let s = |e: SnapshotError| format!("malformed dump: {e}");
     if bytes.len() < DUMP_MAGIC.len() + 32 {
         return Err("dump too short".into());
@@ -951,24 +969,145 @@ pub fn replay_dump(bytes: &[u8]) -> Result<ReplayReport, String> {
     if !r.is_done() {
         return Err("trailing bytes after dump payload".into());
     }
-    let mut k = ksnap::restore(&snapshot, protection.engine())
-        .map_err(|e| format!("embedded snapshot rejected: {e}"))?;
-    let remaining = deadline.saturating_sub(k.sys.machine.cycles);
-    let (exit, violations) = invariants::run_with_checks(&mut k, remaining, stride);
-    let (verdict, attack_succeeded) = classify_run(&k, Pid(pid), marker);
-    let tail = tail_jsonl(&k.sys.machine.tracer.snapshot(), seq0);
-    Ok(ReplayReport {
+    Ok(ParsedDump {
         scenario,
         plan_name,
+        protection,
         plan,
+        marker,
+        pid,
         slice,
-        verdict_matches: verdict == expected_verdict,
+        seq0,
+        deadline,
+        stride,
         expected_verdict,
+        tail_sha,
+        snapshot,
+    })
+}
+
+/// Restore a dump and re-run it from the checkpoint to its original
+/// deadline, verifying the verdict reproduces and the trace tail splices
+/// byte-identically.
+///
+/// # Errors
+///
+/// A human-readable message for every malformed, corrupted or
+/// version-skewed dump — replay never panics on bad input.
+pub fn replay_dump(bytes: &[u8]) -> Result<ReplayReport, String> {
+    let d = parse_dump(bytes)?;
+    let mut k = ksnap::restore(&d.snapshot, d.protection.engine())
+        .map_err(|e| format!("embedded snapshot rejected: {e}"))?;
+    let remaining = d.deadline.saturating_sub(k.sys.machine.cycles);
+    let (exit, violations) = invariants::run_with_checks(&mut k, remaining, d.stride);
+    let (verdict, attack_succeeded) = classify_run(&k, Pid(d.pid), d.marker);
+    let tail = tail_jsonl(&k.sys.machine.tracer.snapshot(), d.seq0);
+    Ok(ReplayReport {
+        scenario: d.scenario,
+        plan_name: d.plan_name,
+        plan: d.plan,
+        slice: d.slice,
+        verdict_matches: verdict == d.expected_verdict,
+        expected_verdict: d.expected_verdict,
         verdict,
-        splice_matches: sha256(tail.as_bytes()) == tail_sha,
+        splice_matches: sha256(tail.as_bytes()) == d.tail_sha,
         attack_succeeded,
         exit,
         violations,
         events_replayed: tail.lines().count(),
+    })
+}
+
+/// What a time-travel replay established.
+#[derive(Debug, Clone)]
+pub struct TimeTravelReport {
+    /// Scenario label from the dump header.
+    pub scenario: String,
+    /// Plan label from the dump header.
+    pub plan_name: String,
+    /// Trace seq at the restored checkpoint.
+    pub seq0: u64,
+    /// The seq the caller asked to stop at.
+    pub stop_seq: u64,
+    /// Seq actually reached — the first instruction boundary at or past
+    /// `stop_seq` (one instruction can emit several events, so this may
+    /// overshoot by the tail of that instruction's burst).
+    pub seq_reached: u64,
+    /// The run emitted `stop_seq` events before ending; `false` means the
+    /// guest finished (or a checked slice failed) first.
+    pub reached: bool,
+    /// Machine cycle counter at the stop point.
+    pub cycles: u64,
+    /// How the partial run ended ([`RunExit::CyclesExhausted`] for a
+    /// seq-stop).
+    pub exit: RunExit,
+    /// Invariant violations at the stop point (armed single-step windows
+    /// are legal mid-run and not reported).
+    pub violations: Vec<Violation>,
+    /// Trace events re-emitted past the checkpoint.
+    pub events_replayed: usize,
+    /// JSONL of the re-emitted records (`seq >= seq0`, ring-bounded) up
+    /// to the stop point, for inspecting the neighborhood of `stop_seq`.
+    pub tail_jsonl: String,
+}
+
+/// Restore a dump and run it **to an arbitrary mid-run trace seq** rather
+/// than the original deadline: time travel to the moment just after the
+/// `stop_seq`-th trace event.
+///
+/// Slice geometry (per-slice cycle budgets clipped against the original
+/// deadline, invariant checks on the same boundaries) is identical to
+/// [`replay_dump`], and [`Kernel::run_to_seq`] preserves the scheduler's
+/// quantum clipping inside each slice — so every instruction executed up
+/// to the stop is the one the full replay executes, and the machine state
+/// returned is exactly the original run's state at that point.
+///
+/// # Errors
+///
+/// Malformed dumps (as [`replay_dump`]), and `stop_seq` earlier than the
+/// checkpoint's own seq — events before the checkpoint were only retained
+/// in the final ring, so rewinding before `seq0` needs an earlier dump.
+pub fn replay_dump_to_seq(bytes: &[u8], stop_seq: u64) -> Result<TimeTravelReport, String> {
+    let d = parse_dump(bytes)?;
+    if stop_seq < d.seq0 {
+        return Err(format!(
+            "stop seq {stop_seq} precedes the checkpoint (seq {}); \
+             time travel cannot rewind before the restored snapshot — \
+             use a dump with an earlier checkpoint",
+            d.seq0
+        ));
+    }
+    let mut k = ksnap::restore(&d.snapshot, d.protection.engine())
+        .map_err(|e| format!("embedded snapshot rejected: {e}"))?;
+    let deadline = d.deadline;
+    let stride = d.stride;
+    let mut exit;
+    let mut violations = Vec::new();
+    let reached = loop {
+        let remaining = deadline.saturating_sub(k.sys.machine.cycles);
+        exit = k.run_to_seq(stride.min(remaining), stop_seq);
+        if k.sys.machine.tracer.emitted() >= stop_seq {
+            break true;
+        }
+        let done = exit != RunExit::CyclesExhausted || remaining <= stride;
+        violations = invariants::check(&k);
+        violations.extend(invariants::check_trace(&k, exit == RunExit::AllExited));
+        if !violations.is_empty() || done {
+            break false;
+        }
+    };
+    let tail = tail_jsonl(&k.sys.machine.tracer.snapshot(), d.seq0);
+    Ok(TimeTravelReport {
+        scenario: d.scenario,
+        plan_name: d.plan_name,
+        seq0: d.seq0,
+        stop_seq,
+        seq_reached: k.sys.machine.tracer.emitted(),
+        reached,
+        cycles: k.sys.machine.cycles,
+        exit,
+        violations,
+        events_replayed: tail.lines().count(),
+        tail_jsonl: tail,
     })
 }

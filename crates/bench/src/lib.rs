@@ -26,6 +26,7 @@ pub mod fig9;
 pub mod interference;
 pub mod memory;
 pub mod report;
+pub mod shards;
 pub mod summary;
 pub mod table1;
 pub mod table2;

@@ -112,9 +112,7 @@ impl Protection {
         use std::collections::HashMap;
         use std::sync::{Mutex, OnceLock};
         static CACHE: OnceLock<Mutex<HashMap<String, Vec<u8>>>> = OnceLock::new();
-        // Debug formatting covers every configuration field, so equal keys
-        // imply equal boots.
-        let key = format!("{self:?}|{tlb:?}|{kconfig:?}");
+        let key = warm_cache_key(self, &tlb, &kconfig);
         let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
         let hit = cache.lock().unwrap().get(&key).cloned();
         if let Some(bytes) = hit {
@@ -129,6 +127,41 @@ impl Protection {
             .insert(key, sm_kernel::snapshot::save(&k));
         k
     }
+}
+
+/// Warm-start cache key for [`Protection::kernel_warm_on`].
+///
+/// The key used to be the derived `Debug` formatting of the whole triple.
+/// An audit (after the trace `trace_capacity`/`trace_pid` knobs landed)
+/// found that formatting *did* still cover every field — derived `Debug`
+/// tracks the struct — so no stale-snapshot bug was live; but nothing
+/// *guaranteed* it: a future field whose `Debug` impl collapses distinct
+/// values (or a hand-written impl that omits one) would silently alias
+/// cache entries and hand sweeps a kernel booted under a different
+/// configuration. Every field is therefore enumerated by hand through
+/// exhaustive destructuring, so adding a `KernelConfig` knob fails to
+/// compile here until the key includes it.
+fn warm_cache_key(p: &Protection, tlb: &TlbPreset, kconfig: &KernelConfig) -> String {
+    let KernelConfig {
+        quantum_cycles,
+        stack_size,
+        stack_top,
+        aslr_stack,
+        seed,
+        heap_limit,
+        pipe_capacity,
+        chaos,
+        asid_tlbs,
+        livelock_threshold,
+        trace,
+        trace_capacity,
+        trace_pid,
+    } = kconfig;
+    format!(
+        "{p:?}|{tlb:?}|{quantum_cycles}|{stack_size}|{stack_top}|{aslr_stack}|{seed}\
+         |{heap_limit}|{pipe_capacity}|{chaos:?}|{asid_tlbs}|{livelock_threshold}\
+         |{trace}|{trace_capacity}|{trace_pid:?}"
+    )
 }
 
 #[cfg(test)]

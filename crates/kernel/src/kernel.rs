@@ -420,10 +420,34 @@ impl Kernel {
     /// Run the scheduler until everything exits, the cycle budget runs out,
     /// or the system deadlocks.
     pub fn run(&mut self, max_cycles: u64) -> RunExit {
+        self.run_bounded(max_cycles, None)
+    }
+
+    /// [`run`](Self::run) that additionally stops at the first instruction
+    /// boundary where the tracer has emitted at least `stop_seq` records.
+    ///
+    /// The scheduler geometry (quantum clipping against the cycle
+    /// deadline) is identical to [`run`](Self::run), so every instruction
+    /// executed up to the stop point is the one the unbounded run would
+    /// have executed — this is the time-travel replay primitive. A
+    /// seq-stop looks like a preemption at that boundary (the current
+    /// process is saved and re-enqueued) and reports
+    /// [`RunExit::CyclesExhausted`]; callers distinguish "reached the seq"
+    /// from "budget ran out" by checking the tracer's emitted count.
+    /// With tracing disabled the seq never advances and this degenerates
+    /// to a plain deadline run.
+    pub fn run_to_seq(&mut self, max_cycles: u64, stop_seq: u64) -> RunExit {
+        self.run_bounded(max_cycles, Some(stop_seq))
+    }
+
+    fn run_bounded(&mut self, max_cycles: u64, stop_seq: Option<u64>) -> RunExit {
         let deadline = self.sys.machine.cycles.saturating_add(max_cycles);
         loop {
             if self.sys.live_process_count() == 0 {
                 return RunExit::AllExited;
+            }
+            if stop_seq.is_some_and(|s| self.sys.machine.tracer.emitted() >= s) {
+                return RunExit::CyclesExhausted;
             }
             let Some(pid) = self.pick_next() else {
                 return RunExit::Deadlock;
@@ -431,7 +455,7 @@ impl Kernel {
             self.switch_to(pid);
             let slice_end =
                 (self.sys.machine.cycles + self.sys.config.quantum_cycles).min(deadline);
-            self.run_slice(pid, slice_end);
+            self.run_slice(pid, slice_end, stop_seq);
             self.save_current();
             if let Some((lp, eip)) = self.sys.livelocked.take() {
                 return RunExit::Livelock { pid: lp, eip };
@@ -510,10 +534,13 @@ impl Kernel {
         self.sys.current = None;
     }
 
-    fn run_slice(&mut self, pid: Pid, slice_end: u64) {
+    fn run_slice(&mut self, pid: Pid, slice_end: u64, stop_seq: Option<u64>) {
         loop {
             if self.sys.machine.cycles >= slice_end || std::mem::take(&mut self.sys.preempt) {
                 return; // preempted or yielded
+            }
+            if stop_seq.is_some_and(|s| self.sys.machine.tracer.emitted() >= s) {
+                return; // time-travel stop: seq reached mid-quantum
             }
             // One process lookup serves the state check, the pending-signal
             // probe and the user-cycle accounting for the step; `machine`

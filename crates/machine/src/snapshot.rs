@@ -572,10 +572,19 @@ pub fn save_machine(m: &Machine) -> Vec<u8> {
         w.u64(m.phys.versions[f as usize]);
     }
     let page = PAGE_SIZE as usize;
+    let zero_page = [0u8; PAGE_SIZE as usize];
     let nonzero_frames: Vec<u32> = (0..frames)
         .filter(|f| {
-            let i = *f as usize * page;
-            m.phys.bytes[i..i + page].iter().any(|b| *b != 0)
+            // Write generation 0 means the frame was never written, so it
+            // is still all-zero — skipping it turns this scan from all of
+            // physical memory into just the touched frames, which is what
+            // makes `save` cheap enough to call per segment boundary.
+            // Touched frames still get the content check (a frame can be
+            // written back to zero), as a single memcmp.
+            m.phys.versions[*f as usize] != 0 && {
+                let i = *f as usize * page;
+                m.phys.bytes[i..i + page] != zero_page
+            }
         })
         .collect();
     w.u64(nonzero_frames.len() as u64);

@@ -971,12 +971,101 @@ pub fn check_order(records: &[TraceRecord], truncated: bool, complete: bool) -> 
     violations
 }
 
+/// Why [`splice`] refused to join two segment streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpliceError {
+    /// A seq number was skipped between two adjacent records: the second
+    /// segment starts after where the first one ended.
+    Gap {
+        /// Last seq before the hole.
+        after: u64,
+        /// First seq after the hole.
+        found: u64,
+    },
+    /// A seq number repeated (or went backwards): the segments overlap.
+    Duplicate {
+        /// The offending seq.
+        seq: u64,
+    },
+}
+
+impl std::fmt::Display for SpliceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpliceError::Gap { after, found } => {
+                write!(
+                    f,
+                    "seq gap: {found} follows {after} (expected {})",
+                    after + 1
+                )
+            }
+            SpliceError::Duplicate { seq } => write!(f, "seq {seq} emitted twice"),
+        }
+    }
+}
+
+/// Join per-segment trace streams into one contiguous stream.
+///
+/// Each element of `streams` is the record list one segment retained, in
+/// emission order. The segments must tile the global seq space with no gap
+/// and no overlap — exactly what a checkpoint/restore segment schedule
+/// produces when every [`Tracer::restore_meta`] resumed at the seq its
+/// predecessor stopped at. Any hole or repeat is a determinism bug in the
+/// splicer's caller, so it is reported as a typed error rather than
+/// silently merged.
+pub fn splice(streams: &[Vec<TraceRecord>]) -> Result<Vec<TraceRecord>, SpliceError> {
+    let mut out: Vec<TraceRecord> = Vec::with_capacity(streams.iter().map(Vec::len).sum());
+    for stream in streams {
+        for r in stream {
+            if let Some(last) = out.last() {
+                if r.seq <= last.seq {
+                    return Err(SpliceError::Duplicate { seq: r.seq });
+                }
+                if r.seq != last.seq + 1 {
+                    return Err(SpliceError::Gap {
+                        after: last.seq,
+                        found: r.seq,
+                    });
+                }
+            }
+            out.push(*r);
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn rec(seq: u64, cycles: u64, event: TraceEvent) -> TraceRecord {
         TraceRecord { seq, cycles, event }
+    }
+
+    fn sw(seq: u64) -> TraceRecord {
+        rec(seq, seq, TraceEvent::SchedSwitch { from: 0, to: 1 })
+    }
+
+    #[test]
+    fn splice_joins_contiguous_segments() {
+        let spliced =
+            splice(&[vec![sw(3), sw(4)], vec![], vec![sw(5)], vec![sw(6), sw(7)]]).unwrap();
+        let seqs: Vec<u64> = spliced.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn splice_rejects_gap_and_duplicate() {
+        assert_eq!(
+            splice(&[vec![sw(1)], vec![sw(3)]]),
+            Err(SpliceError::Gap { after: 1, found: 3 })
+        );
+        assert_eq!(
+            splice(&[vec![sw(1), sw(2)], vec![sw(2)]]),
+            Err(SpliceError::Duplicate { seq: 2 })
+        );
+        let err = SpliceError::Gap { after: 1, found: 3 };
+        assert_eq!(err.to_string(), "seq gap: 3 follows 1 (expected 2)");
     }
 
     #[test]

@@ -310,6 +310,57 @@ fn warm_start_is_byte_identical_to_cold() {
     assert_eq!(ksnap::save(&cold), ksnap::save(&warm));
 }
 
+/// Warm-start cache keys must distinguish every `KernelConfig` knob —
+/// including the trace knobs that postdate the cache. Seeding the cache
+/// with one config and then requesting a pid-filtered, capacity-bounded
+/// variant must yield a kernel byte-identical to a cold boot of that
+/// variant (a key collision would hand back the unfiltered boot), at
+/// construction and after running a guest under the filter.
+#[test]
+fn warm_cache_distinguishes_trace_knobs() {
+    let split = split_break();
+    let tlb = TlbPreset::default();
+    let base = KernelConfig {
+        aslr_stack: false,
+        trace: mask::ALL,
+        ..KernelConfig::default()
+    };
+    let filtered = KernelConfig {
+        trace_pid: Some(1),
+        trace_capacity: 8,
+        ..base
+    };
+    // Seed the cache with the unfiltered sibling first — the regression
+    // scenario is the *second* lookup aliasing the first's snapshot.
+    let _ = split.kernel_warm_on(tlb, base);
+    let _ = split.kernel_warm_on(tlb, filtered);
+    let warm = split.kernel_warm_on(tlb, filtered);
+    let cold = split.kernel_on(tlb, filtered);
+    assert_eq!(
+        ksnap::save(&cold),
+        ksnap::save(&warm),
+        "warm-start cache aliased distinct trace configs"
+    );
+    let prog = loop_program();
+    let mut cold = cold;
+    let mut warm = warm;
+    let pid_c = cold.spawn(&prog.image).expect("spawns cold");
+    let pid_w = warm.spawn(&prog.image).expect("spawns warm");
+    assert_eq!(pid_c, pid_w);
+    assert_eq!(cold.run(50_000_000), RunExit::AllExited);
+    assert_eq!(warm.run(50_000_000), RunExit::AllExited);
+    assert_eq!(
+        cold.sys.machine.tracer.to_jsonl(),
+        warm.sys.machine.tracer.to_jsonl(),
+        "filtered trace streams diverged between warm and cold boots"
+    );
+    assert!(
+        cold.sys.machine.tracer.snapshot().len() <= 8,
+        "capacity knob lost through the warm cache"
+    );
+    assert_eq!(ksnap::save(&cold), ksnap::save(&warm));
+}
+
 /// `trace_capacity` bounds the ring; `trace_pid` filters events before a
 /// sequence number is assigned.
 #[test]
