@@ -51,6 +51,23 @@ fn machine_with_loop_config(config: MachineConfig) -> Machine {
     m
 }
 
+/// Like [`machine_with_loop`], but the loop body is 15 `inc eax`s before
+/// the back-jump: one superblock spans the whole body.
+fn machine_with_long_loop() -> Machine {
+    let mut m = machine_with_loop();
+    let tab_frame = {
+        let dir = pte::Frame(m.cpu.regs.cr3);
+        pte::Frame(m.phys.read_u32(dir.base()) >> 12)
+    };
+    let code = pte::Frame(m.phys.read_u32(tab_frame.base() + 4) >> 12);
+    let mut body = [0x40u8; 17]; // inc eax x15
+    body[15] = 0xEB; // jmp rel8
+    body[16] = 0xEF; // -17
+    m.phys.write(code.base(), &body);
+    m.cpu.regs.eip = PAGE_SIZE;
+    m
+}
+
 fn bench_cpu(c: &mut Criterion) {
     let mut g = c.benchmark_group("cpu");
     g.throughput(Throughput::Elements(1));
@@ -79,6 +96,47 @@ fn bench_cpu(c: &mut Criterion) {
         b.iter(|| {
             m.dtlb.flush_page(2);
             m.translate(0x2000, Access::Read, Privilege::User)
+        });
+    });
+    g.finish();
+
+    // The superblock pipeline ablation: the same hot loop retired through
+    // `run_block` in 1024-instruction budget chunks vs. one `step()` per
+    // retire. Per-element numbers are directly comparable to
+    // `cpu/step_hot_loop` (both report time per retired instruction).
+    let mut g = c.benchmark_group("cpu_block");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("run_block_hot_loop_1k", |b| {
+        let mut m = machine_with_loop();
+        let per_call = 1024 * m.config.costs.insn;
+        b.iter(|| m.run_block(m.cycles + per_call));
+    });
+    g.bench_function("step_hot_loop_1k", |b| {
+        let mut m = machine_with_loop();
+        let per_call = 1024 * m.config.costs.insn;
+        b.iter(|| {
+            let limit = m.cycles + per_call;
+            while m.cycles < limit {
+                m.step();
+            }
+        });
+    });
+    // Same comparison on a 16-op straight-line body (15 incs + jmp): the
+    // chain re-entry cost amortizes across the block, isolating the
+    // per-op floor.
+    g.bench_function("run_block_long_body_1k", |b| {
+        let mut m = machine_with_long_loop();
+        let per_call = 1024 * m.config.costs.insn;
+        b.iter(|| m.run_block(m.cycles + per_call));
+    });
+    g.bench_function("step_long_body_1k", |b| {
+        let mut m = machine_with_long_loop();
+        let per_call = 1024 * m.config.costs.insn;
+        b.iter(|| {
+            let limit = m.cycles + per_call;
+            while m.cycles < limit {
+                m.step();
+            }
         });
     });
     g.finish();

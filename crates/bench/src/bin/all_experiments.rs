@@ -13,6 +13,12 @@ use sm_machine::TlbPreset;
 use std::time::Instant;
 
 fn main() {
+    if std::env::args().any(|a| a == "--no-pipeline") {
+        // A/B switch for the section walls: every kernel the sweep builds
+        // falls back to per-step dispatch. Simulation outputs must be
+        // byte-identical either way; only the wall times move.
+        sm_kernel::kernel::set_default_pipeline(false);
+    }
     let mut summary = BenchSummary::default();
     let t_total = Instant::now();
 
@@ -136,16 +142,21 @@ fn main() {
     });
 
     println!("==== Interpreter throughput =====================================\n");
-    for (name, cache, trace) in [
-        ("probe-cache-on", true, false),
-        ("probe-cache-off", false, false),
-        ("probe-trace-on", true, true),
+    for (name, cache, trace, pipeline) in [
+        ("probe-cache-on", true, false, true),
+        ("probe-cache-off", false, false, true),
+        ("probe-trace-on", true, true, true),
+        ("probe-pipeline-on", true, false, true),
+        ("probe-pipeline-off", true, false, false),
     ] {
-        let p = summary.section(name, || sm_bench::summary::steps_probe(cache, trace));
+        let p = summary.section(name, || {
+            sm_bench::summary::steps_probe_with(cache, trace, pipeline)
+        });
         println!(
-            "decode cache {:>3}, trace {:>3}: {:.2} Minsn/s ({} insns in {:.1} ms; hits={} misses={} invalidations={} trace_events={})",
+            "decode cache {:>3}, trace {:>3}, pipeline {:>3}: {:.2} Minsn/s ({} insns in {:.1} ms; hits={} misses={} invalidations={} trace_events={} sb_hits={} sb_slow={})",
             if cache { "on" } else { "off" },
             if trace { "on" } else { "off" },
+            if pipeline { "on" } else { "off" },
             p.steps_per_sec / 1e6,
             p.instructions,
             p.wall_ms,
@@ -153,6 +164,8 @@ fn main() {
             p.dcache.misses,
             p.dcache.invalidations,
             p.trace_events,
+            p.sblocks.hits,
+            p.sblocks.slow_steps,
         );
         summary.probes.push(p);
     }

@@ -91,9 +91,9 @@ fn full_scenarios() -> Vec<Scenario> {
 /// fail with a diagnostic and a nonzero exit however it is misused).
 fn usage_error(msg: &str) -> i32 {
     eprintln!("chaos: {msg}");
-    eprintln!("usage: chaos [--quick] [--trace] [--shards N]");
-    eprintln!("       chaos --replay <dump.smcdump> [--stop-seq <seq>]");
-    eprintln!("       chaos --dump-demo <out.smcdump>");
+    eprintln!("usage: chaos [--quick] [--trace] [--shards N] [--no-pipeline]");
+    eprintln!("       chaos --replay <dump.smcdump> [--stop-seq <seq>] [--no-pipeline]");
+    eprintln!("       chaos --dump-demo <out.smcdump> [--no-pipeline]");
     2
 }
 
@@ -108,6 +108,12 @@ fn flag_value<'a>(args: &'a [String], i: usize, flag: &str) -> Result<&'a str, S
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--no-pipeline") {
+        // A/B switch: every kernel this process constructs steps
+        // per-instruction instead of through the superblock pipeline.
+        // All outputs must be byte-identical either way (CI sweeps both).
+        sm_kernel::kernel::set_default_pipeline(false);
+    }
     if let Some(i) = args.iter().position(|a| a == "--replay") {
         let path = match flag_value(&args, i, "--replay") {
             Ok(p) => p,

@@ -12,9 +12,18 @@ use sm_workloads::{gzip, httpd};
 use std::time::Instant;
 
 fn main() {
+    if std::env::args().any(|a| a == "--no-pipeline") {
+        // A/B switch: attribute the superblock pipeline's win per sub-run
+        // (the simulation outputs must not change either way).
+        sm_kernel::kernel::set_default_pipeline(false);
+    }
     let base = Protection::Unprotected;
     let prot = Protection::SplitMem(ResponseMode::Break);
-    let tlb = TlbPreset::default();
+    let tlb = if std::env::args().any(|a| a == "--pentium3") {
+        TlbPreset::pentium3()
+    } else {
+        TlbPreset::default()
+    };
     let p = sm_bench::fig6::Fig6Params::default();
 
     let mut total = 0f64;

@@ -12,6 +12,7 @@ use sm_kernel::events::ResponseMode;
 use sm_kernel::kernel::{KernelConfig, RunExit};
 use sm_kernel::userlib::ProgramBuilder;
 use sm_machine::DecodeCacheStats;
+use sm_machine::SuperblockStats;
 use sm_machine::TlbPreset;
 use std::time::Instant;
 
@@ -31,6 +32,8 @@ pub struct StepsProbe {
     pub decode_cache: bool,
     /// Whether the trace subsystem was enabled (all layers).
     pub trace: bool,
+    /// Whether the superblock execution pipeline was enabled.
+    pub pipeline: bool,
     /// Trace events captured by the run (zero when tracing is off).
     pub trace_events: u64,
     /// Instructions retired.
@@ -41,6 +44,8 @@ pub struct StepsProbe {
     pub steps_per_sec: f64,
     /// Decode-cache counters observed by the run (all zero when disabled).
     pub dcache: DecodeCacheStats,
+    /// Superblock-pipeline counters (all zero when the pipeline is off).
+    pub sblocks: SuperblockStats,
 }
 
 /// Counters for one process of the cross-process interference run.
@@ -136,19 +141,28 @@ impl BenchSummary {
             .iter()
             .map(|p| {
                 format!(
-                    "    {{\"decode_cache\": {}, \"trace\": {}, \"trace_events\": {}, \
+                    "    {{\"decode_cache\": {}, \"trace\": {}, \"pipeline\": {}, \
+                     \"trace_events\": {}, \
                      \"instructions\": {}, \"wall_ms\": {:.3}, \
                      \"steps_per_sec\": {:.0}, \"dcache_hits\": {}, \"dcache_misses\": {}, \
-                     \"dcache_invalidations\": {}}}",
+                     \"dcache_invalidations\": {}, \"superblock_hits\": {}, \
+                     \"superblock_builds\": {}, \"superblock_invalidations\": {}, \
+                     \"superblock_bailouts\": {}, \"superblock_slow_steps\": {}}}",
                     p.decode_cache,
                     p.trace,
+                    p.pipeline,
                     p.trace_events,
                     p.instructions,
                     p.wall_ms,
                     p.steps_per_sec,
                     p.dcache.hits,
                     p.dcache.misses,
-                    p.dcache.invalidations
+                    p.dcache.invalidations,
+                    p.sblocks.hits,
+                    p.sblocks.builds,
+                    p.sblocks.invalidations,
+                    p.sblocks.bailouts,
+                    p.sblocks.slow_steps
                 )
             })
             .collect();
@@ -218,6 +232,12 @@ impl BenchSummary {
 /// disabled-path cost of tracing: the loop emits essentially no events,
 /// so any throughput gap is pure mask-check overhead on the hot path.
 pub fn steps_probe(decode_cache: bool, trace: bool) -> StepsProbe {
+    steps_probe_with(decode_cache, trace, sm_kernel::kernel::default_pipeline())
+}
+
+/// [`steps_probe`] with an explicit superblock-pipeline setting (the
+/// `probe-pipeline-on` / `probe-pipeline-off` rows CI tracks).
+pub fn steps_probe_with(decode_cache: bool, trace: bool, pipeline: bool) -> StepsProbe {
     let prog = ProgramBuilder::new("/bin/probe")
         .code(
             "_start:
@@ -235,6 +255,7 @@ pub fn steps_probe(decode_cache: bool, trace: bool) -> StepsProbe {
         KernelConfig {
             aslr_stack: false,
             trace: if trace { sm_trace::mask::ALL } else { 0 },
+            pipeline,
             ..KernelConfig::default()
         },
     );
@@ -248,11 +269,13 @@ pub fn steps_probe(decode_cache: bool, trace: bool) -> StepsProbe {
     StepsProbe {
         decode_cache,
         trace,
+        pipeline,
         trace_events: k.sys.machine.tracer.emitted(),
         instructions,
         wall_ms: dt.as_secs_f64() * 1e3,
         steps_per_sec: instructions as f64 / dt.as_secs_f64(),
         dcache: k.sys.machine.decode_cache.stats,
+        sblocks: k.sys.machine.superblocks.stats,
     }
 }
 

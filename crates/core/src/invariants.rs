@@ -39,6 +39,14 @@
 //!    `SPLIT` and `NX` (the two mechanisms are mutually exclusive per
 //!    page), never carries `SPLIT` without a split-table entry backing
 //!    it, and `NX` never lands on a page of an executable region.
+//! 10. **Superblock coherence** — every *current* cached superblock (one
+//!     whose snapshot write-generation still matches its frame's) must
+//!     re-decode, op by op, to what the frame's bytes decode to now; a
+//!     mismatch means a write reached a spanned frame without bumping its
+//!     generation, i.e. `Machine::run_block` would execute stale
+//!     pre-decoded ops. Stale-generation tables are legal — the cache
+//!     discards them lazily on next lookup (mirrors invariant #6 for the
+//!     decode cache).
 //!
 //! [`check`] returns every violation found; [`run_with_checks`] interleaves
 //! checking with execution so a whole workload can be swept.
@@ -105,6 +113,16 @@ pub enum Violation {
         /// Physical frame holding the stale decode.
         pfn: u32,
         /// Byte offset of the instruction within the frame.
+        offset: u32,
+    },
+    /// A current superblock op disagrees with a fresh decode of the bytes
+    /// actually in its frame: some write path mutated physical memory
+    /// without bumping the frame's write-generation, so the pipeline
+    /// would execute stale pre-decoded ops.
+    SuperblockIncoherent {
+        /// Physical frame holding the stale block.
+        pfn: u32,
+        /// Byte offset of the mismatching op within the frame.
         offset: u32,
     },
     /// The kernel frame table and the machine allocator disagree on one
@@ -195,6 +213,10 @@ impl fmt::Display for Violation {
             Violation::DecodeCacheIncoherent { pfn, offset } => write!(
                 f,
                 "decode cache: frame {pfn} offset {offset:#05x}: cached decode disagrees with memory"
+            ),
+            Violation::SuperblockIncoherent { pfn, offset } => write!(
+                f,
+                "superblock cache: frame {pfn} offset {offset:#05x}: cached op disagrees with memory"
             ),
             Violation::RefcountSkew {
                 pfn,
@@ -295,6 +317,39 @@ pub fn check(k: &Kernel) -> Vec<Violation> {
             remaining -= 1;
             if remaining == 0 {
                 break;
+            }
+        }
+    }
+
+    // 10. Superblock coherence (engine-independent): same shape as #6 —
+    // stale-generation tables are skipped by one version compare (they
+    // are one lookup away from lazy invalidation), and at most `BUDGET`
+    // ops are re-decoded per call. Each block's ops are validated in
+    // entry order so the reported offset is the first stale byte the
+    // pipeline would have executed.
+    let mut budget = BUDGET;
+    'sb_frames: for (pfn, version, blocks) in m.superblocks.iter_frames() {
+        if blocks.is_empty() || version != m.phys.frame_version(pfn) {
+            continue;
+        }
+        let bytes = m.phys.frame_bytes(pte::Frame(pfn));
+        for (&entry, block) in blocks {
+            let mut off = entry as usize;
+            for op in block.ops.iter() {
+                if budget == 0 {
+                    break 'sb_frames;
+                }
+                budget -= 1;
+                if off >= bytes.len()
+                    || sm_machine::isa::decode_slice(&bytes[off..]) != Ok(op.decoded)
+                {
+                    out.push(Violation::SuperblockIncoherent {
+                        pfn,
+                        offset: off as u32,
+                    });
+                    break;
+                }
+                off += op.len as usize;
             }
         }
     }
@@ -642,6 +697,30 @@ mod tests {
         assert!(check(&k)
             .iter()
             .any(|v| matches!(v, Violation::DecodeCacheIncoherent { pfn: 3, offset: 0 })));
+    }
+
+    #[test]
+    fn incoherent_superblock_op_is_caught() {
+        let mut k = split_kernel();
+        let prog = ProgramBuilder::new("/bin/sb")
+            .code("_start: mov ebx, 0\n call exit")
+            .build()
+            .unwrap();
+        k.spawn(&prog.image).unwrap();
+        k.run(10_000_000);
+        assert!(check(&k).is_empty());
+        // Plant a cached superblock whose op contradicts the frame's
+        // bytes at the frame's *current* generation — the exact state a
+        // missing version bump would produce.
+        let bogus = sm_machine::decode_cache::CachedDecode {
+            decoded: sm_machine::isa::Decoded::Invalid { opcode: 0xC3 },
+            len: 1,
+        };
+        let version = k.sys.machine.phys.frame_version(3);
+        k.sys.machine.superblocks.insert(3, 0, version, vec![bogus]);
+        assert!(check(&k)
+            .iter()
+            .any(|v| matches!(v, Violation::SuperblockIncoherent { pfn: 3, offset: 0 })));
     }
 
     #[test]

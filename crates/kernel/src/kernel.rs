@@ -78,6 +78,35 @@ pub struct KernelConfig {
     /// everything. Filtering happens *before* sequence assignment, so a
     /// filtered stream stays gap-free.
     pub trace_pid: Option<u32>,
+    /// Execute user code through the superblock pipeline
+    /// ([`Machine::run_block`]) instead of per-[`Machine::step`]
+    /// dispatch whenever no chaos plan is armed and no stop-sequence
+    /// watch is active. Byte-identical either way — cycles, stats, TLB
+    /// counters, trace stream, event log and every verdict (see
+    /// [`sm_machine::superblock`]) — so it defaults to on; tests flip it
+    /// off to check exactly that equivalence. Not serialized by the
+    /// snapshot codec: the pipeline is an execution *strategy*, not
+    /// machine state, and a restored kernel keeps its own setting.
+    pub pipeline: bool,
+}
+
+/// Process-wide default for [`KernelConfig::pipeline`], so A/B harness
+/// binaries (`chaos --no-pipeline`, `fig6_normalized --no-pipeline`) can
+/// flip every internally-constructed kernel without threading a flag
+/// through each sweep entry point.
+static PIPELINE_DEFAULT: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(true);
+
+/// Override what `KernelConfig::default()` returns for
+/// [`KernelConfig::pipeline`] in this process (A/B harnesses only; tests
+/// that need a specific setting should set the field explicitly).
+pub fn set_default_pipeline(on: bool) {
+    PIPELINE_DEFAULT.store(on, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The process-wide [`KernelConfig::pipeline`] default (true unless
+/// [`set_default_pipeline`] was called).
+pub fn default_pipeline() -> bool {
+    PIPELINE_DEFAULT.load(std::sync::atomic::Ordering::Relaxed)
 }
 
 impl Default for KernelConfig {
@@ -96,6 +125,7 @@ impl Default for KernelConfig {
             trace: 0,
             trace_capacity: 0,
             trace_pid: None,
+            pipeline: default_pipeline(),
         }
     }
 }
@@ -535,6 +565,14 @@ impl Kernel {
     }
 
     fn run_slice(&mut self, pid: Pid, slice_end: u64, stop_seq: Option<u64>) {
+        // The superblock pipeline may only be entered when nothing has to
+        // happen *between* retires: no chaos plan drawing per-step fault
+        // decisions and no stop-sequence watch polling per-step trace
+        // emissions. Signals, preemption and process-state changes only
+        // originate from kernel code, which never runs between
+        // `Trap::None` retires, so those checks keep their per-trap
+        // cadence either way.
+        let pipeline = self.sys.config.pipeline && self.sys.chaos.is_none() && stop_seq.is_none();
         loop {
             if self.sys.machine.cycles >= slice_end || std::mem::take(&mut self.sys.preempt) {
                 return; // preempted or yielded
@@ -562,44 +600,71 @@ impl Kernel {
                 p = fresh;
             }
             let before = self.sys.machine.cycles;
+            if pipeline && !self.sys.machine.cpu.regs.flag(flags::TF) {
+                let (retired, trap) = self.sys.machine.run_block(slice_end);
+                p.user_cycles += self.sys.machine.cycles - before;
+                if retired == 0 && trap.is_none() {
+                    // The budget was already exhausted: nothing executed,
+                    // so no per-step housekeeping is due (the loop-top
+                    // check returns). Matching the per-step path, which
+                    // would not have called `after_step` either.
+                    continue;
+                }
+                self.handle_trap(pid, trap);
+                if retired > 0 {
+                    // Each `Trap::None` retire's `after_step` would have
+                    // cleared the fault watchdog; replay the net effect
+                    // before the final trap's housekeeping runs.
+                    self.sys.watchdog = None;
+                }
+                self.after_step(pid, trap);
+                continue;
+            }
             let trap = self.sys.machine.step();
             p.user_cycles += self.sys.machine.cycles - before;
-            match trap {
-                Trap::None => {}
-                Trap::Syscall { vector: 0x80 } => {
-                    self.sys.charge(self.sys.machine.config.costs.syscall);
-                    self.sys.stats.syscalls += 1;
-                    syscall::handle(self, pid);
-                    if self.sys.machine.take_pending_singlestep() {
-                        self.handle_debug(pid);
-                    }
-                }
-                Trap::Syscall { .. } => {
-                    // Unknown software interrupt: treat as illegal.
-                    self.raise_signal(pid, signal::SIGILL);
-                }
-                Trap::PageFault(pf) => {
-                    self.sys.charge(self.sys.machine.config.costs.exception);
-                    self.handle_fault(pid, pf);
-                }
-                Trap::InvalidOpcode { eip, opcode } => {
-                    self.sys.charge(self.sys.machine.config.costs.exception);
-                    self.handle_ud(pid, eip, opcode);
-                }
-                Trap::DebugStep => {
-                    self.sys.charge(self.sys.machine.config.costs.exception);
+            self.handle_trap(pid, trap);
+            self.after_step(pid, trap);
+        }
+    }
+
+    /// Dispatch one trap returned by user execution (shared by the
+    /// per-step path and the superblock pipeline path of
+    /// [`Kernel::run_slice`]).
+    fn handle_trap(&mut self, pid: Pid, trap: Trap) {
+        match trap {
+            Trap::None => {}
+            Trap::Syscall { vector: 0x80 } => {
+                self.sys.charge(self.sys.machine.config.costs.syscall);
+                self.sys.stats.syscalls += 1;
+                syscall::handle(self, pid);
+                if self.sys.machine.take_pending_singlestep() {
                     self.handle_debug(pid);
                 }
-                Trap::DivideError => {
-                    self.sys.charge(self.sys.machine.config.costs.exception);
-                    self.raise_signal(pid, signal::SIGFPE);
-                }
-                Trap::Halt => {
-                    // User-mode hlt is a privilege violation.
-                    self.raise_signal(pid, signal::SIGSEGV);
-                }
             }
-            self.after_step(pid, trap);
+            Trap::Syscall { .. } => {
+                // Unknown software interrupt: treat as illegal.
+                self.raise_signal(pid, signal::SIGILL);
+            }
+            Trap::PageFault(pf) => {
+                self.sys.charge(self.sys.machine.config.costs.exception);
+                self.handle_fault(pid, pf);
+            }
+            Trap::InvalidOpcode { eip, opcode } => {
+                self.sys.charge(self.sys.machine.config.costs.exception);
+                self.handle_ud(pid, eip, opcode);
+            }
+            Trap::DebugStep => {
+                self.sys.charge(self.sys.machine.config.costs.exception);
+                self.handle_debug(pid);
+            }
+            Trap::DivideError => {
+                self.sys.charge(self.sys.machine.config.costs.exception);
+                self.raise_signal(pid, signal::SIGFPE);
+            }
+            Trap::Halt => {
+                // User-mode hlt is a privilege violation.
+                self.raise_signal(pid, signal::SIGSEGV);
+            }
         }
     }
 

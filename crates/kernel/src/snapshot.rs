@@ -166,6 +166,11 @@ fn load_config(bytes: &[u8]) -> Result<KernelConfig, SnapshotError> {
         trace: r.u32()?,
         trace_capacity: r.count(MAX_TRACE_CAPACITY)?,
         trace_pid: r.opt_u32()?,
+        // Deliberately not serialized (the CONF format is frozen): the
+        // pipeline is an execution strategy, not machine state — runs are
+        // byte-identical either way — so a restored kernel takes the
+        // restoring process's default.
+        pipeline: crate::kernel::default_pipeline(),
     };
     done(&r)?;
     Ok(c)

@@ -128,7 +128,7 @@ pub(crate) fn step(m: &mut Machine) -> Result<Flow, Exc> {
     })
 }
 
-fn exec_insn(m: &mut Machine, insn: Insn, next_eip: u32) -> Result<Flow, Exc> {
+pub(crate) fn exec_insn(m: &mut Machine, insn: Insn, next_eip: u32) -> Result<Flow, Exc> {
     match insn {
         Insn::Nop => {}
         Insn::Hlt => return Ok(Flow::Halt),
@@ -238,12 +238,11 @@ fn exec_insn(m: &mut Machine, insn: Insn, next_eip: u32) -> Result<Flow, Exc> {
                     ),
                 };
                 write_rm(m, rm, result, false)?;
-                let f = &mut m.cpu.regs;
-                f.set_flag(flags::CF, cf);
-                f.set_flag(flags::ZF, result == 0);
-                f.set_flag(flags::SF, (result as i32) < 0);
-                f.set_flag(flags::PF, parity_even(result));
-                f.set_flag(flags::OF, false);
+                let mut fl = zsp(result);
+                if cf {
+                    fl |= flags::CF;
+                }
+                apply_flags(&mut m.cpu.regs, ALU_FLAGS, fl);
             }
         }
         Insn::Grp3 { op, rm } => match op {
@@ -255,12 +254,14 @@ fn exec_insn(m: &mut Machine, insn: Insn, next_eip: u32) -> Result<Flow, Exc> {
                 let v = read_rm(m, rm, false)?;
                 let r = 0u32.wrapping_sub(v);
                 write_rm(m, rm, r, false)?;
-                let f = &mut m.cpu.regs;
-                f.set_flag(flags::CF, v != 0);
-                f.set_flag(flags::ZF, r == 0);
-                f.set_flag(flags::SF, (r as i32) < 0);
-                f.set_flag(flags::PF, parity_even(r));
-                f.set_flag(flags::OF, v == 0x8000_0000);
+                let mut fl = zsp(r);
+                if v != 0 {
+                    fl |= flags::CF;
+                }
+                if v == 0x8000_0000 {
+                    fl |= flags::OF;
+                }
+                apply_flags(&mut m.cpu.regs, ALU_FLAGS, fl);
             }
             UnOp::Mul => {
                 let v = read_rm(m, rm, false)? as u64;
@@ -315,24 +316,42 @@ fn exec_insn(m: &mut Machine, insn: Insn, next_eip: u32) -> Result<Flow, Exc> {
     Ok(Flow::Normal)
 }
 
+/// Flag bits an ALU operation writes, composed once and applied with a
+/// single masked `eflags` update (per-bit `set_flag` calls form a
+/// serial dependence chain on the same word — this is the interpreter's
+/// hottest flag path).
+const ALU_FLAGS: u32 = flags::CF | flags::OF | flags::ZF | flags::SF | flags::PF;
+
+fn apply_flags(f: &mut crate::cpu::Regs, affected: u32, set: u32) {
+    f.eflags = (f.eflags & !affected) | set;
+}
+
 /// Evaluate an ALU operation, set flags, and return the result to be
 /// written back (`None` for compare/test which only set flags).
 fn alu(m: &mut Machine, op: AluOp, a: u32, b: u32) -> Option<u32> {
     match op {
         AluOp::Add => {
             let r = a.wrapping_add(b);
-            let f = &mut m.cpu.regs;
-            f.set_flag(flags::CF, r < a);
-            f.set_flag(flags::OF, ((a ^ !b) & (a ^ r)) >> 31 == 1);
-            set_zsp(f, r);
+            let mut fl = zsp(r);
+            if r < a {
+                fl |= flags::CF;
+            }
+            if ((a ^ !b) & (a ^ r)) >> 31 == 1 {
+                fl |= flags::OF;
+            }
+            apply_flags(&mut m.cpu.regs, ALU_FLAGS, fl);
             Some(r)
         }
         AluOp::Sub | AluOp::Cmp => {
             let r = a.wrapping_sub(b);
-            let f = &mut m.cpu.regs;
-            f.set_flag(flags::CF, a < b);
-            f.set_flag(flags::OF, ((a ^ b) & (a ^ r)) >> 31 == 1);
-            set_zsp(f, r);
+            let mut fl = zsp(r);
+            if a < b {
+                fl |= flags::CF;
+            }
+            if ((a ^ b) & (a ^ r)) >> 31 == 1 {
+                fl |= flags::OF;
+            }
+            apply_flags(&mut m.cpu.regs, ALU_FLAGS, fl);
             (op == AluOp::Sub).then_some(r)
         }
         AluOp::Or | AluOp::And | AluOp::Xor | AluOp::Test => {
@@ -341,43 +360,46 @@ fn alu(m: &mut Machine, op: AluOp, a: u32, b: u32) -> Option<u32> {
                 AluOp::Xor => a ^ b,
                 _ => a & b, // And and Test
             };
-            let f = &mut m.cpu.regs;
-            f.set_flag(flags::CF, false);
-            f.set_flag(flags::OF, false);
-            set_zsp(f, r);
+            apply_flags(&mut m.cpu.regs, ALU_FLAGS, zsp(r));
             (op != AluOp::Test).then_some(r)
         }
     }
 }
 
-fn set_zsp(f: &mut crate::cpu::Regs, r: u32) {
-    f.set_flag(flags::ZF, r == 0);
-    f.set_flag(flags::SF, (r as i32) < 0);
-    f.set_flag(flags::PF, parity_even(r));
+/// ZF/SF/PF bits for a result, as a mask to OR into the composed flags.
+fn zsp(r: u32) -> u32 {
+    let mut fl = 0;
+    if r == 0 {
+        fl |= flags::ZF;
+    }
+    if (r as i32) < 0 {
+        fl |= flags::SF;
+    }
+    if parity_even(r) {
+        fl |= flags::PF;
+    }
+    fl
 }
 
 fn set_incdec_flags(m: &mut Machine, r: u32, inc: bool) {
-    let f = &mut m.cpu.regs;
-    f.set_flag(flags::ZF, r == 0);
-    f.set_flag(flags::SF, (r as i32) < 0);
-    f.set_flag(flags::PF, parity_even(r));
+    let mut fl = zsp(r);
     // OF: inc overflows into 0x80000000; dec overflows out of it.
-    f.set_flag(
-        flags::OF,
-        if inc {
-            r == 0x8000_0000
-        } else {
-            r == 0x7FFF_FFFF
-        },
-    );
+    if r == if inc { 0x8000_0000 } else { 0x7FFF_FFFF } {
+        fl |= flags::OF;
+    }
     // CF is preserved, as on x86.
+    apply_flags(
+        &mut m.cpu.regs,
+        flags::OF | flags::ZF | flags::SF | flags::PF,
+        fl,
+    );
 }
 
 fn parity_even(r: u32) -> bool {
     (r as u8).count_ones().is_multiple_of(2)
 }
 
-fn cond_holds(eflags: &u32, cond: Cond) -> bool {
+pub(crate) fn cond_holds(eflags: &u32, cond: Cond) -> bool {
     let f = |mask: u32| eflags & mask != 0;
     match cond {
         Cond::O => f(flags::OF),

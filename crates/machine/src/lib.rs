@@ -51,12 +51,14 @@ pub mod pte;
 pub mod sha256;
 pub mod snapshot;
 pub mod stats;
+pub mod superblock;
 pub mod tlb;
 
 mod machine;
 
 pub use decode_cache::DecodeCacheStats;
 pub use machine::{Machine, MachineConfig, Trap};
+pub use superblock::SuperblockStats;
 pub use tlb::{TlbGeometry, TlbPreset};
 
 /// Re-export of the trace substrate so embedders reach the event types

@@ -146,6 +146,11 @@ pub struct Machine {
     /// [`MachineConfig::decode_cache`] is set; its counters stay zero
     /// otherwise).
     pub decode_cache: DecodeCache,
+    /// Superblock cache backing [`Machine::run_block`] (the pipeline
+    /// fast path). Derived-only state like the decode cache: never
+    /// serialized, rebuilt cold after a snapshot restore, and untouched
+    /// by machines driven purely through [`Machine::step`].
+    pub superblocks: crate::superblock::SuperblockCache,
     /// Flight recorder. Owned by the machine so every layer — hardware,
     /// kernel, engine — stamps events with the one simulated-cycle clock
     /// ([`Machine::cycles`]) and shares one ring.
@@ -162,6 +167,7 @@ impl Machine {
             itlb: Tlb::with_geometry(config.tlb.itlb),
             dtlb: Tlb::with_geometry(config.tlb.dtlb),
             decode_cache: DecodeCache::new(config.phys_frames),
+            superblocks: crate::superblock::SuperblockCache::new(config.phys_frames),
             tracer: Tracer::new(
                 config.trace,
                 if config.trace == 0 {
@@ -305,7 +311,36 @@ impl Machine {
     ///
     /// Returns [`PageFaultInfo`] (without setting CR2; the instruction path
     /// does that) on a missing mapping or rights violation.
+    #[inline]
     pub fn translate(
+        &mut self,
+        vaddr: u32,
+        access: Access,
+        privilege: Privilege,
+    ) -> Result<u32, PageFaultInfo> {
+        // Repeat-hit fast path (data side only): when the D-TLB proves the
+        // last lookup hit or filled this very page under the active ASID,
+        // the full hit path's MRU rotation and shadow touch are both
+        // no-ops, so `hits += 1` replays it exactly. A rights mismatch
+        // falls through to the full path, which owns the hit accounting
+        // and the drop-and-rewalk protocol. The instruction side keeps the
+        // full path: `run_block` already replays fetch hits itself, and
+        // the per-step fetch is the slow path by definition. The fast path
+        // lives in this thin inlined wrapper so a repeat hit never pays
+        // the full walk routine's frame.
+        if access != Access::Fetch {
+            let vpn = pte::vpn(vaddr);
+            if let Some(e) = self.dtlb.replay_peek(vpn) {
+                if Self::check_entry_rights(&self.config, &e, vaddr, access, privilege).is_ok() {
+                    self.dtlb.stats.hits += 1;
+                    return Ok((e.pfn << pte::PAGE_SHIFT) | pte::page_offset(vaddr));
+                }
+            }
+        }
+        self.translate_full(vaddr, access, privilege)
+    }
+
+    fn translate_full(
         &mut self,
         vaddr: u32,
         access: Access,
@@ -408,7 +443,7 @@ impl Machine {
         Ok(paddr)
     }
 
-    fn check_entry_rights(
+    pub(crate) fn check_entry_rights(
         config: &MachineConfig,
         e: &TlbEntry,
         vaddr: u32,

@@ -486,6 +486,9 @@ fn write_tlb(w: &mut Writer, t: &Tlb) {
 
 fn read_tlb(r: &mut Reader, t: &mut Tlb) -> Result<(), SnapshotError> {
     let geometry = t.geometry();
+    // The repeat-hit memo is derived state (never serialized): a restored
+    // TLB starts without one and re-earns it on its first hit or fill.
+    t.last = None;
     t.current_asid = r.u16()?;
     t.last_miss = match r.u8()? {
         0 => sm_trace::MissClass::Cold,

@@ -224,6 +224,14 @@ pub struct Tlb {
     /// 3C class of the most recent miss (the classification happens inline
     /// in [`Tlb::lookup`]; the walker reads it back when tracing fills).
     pub(crate) last_miss: sm_trace::MissClass,
+    /// The entry the most recent [`Tlb::lookup`] hit or [`Tlb::fill`]
+    /// installed, if nothing has disturbed the buffer since. Such an entry
+    /// is at way 0 of its set and at the front of the shadow recency list,
+    /// so a repeat lookup of the same page under the same ASID is a
+    /// guaranteed hit whose MRU rotation and shadow touch are both no-ops.
+    /// Purely derived state: never serialized, cleared by every mutation,
+    /// observable only as saved host work (see [`Tlb::replay_peek`]).
+    pub(crate) last: Option<TlbEntry>,
     /// Counters; reset with [`TlbStats::default`] assignment if needed.
     pub stats: TlbStats,
 }
@@ -254,8 +262,19 @@ impl Tlb {
             seen: HashSet::new(),
             current_asid: 0,
             last_miss: sm_trace::MissClass::Cold,
+            last: None,
             stats: TlbStats::default(),
         }
+    }
+
+    /// The entry a repeat lookup of `vpn` would hit with no state change
+    /// beyond `stats.hits += 1` (see the `last` field invariant), or
+    /// `None` if the fast path cannot prove that. Callers that take the
+    /// shortcut own the hit-counter increment.
+    #[inline]
+    pub(crate) fn replay_peek(&self, vpn: u32) -> Option<TlbEntry> {
+        self.last
+            .filter(|e| e.vpn == vpn && e.asid == self.current_asid)
     }
 
     /// Switch the active address-space identifier. Subsequent fills are
@@ -265,6 +284,7 @@ impl Tlb {
     /// context switch).
     pub fn set_asid(&mut self, asid: u16) {
         self.current_asid = asid;
+        self.last = None;
     }
 
     /// The active address-space identifier (0 unless tagged mode is used).
@@ -335,6 +355,7 @@ impl Tlb {
             let e = self.sets[si][0];
             self.shadow_touch(key_of(asid, vpn));
             self.stats.hits += 1;
+            self.last = Some(e);
             return Some(e);
         }
         self.stats.misses += 1;
@@ -378,6 +399,7 @@ impl Tlb {
             asid: self.current_asid,
             ..entry
         };
+        self.last = Some(entry);
         self.stats.fills += 1;
         self.seen.insert(key_of(entry.asid, entry.vpn));
         self.shadow_touch(key_of(entry.asid, entry.vpn));
@@ -414,6 +436,7 @@ impl Tlb {
         self.stats.flushes += 1;
         self.sets.iter_mut().for_each(Vec::clear);
         self.shadow.clear();
+        self.last = None;
     }
 
     /// Drop any entry for `vpn` (`invlpg`). Returns whether one was present.
@@ -428,6 +451,7 @@ impl Tlb {
     /// conservative: the kernel never has to know which tag a stale
     /// translation was cached under.
     pub fn drop_entry(&mut self, vpn: u32) -> bool {
+        self.last = None;
         self.shadow_drop_vpn(vpn);
         let set = &mut self.sets[self.geometry.set_of(vpn)];
         let before = set.len();
@@ -452,6 +476,7 @@ impl Tlb {
         let si = nonempty[(draw % nonempty.len() as u64) as usize];
         let wi = ((draw >> 32) % self.sets[si].len() as u64) as usize;
         let victim = self.sets[si].remove(wi);
+        self.last = None;
         self.shadow
             .retain(|k| *k != key_of(victim.asid, victim.vpn));
         self.stats.chaos_evictions += 1;
