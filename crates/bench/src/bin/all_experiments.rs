@@ -198,6 +198,56 @@ fn main() {
     summary.sharded = Some(sharded);
     println!();
 
+    println!("==== Fleet simulation (multi-tenant) ============================\n");
+    let fleet = summary.section("fleet", || {
+        let cfg = sm_bench::fleet::FleetConfig {
+            tenants: 120,
+            shards: 4,
+            requests_per_tenant: 4,
+            ..sm_bench::fleet::FleetConfig::default()
+        };
+        let t0 = Instant::now();
+        let result = sm_bench::fleet::run(&cfg);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let serial = sm_bench::fleet::run_serial(&cfg);
+        let identical = result.render() == serial.render()
+            && result.render_tenants() == serial.render_tenants();
+        print!("{}", result.render());
+        let all = result.merged_latency();
+        let (detected, attempts) = result.detection();
+        sm_bench::summary::FleetProbe {
+            tenants: cfg.tenants,
+            cells: cfg.cells(),
+            shards: cfg.shards,
+            completed: result.completed(),
+            dropped: result.dropped(),
+            p50: all.percentile(50),
+            p95: all.percentile(95),
+            p99: all.percentile(99),
+            req_per_mcycle: result.req_per_mcycle(),
+            detected,
+            attempts,
+            degradations: result.degradations(),
+            duration_cycles: result.duration_cycles,
+            wall_ms,
+            identical,
+        }
+    });
+    println!(
+        "fleet: p99={} cycles, {} req/Mcycle, detection {}/{}, parallel vs serial {}",
+        fleet.p99,
+        fleet.req_per_mcycle,
+        fleet.detected,
+        fleet.attempts,
+        if fleet.identical {
+            "byte-identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+    summary.fleet = Some(fleet);
+    println!();
+
     println!("==== Snapshot save/restore throughput ===========================\n");
     let snap = summary.section("probe-snapshot", || sm_bench::summary::snapshot_probe(25));
     println!(

@@ -106,6 +106,133 @@ fn flag_value<'a>(args: &'a [String], i: usize, flag: &str) -> Result<&'a str, S
     }
 }
 
+/// `--fleet`: chaos scenarios at fleet scale — fork-storm churn, an OOM
+/// ramp under real memory pressure, and a mid-run shard kill healed by
+/// snapshot restore. Every scenario must come back with clean invariants,
+/// a clean trace ordering, full attacker detection and zero executed
+/// payloads; failures dump the full fleet report as an artifact and exit
+/// non-zero.
+fn fleet_scenarios() -> i32 {
+    use sm_bench::fleet::{self, FleetConfig, Mix};
+    let mut failures = 0usize;
+
+    let base = FleetConfig {
+        tenants: 40,
+        shards: 2,
+        requests_per_tenant: 4,
+        trace: true,
+        check_invariants: true,
+        ..FleetConfig::default()
+    };
+
+    let mut run_scenario = |name: &str, cfg: &FleetConfig, expect_degradations: bool| {
+        let result = fleet::run(cfg);
+        let mut bad: Vec<String> = Vec::new();
+        if !result.violations.is_empty() {
+            bad.push(format!("{} invariant violations", result.violations.len()));
+        }
+        if !result.trace_violations.is_empty() {
+            bad.push(format!(
+                "{} trace-order violations",
+                result.trace_violations.len()
+            ));
+        }
+        let (det, att) = result.detection();
+        if det != att {
+            bad.push(format!("detection {det}/{att}"));
+        }
+        let injected: u32 = result.tenants.iter().map(|t| t.injected).sum();
+        if injected > 0 {
+            bad.push(format!("{injected} payloads executed"));
+        }
+        if expect_degradations && result.degradations() == 0 {
+            bad.push("expected OOM degradations, saw none".into());
+        }
+        if bad.is_empty() {
+            println!(
+                "fleet {name}: ok ({} completed, detection {det}/{att}, {} degradations)",
+                result.completed(),
+                result.degradations()
+            );
+        } else {
+            failures += 1;
+            let artifact = format!("fleet_{name}_report.txt");
+            let _ = std::fs::write(
+                &artifact,
+                format!("{}{}", result.render(), result.render_tenants()),
+            );
+            println!("fleet {name}: FAILED ({}) -> {artifact}", bad.join("; "));
+            for v in result
+                .violations
+                .iter()
+                .chain(result.trace_violations.iter())
+                .take(10)
+            {
+                println!("  {v}");
+            }
+        }
+    };
+
+    run_scenario(
+        "forkstorm",
+        &FleetConfig {
+            mix: Mix::ForkStorm,
+            ..base.clone()
+        },
+        false,
+    );
+    run_scenario(
+        "oomramp",
+        &FleetConfig {
+            mix: Mix::OomRamp,
+            phys_frames: 96,
+            ..base.clone()
+        },
+        true,
+    );
+
+    // Mid-run shard kill: one cell snapshotted, dropped, restored from the
+    // bytes and driven to completion. Everything observable — per-tenant
+    // reports, the event timeline, and the pre/post trace streams spliced
+    // through the PR-5 validator — must match an uninterrupted twin.
+    let kill_cfg = FleetConfig {
+        tenants: 5,
+        shards: 1,
+        requests_per_tenant: 8,
+        trace: true,
+        check_invariants: true,
+        ..FleetConfig::default()
+    };
+    let probe = fleet::shard_kill_probe(&kill_cfg, 2);
+    if probe.ok() {
+        println!("fleet shard-kill: ok (reports, timeline and spliced trace all identical)");
+    } else {
+        failures += 1;
+        let artifact = "fleet_shard_kill_report.txt";
+        let _ = std::fs::write(
+            artifact,
+            format!(
+                "killed={} reports_identical={} timeline_identical={} splice_ok={} violations={}\n\n{}",
+                probe.killed,
+                probe.reports_identical,
+                probe.timeline_identical,
+                probe.splice_ok,
+                probe.violations.len(),
+                probe.detail
+            ),
+        );
+        println!("fleet shard-kill: FAILED -> {artifact}");
+    }
+
+    if failures == 0 {
+        println!("fleet chaos: all scenarios clean");
+        0
+    } else {
+        println!("fleet chaos: {failures} scenario(s) failed");
+        1
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--no-pipeline") {
@@ -143,6 +270,9 @@ fn main() {
             Err(e) => std::process::exit(usage_error(&format!("{e} (an output path)"))),
         };
         std::process::exit(dump_demo(path));
+    }
+    if args.iter().any(|a| a == "--fleet") {
+        std::process::exit(fleet_scenarios());
     }
     if let Some(i) = args.iter().position(|a| a == "--shards") {
         let n = match flag_value(&args, i, "--shards").map(str::parse::<usize>) {

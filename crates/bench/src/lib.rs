@@ -23,6 +23,8 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fleet;
+pub mod hist;
 pub mod interference;
 pub mod memory;
 pub mod report;

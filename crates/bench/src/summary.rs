@@ -93,6 +93,47 @@ pub struct SnapshotProbe {
     pub restore_mb_per_sec: f64,
 }
 
+/// Headline numbers from the fleet-scale multi-tenant simulation
+/// section: the `fleet_p99` / `fleet_req_per_mcycle` rows CI tracks,
+/// plus the thread-count byte-identity verdict.
+#[derive(Debug, Clone)]
+pub struct FleetProbe {
+    /// Tenants simulated.
+    pub tenants: u32,
+    /// Kernel cells they were spread over.
+    pub cells: u32,
+    /// Parallel shard groups.
+    pub shards: u32,
+    /// Requests that ran to completion.
+    pub completed: u64,
+    /// Requests dropped at the horizon.
+    pub dropped: u64,
+    /// Fleet-wide p50 request latency, simulated cycles.
+    pub p50: u64,
+    /// Fleet-wide p95 request latency, simulated cycles.
+    pub p95: u64,
+    /// Fleet-wide p99 request latency, simulated cycles (the `fleet_p99`
+    /// row).
+    pub p99: u64,
+    /// Completed requests per million simulated cycles (the
+    /// `fleet_req_per_mcycle` row).
+    pub req_per_mcycle: u64,
+    /// Attacks detected / attempted over the attacker population.
+    pub detected: u64,
+    /// Attack attempts (completed attacker requests).
+    pub attempts: u64,
+    /// Degradation events (OOM kills, split degradations, spawn
+    /// rejections).
+    pub degradations: u64,
+    /// Simulated fleet duration in cycles.
+    pub duration_cycles: u64,
+    /// Wall-clock of the parallel run, milliseconds.
+    pub wall_ms: f64,
+    /// Whether the parallel report was byte-identical to the serial
+    /// reference (must be true).
+    pub identical: bool,
+}
+
 /// The whole summary.
 #[derive(Debug, Clone, Default)]
 pub struct BenchSummary {
@@ -110,6 +151,9 @@ pub struct BenchSummary {
     /// Serial- vs sharded-verified fig6 timing (absent if the probe did
     /// not run). The `fig6-sharded` row CI tracks.
     pub sharded: Option<crate::shards::ShardedProbe>,
+    /// Fleet-simulation headline rows (absent if the section did not
+    /// run).
+    pub fleet: Option<FleetProbe>,
 }
 
 impl BenchSummary {
@@ -214,14 +258,41 @@ impl BenchSummary {
                 p.serial_ms, p.sharded_ms, p.speedup, p.segments, p.threads, p.identical
             ),
         };
+        let fleet = match &self.fleet {
+            None => String::new(),
+            Some(p) => format!(
+                ",\n  \"fleet\": {{\"tenants\": {}, \"cells\": {}, \"shards\": {}, \
+                 \"completed\": {}, \"dropped\": {}, \
+                 \"fleet_p50\": {}, \"fleet_p95\": {}, \"fleet_p99\": {}, \
+                 \"fleet_req_per_mcycle\": {}, \"detected\": {}, \"attempts\": {}, \
+                 \"degradations\": {}, \"duration_cycles\": {}, \
+                 \"wall_ms\": {:.3}, \"identical\": {}}}",
+                p.tenants,
+                p.cells,
+                p.shards,
+                p.completed,
+                p.dropped,
+                p.p50,
+                p.p95,
+                p.p99,
+                p.req_per_mcycle,
+                p.detected,
+                p.attempts,
+                p.degradations,
+                p.duration_cycles,
+                p.wall_ms,
+                p.identical
+            ),
+        };
         format!(
-            "{{\n  \"total_wall_ms\": {:.3},\n  \"sections\": [\n{}\n  ],\n  \"steps_probes\": [\n{}\n  ]{}{}{}\n}}\n",
+            "{{\n  \"total_wall_ms\": {:.3},\n  \"sections\": [\n{}\n  ],\n  \"steps_probes\": [\n{}\n  ]{}{}{}{}\n}}\n",
             self.total_wall_ms,
             sections.join(",\n"),
             probes.join(",\n"),
             interference,
             snapshot,
-            sharded
+            sharded,
+            fleet
         )
     }
 }
@@ -398,6 +469,38 @@ mod tests {
         assert!(
             !BenchSummary::default().to_json().contains("fig6_sharded"),
             "row must be absent when the probe did not run"
+        );
+    }
+
+    #[test]
+    fn fleet_row_serializes() {
+        let s = BenchSummary {
+            fleet: Some(FleetProbe {
+                tenants: 500,
+                cells: 100,
+                shards: 4,
+                completed: 3000,
+                dropped: 0,
+                p50: 90_111,
+                p95: 1_015_807,
+                p99: 1_277_951,
+                req_per_mcycle: 1633,
+                detected: 300,
+                attempts: 300,
+                degradations: 0,
+                duration_cycles: 1_836_540,
+                wall_ms: 1400.0,
+                identical: true,
+            }),
+            ..BenchSummary::default()
+        };
+        let j = s.to_json();
+        assert!(j.contains("\"fleet_p99\": 1277951"), "{j}");
+        assert!(j.contains("\"fleet_req_per_mcycle\": 1633"), "{j}");
+        assert!(j.contains("\"identical\": true"), "{j}");
+        assert!(
+            !BenchSummary::default().to_json().contains("\"fleet\""),
+            "row must be absent when the section did not run"
         );
     }
 

@@ -171,6 +171,15 @@ pub enum Violation {
         /// Page base address.
         vaddr: u32,
     },
+    /// The kernel's cached live-process counter drifted from a full
+    /// recount of the process table — some insert/exit/reap path forgot
+    /// to maintain the batched accounting.
+    LiveCountDrift {
+        /// The O(1) cached counter.
+        cached: usize,
+        /// The recounted ground truth.
+        actual: usize,
+    },
     /// The trace-event stream violated the Algorithm-1/2 ordering rules
     /// (an unrestrict left open, an armed window that never fired, a
     /// cycle regression). Strictly stronger than the state snapshots
@@ -242,6 +251,10 @@ impl fmt::Display for Violation {
                 f,
                 "{pid} page {vaddr:#010x}: SPLIT bit set but no split-table entry"
             ),
+            Violation::LiveCountDrift { cached, actual } => write!(
+                f,
+                "live-process counter drift: cached {cached}, recount {actual}"
+            ),
             Violation::TraceOrder(msg) => write!(f, "trace order: {msg}"),
         }
     }
@@ -270,6 +283,14 @@ pub fn check(k: &Kernel) -> Vec<Violation> {
     let tracked = k.sys.frames.tracked();
     if allocated as usize != tracked {
         out.push(Violation::FrameAccounting { allocated, tracked });
+    }
+
+    // 11. Batched process accounting: the O(1) live counter the scheduler
+    // and fleet drivers rely on must equal a full recount.
+    let cached = k.sys.live_process_count();
+    let actual = k.sys.recount_live();
+    if cached != actual {
+        out.push(Violation::LiveCountDrift { cached, actual });
     }
 
     // 7. Refcount lockstep, frame by frame. Together with #1 this covers

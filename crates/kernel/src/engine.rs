@@ -45,7 +45,11 @@ pub enum UdOutcome {
 /// Every hook receives the [`System`] (machine + processes + fs + logs) so
 /// it can manipulate pagetables, TLBs and process state; engines keep their
 /// own per-process bookkeeping keyed by [`Pid`].
-pub trait ProtectionEngine {
+///
+/// `Send` is a supertrait so whole kernels can move between threads: the
+/// fleet simulator drives independent kernel cells from a worker pool, and
+/// engines are per-kernel plain data with no shared interior state.
+pub trait ProtectionEngine: Send {
     /// Human-readable engine name (used in reports).
     fn name(&self) -> &'static str;
 

@@ -208,6 +208,11 @@ pub struct System {
     pub chaos: Option<ChaosState>,
     pub(crate) run_queue: VecDeque<Pid>,
     pub(crate) next_pid: u32,
+    /// Cached count of non-zombie processes, kept in lockstep with the
+    /// process table at every insert/exit/reap so the scheduler loop and
+    /// fleet drivers never pay an O(procs) recount per slice. Recomputed
+    /// on snapshot restore; audited by invariant #11.
+    pub(crate) live_count: usize,
     pub(crate) loaded_cr3_for: Option<Pid>,
     pub(crate) preempt: bool,
     /// Livelock watchdog: (pid, eip, consecutive unretired faults).
@@ -250,6 +255,7 @@ impl System {
                 .then(|| ChaosState::new(config.chaos)),
             run_queue: VecDeque::new(),
             next_pid: 1,
+            live_count: 0,
             loaded_cr3_for: None,
             preempt: false,
             watchdog: None,
@@ -380,8 +386,16 @@ impl System {
         }
     }
 
-    /// Number of processes not yet reaped and not zombies.
+    /// Number of processes not yet reaped and not zombies. O(1): the
+    /// count is maintained incrementally at every spawn/fork/exit and
+    /// audited against a full recount by invariant #11.
     pub fn live_process_count(&self) -> usize {
+        self.live_count
+    }
+
+    /// Recount live processes the slow way (the ground truth the cached
+    /// counter must track). Exposed for the invariant checker.
+    pub fn recount_live(&self) -> usize {
         self.procs
             .values()
             .filter(|p| p.state != ProcState::Zombie)
@@ -434,10 +448,12 @@ impl Kernel {
                 .map_err(|_| SpawnError::OutOfMemory)?;
         let proc = Process::new(pid, pid, image.name.clone(), aspace);
         self.sys.procs.insert(pid.0, proc);
+        self.sys.live_count += 1;
         if let Err(e) = loader::load_into(self, pid, image) {
             // Roll the half-born process back out.
             self.engine.on_teardown(&mut self.sys, pid);
             let mut p = self.sys.procs.remove(&pid.0).expect("just inserted");
+            self.sys.live_count -= 1;
             p.aspace
                 .free_all(&mut self.sys.machine, &mut self.sys.frames);
             return Err(e);
@@ -1158,6 +1174,9 @@ impl Kernel {
             let sys = &mut self.sys;
             let p = sys.procs.get_mut(&pid.0).expect("pid");
             p.aspace.free_all(&mut sys.machine, &mut sys.frames);
+            if p.state != ProcState::Zombie {
+                sys.live_count -= 1;
+            }
             p.state = ProcState::Zombie;
             p.exit_code = Some(code);
             // The single-step window dies with the process: exiting from
@@ -1200,6 +1219,25 @@ impl Kernel {
         }
         // Wake anyone in waitpid.
         self.sys.wake_where(|r| matches!(r, WaitReason::Child));
+    }
+
+    /// Host-side reap: remove a zombie from the process table and return
+    /// its exit code. The fleet driver uses this instead of a guest-side
+    /// `waitpid` so tenant roots (which are their own parents) don't
+    /// accumulate as zombies across thousands of spawn/exit churns.
+    /// Returns `None` — and removes nothing — if the pid is unknown or
+    /// not yet a zombie.
+    pub fn reap(&mut self, pid: Pid) -> Option<i32> {
+        let is_zombie = self
+            .sys
+            .procs
+            .get(&pid.0)
+            .is_some_and(|p| p.state == ProcState::Zombie);
+        if !is_zombie {
+            return None;
+        }
+        let p = self.sys.procs.remove(&pid.0).expect("checked above");
+        p.exit_code
     }
 
     /// Drop one fd object, adjusting pipe endpoint counts and waking

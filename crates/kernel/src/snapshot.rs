@@ -1066,6 +1066,12 @@ pub fn restore(
     engine
         .restore_state(&engine_state)
         .map_err(|_| SnapshotError::Malformed("engine state rejected"))?;
+    // The cached live count is transient bookkeeping, not snapshot state:
+    // recompute it from the restored process table (format unchanged).
+    let live_count = procs
+        .values()
+        .filter(|p| p.state != ProcState::Zombie)
+        .count();
     let sys = System {
         machine,
         frames,
@@ -1081,6 +1087,7 @@ pub fn restore(
         chaos,
         run_queue: sched.run_queue,
         next_pid: sched.next_pid,
+        live_count,
         loaded_cr3_for: sched.loaded_cr3_for,
         preempt: sched.preempt,
         watchdog: sched.watchdog,

@@ -255,6 +255,7 @@ fn sys_fork(k: &mut Kernel, pid: Pid) -> Outcome {
         }
     }
     k.sys.procs.insert(child_pid.0, child);
+    k.sys.live_count += 1;
     k.sys.stats.processes_spawned += 1;
     k.sys.enqueue(child_pid);
     k.engine.on_fork(&mut k.sys, pid, child_pid);
