@@ -3,6 +3,7 @@
 //! real-world exploit scenario emulations (Table 2), and the attack
 //! harness that plays the external attacker.
 
+pub mod code_reuse;
 pub mod harness;
 pub mod real_world;
 pub mod shell;

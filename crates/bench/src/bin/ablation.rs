@@ -1,3 +1,4 @@
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 //! Design-choice ablations (paper §4.2.4 and §4.6).
 fn main() {
     println!("Ablations — §4.2.4 I-TLB loader and §4.6 cost anatomy\n");

@@ -1,3 +1,4 @@
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 //! Runs every table and figure in sequence (the paper's full evaluation),
 //! then re-runs the performance figures on the paper's Pentium III TLB
 //! geometry (32-entry 4-way I-TLB, 64-entry 4-way D-TLB).
@@ -35,6 +36,32 @@ fn main() {
         println!("{}", sm_bench::table2::render(&t2));
         println!("matches paper: {}\n", t2.matches_paper());
     });
+
+    let matrix_rows = summary.section("attack-matrix", || {
+        println!("==== Engine x attack matrix (§7 scope boundary) =================\n");
+        let m = sm_bench::matrix::run();
+        println!("{}", sm_bench::matrix::render(&m));
+        let violations = m.violations();
+        if violations.is_empty() {
+            println!("matches expectations: true\n");
+        } else {
+            println!("matches expectations: FALSE");
+            for v in &violations {
+                println!("  {v}");
+            }
+            println!();
+        }
+        m.cells
+            .iter()
+            .map(|c| sm_bench::summary::MatrixRow {
+                attack: c.attack.name(),
+                engine: c.engine.clone(),
+                shell: c.outcome.succeeded(),
+                detections: c.detections as u64,
+            })
+            .collect::<Vec<_>>()
+    });
+    summary.attack_matrix = matrix_rows;
 
     summary.section("fig5", || {
         println!("==== Fig. 5 =====================================================\n");

@@ -1,3 +1,4 @@
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 //! Chaos sweep runner: seeds × fault plans × scenarios, asserting that
 //! protection verdicts survive every deterministic fault stream.
 //!
@@ -95,6 +96,23 @@ fn usage_error(msg: &str) -> i32 {
     eprintln!("       chaos --replay <dump.smcdump> [--stop-seq <seq>] [--no-pipeline]");
     eprintln!("       chaos --dump-demo <out.smcdump> [--no-pipeline]");
     2
+}
+
+/// A fatal runtime error (an I/O refusal, a missing internal table
+/// entry): diagnostic plus nonzero exit, never a panic — this binary's
+/// failure modes are part of its CLI contract.
+fn fatal(msg: &str) -> ! {
+    eprintln!("chaos: {msg}");
+    std::process::exit(1);
+}
+
+/// Write an artifact file; the destination comes from the command line or
+/// the working directory, so refusal is a user-environment error, not a
+/// bug.
+fn write_artifact(path: &str, bytes: &[u8]) {
+    if let Err(e) = std::fs::write(path, bytes) {
+        fatal(&format!("cannot write {path}: {e}"));
+    }
 }
 
 /// Parse the flag's value argument, rejecting a missing value or another
@@ -296,6 +314,8 @@ fn main() {
     let seeds = [1u64, 2, 3];
     let split = Protection::SplitMem(ResponseMode::Break);
     let combined = Protection::Combined(ResponseMode::Break);
+    let shadow_alone = Protection::ShadowStack(ResponseMode::Break);
+    let shadow_stacked = Protection::ShadowCombined(ResponseMode::Break);
 
     println!(
         "chaos sweep ({}): {} scenarios x {} seeds",
@@ -336,6 +356,50 @@ fn main() {
                 protection: split.clone(),
                 tlb: TlbPreset::default(),
             });
+        }
+    }
+
+    // Third-engine pass: the same perturbation sweep with the
+    // shadow-stack/CFI engine, standalone and stacked on combined
+    // split+NX. CFI events ride the ordinary retire path, so verdicts
+    // must stay plan-stable with the extra engine in the loop — under
+    // --quick and the full matrix alike. (Standalone runs a reduced seed
+    // set: the engine sees the same control-flow stream per plan, the
+    // extra seeds only move fault timing.)
+    for (label, protection, sweep_seeds) in [
+        (
+            "shadow-stack engine alone",
+            shadow_alone.clone(),
+            &seeds[..1],
+        ),
+        ("shadow+nx+split stack", shadow_stacked.clone(), &seeds[..]),
+    ] {
+        println!("\n{label}:");
+        let swept = chaos::sweep(sweep_seeds, &scenarios, &protection);
+        for r in &swept {
+            combos += 1;
+            let mut bad = Vec::new();
+            if !r.verdict_stable {
+                bad.push(format!(
+                    "verdict {:?} != baseline {:?}",
+                    r.run.verdict, r.baseline
+                ));
+            }
+            if !r.run.violations.is_empty() {
+                bad.push(format!("{} invariant violations", r.run.violations.len()));
+            }
+            if matches!(r.run.exit, RunExit::Livelock { .. }) {
+                bad.push("livelock".into());
+            }
+            if report(r, &mut failures, bad) && trace {
+                failed_combos.push(FailedCombo {
+                    scenario: r.scenario.clone(),
+                    plan: r.plan,
+                    seed: r.seed,
+                    protection: protection.clone(),
+                    tlb: TlbPreset::default(),
+                });
+            }
         }
     }
 
@@ -530,10 +594,12 @@ fn write_trace_sample(scenarios: &[Scenario], split: &Protection) {
         .copied()
         .find(|s| matches!(s, Scenario::Wilander(_)))
         .unwrap_or(Scenario::Benign);
-    let plan = chaos::plan_by_name("inert", 1).expect("inert plan exists");
+    let Some(plan) = chaos::plan_by_name("inert", 1) else {
+        fatal("internal plan table is missing 'inert'");
+    };
     let (_, jsonl) =
         chaos::run_scenario_traced_on(scenario, split, TlbPreset::default(), plan, mask::ALL);
-    std::fs::write("chaos_trace_sample.jsonl", &jsonl).expect("write chaos_trace_sample.jsonl");
+    write_artifact("chaos_trace_sample.jsonl", jsonl.as_bytes());
     println!(
         "\ntrace sample: {} events ({}) -> chaos_trace_sample.jsonl",
         jsonl.lines().count(),
@@ -585,7 +651,7 @@ fn dump_failed_traces(by_name: &HashMap<String, Scenario>, failed: &[FailedCombo
         ) {
             Ok((cp, dump)) => {
                 let path = format!("chaos_dump_{i}.smcdump");
-                std::fs::write(&path, &dump).expect("write chaos dump");
+                write_artifact(&path, &dump);
                 println!(
                     "  replay dump: checkpoint @ slice {} ({} checkpoints) -> {path}",
                     cp.snapshot_slice, cp.checkpoints_taken
@@ -594,7 +660,7 @@ fn dump_failed_traces(by_name: &HashMap<String, Scenario>, failed: &[FailedCombo
             Err(e) => println!("  (no replay dump: {e})"),
         }
     }
-    std::fs::write("chaos_trace.jsonl", &out).expect("write chaos_trace.jsonl");
+    write_artifact("chaos_trace.jsonl", out.as_bytes());
     println!("failure event tails -> chaos_trace.jsonl");
 }
 
@@ -603,10 +669,12 @@ fn dump_failed_traces(by_name: &HashMap<String, Scenario>, failed: &[FailedCombo
 /// other checkpoint. Deterministic, so the dump it writes is stable for a
 /// given build — CI restores a checked-in copy and replays it.
 fn dump_demo(path: &str) -> i32 {
-    let scenario = full_scenarios()
+    let Some(scenario) = full_scenarios()
         .into_iter()
         .find(|s| matches!(s, Scenario::Wilander(_)))
-        .expect("at least one applicable wilander cell");
+    else {
+        fatal("no applicable wilander cell to build the demo dump from");
+    };
     let split = Protection::SplitMem(ResponseMode::Break);
     let plan = sm_machine::chaos::FaultPlan {
         flush_every: Some(101),
@@ -628,7 +696,7 @@ fn dump_demo(path: &str) -> i32 {
         },
     ) {
         Ok((cp, dump)) => {
-            std::fs::write(path, &dump).expect("write demo dump");
+            write_artifact(path, &dump);
             println!(
                 "demo dump: {} -> {} ({} checkpoints, {} snapshot faults injected+detected, \
                  checkpoint @ slice {}, {} bytes) -> {path}",
@@ -747,7 +815,9 @@ fn replay_to_seq(path: &str, stop_seq: u64) -> i32 {
 fn sharded_sweep(shards_n: usize) -> i32 {
     use sm_bench::shards::{self, ShardSpec};
     let split = Protection::SplitMem(ResponseMode::Break);
-    let plan = chaos::plan_by_name("kitchen-sink", 1).expect("kitchen-sink plan exists");
+    let Some(plan) = chaos::plan_by_name("kitchen-sink", 1) else {
+        fatal("internal plan table is missing 'kitchen-sink'");
+    };
     let mut scenarios = quick_scenarios();
     scenarios.push(Scenario::MixedPatch);
     println!(
@@ -782,7 +852,7 @@ fn sharded_sweep(shards_n: usize) -> i32 {
             );
             for (i, jsonl) in sharded.per_segment_jsonl.iter().enumerate() {
                 let path = format!("shard_seg_{i}.trace.jsonl");
-                std::fs::write(&path, jsonl).expect("write divergence artifact");
+                write_artifact(&path, jsonl.as_bytes());
                 println!("       segment {i} trace tail -> {path}");
             }
         }

@@ -1,3 +1,4 @@
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 //! Regenerates the paper's Fig. 5 (response modes against WU-FTPD).
 //! `--trace` appends a flight-recorded break-mode run: the tail of the
 //! cycle-stamped `sm-trace` ring around the detection, validated against

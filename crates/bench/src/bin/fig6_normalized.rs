@@ -1,3 +1,4 @@
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 //! Regenerates the paper's Fig. 6 (normalized performance).
 //!
 //! `--shards N` instead runs the fig6 Apache workload once

@@ -1,3 +1,4 @@
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 //! Regenerates the paper's Fig. 7 (context-switch stress tests), on both
 //! the fully-associative compat geometry and the paper's Pentium III
 //! testbed geometry, with TLB miss-class diagnostics for the latter.

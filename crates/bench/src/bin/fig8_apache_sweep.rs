@@ -1,3 +1,4 @@
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 //! Regenerates the paper's Fig. 8 (Apache page-size sweep).
 fn main() {
     println!("Fig. 8 — Apache throughput vs served page size\n");

@@ -1,3 +1,4 @@
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 //! Regenerates the paper's Fig. 9 (split-fraction sweep under NX+split).
 fn main() {
     println!("Fig. 9 — pipe-ctxsw vs fraction of pages split\n");

@@ -1,3 +1,4 @@
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 //! Fleet-scale multi-tenant simulation driver.
 //!
 //! Runs hundreds of tenants across sharded kernel cells under a seeded

@@ -1,3 +1,4 @@
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 //! §5.1 memory-overhead comparison: unprotected vs eager split vs the
 //! envisioned demand-allocated variant.
 fn main() {

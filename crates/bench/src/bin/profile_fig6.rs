@@ -1,3 +1,4 @@
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 //! Per-sub-run profile of the Fig. 6 pipeline (serial, wall-clock +
 //! simulated-instruction counts), used to attribute the section's time
 //! before/after host-side optimisations. Simulation outputs are printed

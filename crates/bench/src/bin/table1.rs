@@ -1,3 +1,4 @@
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 //! Regenerates the paper's Table 1 (Wilander benchmark grid).
 fn main() {
     println!("Table 1 — benchmark attacks foiled by split memory, by injection segment\n");

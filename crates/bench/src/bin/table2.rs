@@ -1,3 +1,4 @@
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 //! Regenerates the paper's Table 2 (five real-world vulnerabilities).
 fn main() {
     println!("Table 2 — five real-world vulnerabilities\n");

@@ -6,6 +6,7 @@
 //! |---|---|---|
 //! | Table 1 (Wilander benchmark) | [`table1`] | `cargo run -p sm-bench --bin table1` |
 //! | Table 2 (five real-world attacks) | [`table2`] | `... --bin table2` |
+//! | Engine × attack matrix (§7 scope boundary) | [`matrix`] | part of `all_experiments` |
 //! | Fig. 5 (response modes on WU-FTPD) | [`fig5`] | `... --bin fig5_response_modes` |
 //! | Fig. 6 (normalized performance) | [`fig6`] | `... --bin fig6_normalized` |
 //! | Fig. 7 (context-switch stress) | [`fig7`] | `... --bin fig7_stress` |
@@ -26,6 +27,7 @@ pub mod fig9;
 pub mod fleet;
 pub mod hist;
 pub mod interference;
+pub mod matrix;
 pub mod memory;
 pub mod report;
 pub mod shards;

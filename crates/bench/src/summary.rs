@@ -134,6 +134,20 @@ pub struct FleetProbe {
     pub identical: bool,
 }
 
+/// One engine × attack matrix cell for the JSON summary (the ROP /
+/// ret2libc negative-result rows CI tracks, plus the injection grid).
+#[derive(Debug, Clone)]
+pub struct MatrixRow {
+    /// Attack label (`ret2libc`, `rop-chain`, `wuftpd-glob`, ...).
+    pub attack: String,
+    /// Engine label (`split(break)`, `shadow(break)`, ...).
+    pub engine: String,
+    /// Whether the attacker got code execution.
+    pub shell: bool,
+    /// Detections the engine logged.
+    pub detections: u64,
+}
+
 /// The whole summary.
 #[derive(Debug, Clone, Default)]
 pub struct BenchSummary {
@@ -154,6 +168,8 @@ pub struct BenchSummary {
     /// Fleet-simulation headline rows (absent if the section did not
     /// run).
     pub fleet: Option<FleetProbe>,
+    /// Engine × attack matrix cells (empty if the section did not run).
+    pub attack_matrix: Vec<MatrixRow>,
 }
 
 impl BenchSummary {
@@ -284,15 +300,31 @@ impl BenchSummary {
                 p.identical
             ),
         };
+        let matrix = if self.attack_matrix.is_empty() {
+            String::new()
+        } else {
+            let rows: Vec<String> = self
+                .attack_matrix
+                .iter()
+                .map(|r| {
+                    format!(
+                        "    {{\"attack\": \"{}\", \"engine\": \"{}\", \"shell\": {}, \"detections\": {}}}",
+                        r.attack, r.engine, r.shell, r.detections
+                    )
+                })
+                .collect();
+            format!(",\n  \"attack_matrix\": [\n{}\n  ]", rows.join(",\n"))
+        };
         format!(
-            "{{\n  \"total_wall_ms\": {:.3},\n  \"sections\": [\n{}\n  ],\n  \"steps_probes\": [\n{}\n  ]{}{}{}{}\n}}\n",
+            "{{\n  \"total_wall_ms\": {:.3},\n  \"sections\": [\n{}\n  ],\n  \"steps_probes\": [\n{}\n  ]{}{}{}{}{}\n}}\n",
             self.total_wall_ms,
             sections.join(",\n"),
             probes.join(",\n"),
             interference,
             snapshot,
             sharded,
-            fleet
+            fleet,
+            matrix
         )
     }
 }
@@ -469,6 +501,39 @@ mod tests {
         assert!(
             !BenchSummary::default().to_json().contains("fig6_sharded"),
             "row must be absent when the probe did not run"
+        );
+    }
+
+    #[test]
+    fn attack_matrix_rows_serialize() {
+        let s = BenchSummary {
+            attack_matrix: vec![
+                MatrixRow {
+                    attack: "rop-chain".into(),
+                    engine: "split(break)".into(),
+                    shell: true,
+                    detections: 0,
+                },
+                MatrixRow {
+                    attack: "rop-chain".into(),
+                    engine: "shadow(break)".into(),
+                    shell: false,
+                    detections: 1,
+                },
+            ],
+            ..BenchSummary::default()
+        };
+        let j = s.to_json();
+        assert!(
+            j.contains(
+                "{\"attack\": \"rop-chain\", \"engine\": \"split(break)\", \"shell\": true, \"detections\": 0}"
+            ),
+            "{j}"
+        );
+        assert!(j.contains("\"attack_matrix\": ["), "{j}");
+        assert!(
+            !BenchSummary::default().to_json().contains("attack_matrix"),
+            "rows must be absent when the matrix did not run"
         );
     }
 

@@ -24,6 +24,9 @@ pub struct Row {
     pub split_detections: usize,
     /// Outcome under the NX baseline (extra column).
     pub nx: AttackOutcome,
+    /// Outcome under the full defense-in-depth stack —
+    /// shadow-stack/CFI over combined split+NX (extra column).
+    pub shadow: AttackOutcome,
     /// Brute-force attempts the exploit needed unprotected (Samba's ASLR
     /// fight).
     pub attempts_unprotected: u32,
@@ -58,12 +61,14 @@ pub fn run() -> Table2 {
             let base = run_scenario(*s, &Protection::Unprotected);
             let split = run_scenario(*s, &Protection::SplitMem(ResponseMode::Break));
             let nx = run_scenario(*s, &Protection::Nx);
+            let shadow = run_scenario(*s, &Protection::ShadowCombined(ResponseMode::Break));
             Row {
                 scenario: *s,
                 unprotected: base.outcome,
                 split: split.outcome,
                 split_detections: split.detections,
                 nx: nx.outcome,
+                shadow: shadow.outcome,
                 attempts_unprotected: base.attempts,
             }
         })
@@ -87,6 +92,7 @@ pub fn render(t: &Table2) -> String {
         "attack result",
         "result with split memory",
         "result with NX bit",
+        "result with shadow stack",
         "attempts",
     ];
     let rows: Vec<Vec<String>> = t
@@ -98,6 +104,7 @@ pub fn render(t: &Table2) -> String {
                 outcome_text(&r.unprotected),
                 outcome_text(&r.split),
                 outcome_text(&r.nx),
+                outcome_text(&r.shadow),
                 r.attempts_unprotected.to_string(),
             ]
         })

@@ -27,7 +27,7 @@ use sm_machine::isa::SPLIT_FILL_OPCODE;
 use sm_machine::phys::OutOfFrames;
 use sm_machine::pte::{self, Frame, PAGE_SIZE};
 use sm_machine::snapshot::{Reader, Writer};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Why an engine operation could not complete. The engine never panics on
@@ -131,7 +131,10 @@ pub struct SplitMemEngine {
     /// Engine configuration (mutable so demos can switch response modes
     /// between runs).
     pub config: SplitMemConfig,
-    tables: HashMap<u32, SplitTable>,
+    // Pid-ordered so every whole-engine walk (snapshot, teardown sweeps,
+    // diagnostics) is deterministic — the same nondeterministic-iteration
+    // class that once lurked *inside* SplitTable.
+    tables: BTreeMap<u32, SplitTable>,
     /// Event counters.
     pub stats: SplitStats,
 }
@@ -141,7 +144,7 @@ impl SplitMemEngine {
     pub fn new(config: SplitMemConfig) -> SplitMemEngine {
         SplitMemEngine {
             config,
-            tables: HashMap::new(),
+            tables: BTreeMap::new(),
             stats: SplitStats::default(),
         }
     }
@@ -883,11 +886,10 @@ impl ProtectionEngine for SplitMemEngine {
     /// constructs the engine with the same configuration it booted with.
     fn snapshot_state(&self) -> Vec<u8> {
         let mut w = Writer::new();
-        let mut pids: Vec<u32> = self.tables.keys().copied().collect();
-        pids.sort_unstable();
-        w.u64(pids.len() as u64);
-        for pid in pids {
-            let table = &self.tables[&pid];
+        // BTreeMap iteration is already pid-sorted; the encoding is
+        // byte-identical to the old sort-a-key-vector walk.
+        w.u64(self.tables.len() as u64);
+        for (&pid, table) in &self.tables {
             w.u32(pid);
             w.u64(table.len() as u64);
             for (vpn, sp) in table.iter() {
@@ -917,7 +919,7 @@ impl ProtectionEngine for SplitMemEngine {
         let s = |e: sm_machine::snapshot::SnapshotError| e.to_string();
         let mut r = Reader::new(bytes);
         let ntables = r.count(1 << 16).map_err(s)?;
-        let mut tables = HashMap::new();
+        let mut tables = BTreeMap::new();
         for _ in 0..ntables {
             let pid = r.u32().map_err(s)?;
             let npages = r.count(1 << 20).map_err(s)?;

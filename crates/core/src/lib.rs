@@ -56,6 +56,7 @@ pub mod forensics;
 pub mod invariants;
 pub mod nx;
 pub mod setup;
+pub mod shadow;
 pub mod split;
 pub mod verify;
 
@@ -65,6 +66,7 @@ pub use combined::CombinedEngine;
 pub use engine::{SplitMemConfig, SplitMemEngine};
 pub use nx::NxEngine;
 pub use setup::Protection;
+pub use shadow::{ShadowCombinedEngine, ShadowStackEngine, ShadowStats};
 pub use split::{SplitPolicy, SplitStats};
 pub use verify::Verifier;
 

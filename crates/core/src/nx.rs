@@ -15,10 +15,17 @@
 use crate::split::page_is_executable;
 use sm_kernel::engine::{FaultOutcome, ProtectionEngine};
 use sm_kernel::events::{Event, ResponseMode};
+use sm_kernel::image::{SEG_R, SEG_X};
 use sm_kernel::kernel::System;
 use sm_kernel::process::Pid;
+use sm_kernel::vma::{Vma, VmaKind};
 use sm_machine::cpu::{Access, PageFaultInfo};
 use sm_machine::pte::{self, PAGE_SIZE};
+
+/// Where observe-mode honeypot copies are mapped: above the mmap region
+/// (0x4000_0000, growing up), far below the stack (growing down from
+/// 0xC000_0000), so a decoy never collides with a real mapping.
+const HONEYPOT_BASE: u32 = 0xA000_0000;
 
 /// Counters for the NX engine.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -29,21 +36,47 @@ pub struct NxStats {
     pub detections: u64,
     /// Pages whose NX was cleared for a kernel-written trampoline.
     pub trampoline_exemptions: u64,
+    /// Decoy pages installed by observe-mode honeypot relocations.
+    pub honeypot_pages: u64,
 }
 
 /// The execute-disable baseline.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct NxEngine {
     /// Event counters.
     pub stats: NxStats,
+    /// Response policy. [`ResponseMode::Break`] is DEP: the blocked fetch
+    /// becomes SIGSEGV. Observe/forensics model the DCR-style honeypot:
+    /// the payload is *relocated* to a decoy mapping and allowed to run —
+    /// which is exactly the response a code-page-read fingerprint can
+    /// unmask, because the decoy lives at a different address. Split
+    /// memory's observe mode heals the page *in place* instead, so the
+    /// same fingerprint learns nothing there.
+    response: ResponseMode,
+}
+
+impl Default for NxEngine {
+    fn default() -> NxEngine {
+        NxEngine::new()
+    }
 }
 
 impl NxEngine {
-    /// Create the engine. The machine must have been configured with
-    /// `nx_enabled = true`; this is checked (with a panic) at first use,
-    /// since silently running without the bit would report false security.
+    /// Create the engine with the DEP-style break response. The machine
+    /// must have been configured with `nx_enabled = true`; this is checked
+    /// (with a panic) at first use, since silently running without the bit
+    /// would report false security.
     pub fn new() -> NxEngine {
-        NxEngine::default()
+        NxEngine::with_response(ResponseMode::Break)
+    }
+
+    /// Create the engine with an explicit response policy (observe and
+    /// forensics select the honeypot relocation).
+    pub fn with_response(response: ResponseMode) -> NxEngine {
+        NxEngine {
+            stats: NxStats::default(),
+            response,
+        }
     }
 
     fn assert_hw(sys: &System) {
@@ -96,12 +129,58 @@ impl NxEngine {
         sys.log(Event::AttackDetected {
             pid,
             eip: pf.addr,
-            // NX supports only crash-style response.
-            mode: ResponseMode::Break,
+            mode: self.response,
             shellcode: Vec::new(),
         });
-        // Unhandled → the kernel delivers SIGSEGV, like DEP.
-        FaultOutcome::Unhandled
+        if self.response == ResponseMode::Break {
+            // Unhandled → the kernel delivers SIGSEGV, like DEP.
+            return FaultOutcome::Unhandled;
+        }
+        // Observe/forensics: relocate the payload into a decoy mapping and
+        // let it run there under watch.
+        match self.relocate_to_honeypot(sys, pid, pf.addr) {
+            Some(decoy_eip) => {
+                sys.machine.cpu.regs.eip = decoy_eip;
+                FaultOutcome::Handled
+            }
+            // Could not build the decoy (OOM): fall back to the crash.
+            None => FaultOutcome::Unhandled,
+        }
+    }
+
+    /// Copy the faulting page (and, when mapped, its successor — payloads
+    /// may straddle the boundary) into fresh decoy pages at
+    /// [`HONEYPOT_BASE`], mapped executable. Returns the decoy address
+    /// corresponding to `addr`.
+    fn relocate_to_honeypot(&mut self, sys: &mut System, pid: Pid, addr: u32) -> Option<u32> {
+        let base = pte::page_base(addr);
+        let slot = HONEYPOT_BASE + self.stats.honeypot_pages as u32 * PAGE_SIZE;
+        let mut pages = vec![base];
+        if let Some(next) = base.checked_add(PAGE_SIZE) {
+            if pte::has(sys.pte_of(pid, next), pte::PRESENT) {
+                pages.push(next);
+            }
+        }
+        for (i, page) in pages.into_iter().enumerate() {
+            let src = pte::frame(sys.pte_of(pid, page));
+            let copy = sys.alloc_copy(src).ok()?;
+            let decoy = slot + i as u32 * PAGE_SIZE;
+            sys.set_pte(pid, decoy, pte::with_frame(pte::PRESENT | pte::USER, copy));
+            sys.machine.invlpg(decoy);
+            // One VMA per decoy page, added as soon as the page is mapped,
+            // so teardown reclaims the frame even if a later page's
+            // allocation fails. Read+execute, never writable: the decoy is
+            // a dead end, not a new injection surface.
+            sys.procs.get_mut(&pid.0)?.aspace.add_vma(Vma::new(
+                decoy,
+                decoy + PAGE_SIZE,
+                SEG_R | SEG_X,
+                VmaKind::Mmap,
+                "nx-honeypot",
+            ));
+            self.stats.honeypot_pages += 1;
+        }
+        Some(slot + pte::page_offset(addr))
     }
 
     /// Clear NX on the pages a kernel trampoline was written to.
@@ -163,6 +242,7 @@ impl ProtectionEngine for NxEngine {
         w.u64(self.stats.pages_marked);
         w.u64(self.stats.detections);
         w.u64(self.stats.trampoline_exemptions);
+        w.u64(self.stats.honeypot_pages);
         w.into_bytes()
     }
 
@@ -173,6 +253,7 @@ impl ProtectionEngine for NxEngine {
             pages_marked: r.u64().map_err(s)?,
             detections: r.u64().map_err(s)?,
             trampoline_exemptions: r.u64().map_err(s)?,
+            honeypot_pages: r.u64().map_err(s)?,
         };
         if !r.is_done() {
             return Err("trailing bytes in execute-disable engine state".into());

@@ -8,6 +8,7 @@
 use crate::combined::CombinedEngine;
 use crate::engine::{SplitMemConfig, SplitMemEngine};
 use crate::nx::NxEngine;
+use crate::shadow::{ShadowCombinedEngine, ShadowStackEngine};
 use crate::split::SplitPolicy;
 use sm_kernel::engine::{NullEngine, ProtectionEngine};
 use sm_kernel::events::ResponseMode;
@@ -26,10 +27,20 @@ pub enum Protection {
     SplitMemCustom(SplitMemConfig),
     /// Hardware execute-disable bit only (DEP/PAGEEXEC baseline).
     Nx,
+    /// Execute-disable with an explicit response mode: observe/forensics
+    /// select the DCR-style honeypot relocation instead of the SIGSEGV
+    /// crash (the response a code-page-read fingerprint can unmask).
+    NxResponse(ResponseMode),
     /// Split memory for mixed pages + NX for the rest (combined mode).
     Combined(ResponseMode),
     /// Combined with a random split fraction (the Fig. 9 sweep).
     CombinedFraction(f64),
+    /// Shadow-stack/coarse-CFI engine alone: catches code-*reuse*
+    /// (ret2libc/ROP) but not injection.
+    ShadowStack(ResponseMode),
+    /// The full defense-in-depth stack: shadow-stack/CFI over combined
+    /// split-memory + execute-disable.
+    ShadowCombined(ResponseMode),
 }
 
 impl Protection {
@@ -40,8 +51,11 @@ impl Protection {
             Protection::SplitMem(m) => format!("split({m})"),
             Protection::SplitMemCustom(_) => "split(custom)".into(),
             Protection::Nx => "nx".into(),
+            Protection::NxResponse(m) => format!("nx({m})"),
             Protection::Combined(m) => format!("nx+split({m})"),
             Protection::CombinedFraction(f) => format!("nx+split({:.0}%)", f * 100.0),
+            Protection::ShadowStack(m) => format!("shadow({m})"),
+            Protection::ShadowCombined(m) => format!("shadow+nx+split({m})"),
         }
     }
 
@@ -49,7 +63,11 @@ impl Protection {
     pub fn needs_nx(&self) -> bool {
         matches!(
             self,
-            Protection::Nx | Protection::Combined(_) | Protection::CombinedFraction(_)
+            Protection::Nx
+                | Protection::NxResponse(_)
+                | Protection::Combined(_)
+                | Protection::CombinedFraction(_)
+                | Protection::ShadowCombined(_)
         )
     }
 
@@ -60,7 +78,10 @@ impl Protection {
             Protection::SplitMem(mode) => Box::new(SplitMemEngine::stand_alone(*mode)),
             Protection::SplitMemCustom(cfg) => Box::new(SplitMemEngine::new(cfg.clone())),
             Protection::Nx => Box::new(NxEngine::new()),
+            Protection::NxResponse(mode) => Box::new(NxEngine::with_response(*mode)),
             Protection::Combined(mode) => Box::new(CombinedEngine::new(*mode)),
+            Protection::ShadowStack(mode) => Box::new(ShadowStackEngine::new(*mode)),
+            Protection::ShadowCombined(mode) => Box::new(ShadowCombinedEngine::new(*mode)),
             Protection::CombinedFraction(f) => {
                 Box::new(CombinedEngine::with_config(SplitMemConfig {
                     policy: SplitPolicy::Fraction(*f),
@@ -175,8 +196,11 @@ mod tests {
             Protection::Unprotected,
             Protection::SplitMem(ResponseMode::Break),
             Protection::Nx,
+            Protection::NxResponse(ResponseMode::Observe),
             Protection::Combined(ResponseMode::Break),
             Protection::CombinedFraction(0.25),
+            Protection::ShadowStack(ResponseMode::Break),
+            Protection::ShadowCombined(ResponseMode::Break),
         ];
         let labels: std::collections::HashSet<String> = ps.iter().map(Protection::label).collect();
         assert_eq!(labels.len(), ps.len());
@@ -217,10 +241,28 @@ mod tests {
             Protection::Unprotected,
             Protection::SplitMem(ResponseMode::Observe),
             Protection::Nx,
+            Protection::NxResponse(ResponseMode::Observe),
             Protection::CombinedFraction(0.1),
+            Protection::ShadowStack(ResponseMode::Break),
+            Protection::ShadowCombined(ResponseMode::Observe),
         ] {
             let k = p.kernel(KernelConfig::default());
             assert_eq!(k.sys.machine.config.nx_enabled, p.needs_nx());
+        }
+    }
+
+    #[test]
+    fn cfi_events_armed_only_for_shadow_engines() {
+        for (p, want) in [
+            (Protection::Unprotected, false),
+            (Protection::SplitMem(ResponseMode::Break), false),
+            (Protection::Nx, false),
+            (Protection::Combined(ResponseMode::Break), false),
+            (Protection::ShadowStack(ResponseMode::Break), true),
+            (Protection::ShadowCombined(ResponseMode::Break), true),
+        ] {
+            let k = p.kernel(KernelConfig::default());
+            assert_eq!(k.sys.machine.config.cfi_events, want, "{}", p.label());
         }
     }
 }

@@ -13,6 +13,7 @@ use crate::kernel::System;
 use crate::process::Pid;
 use sm_machine::cpu::PageFaultInfo;
 use sm_machine::pte::Frame;
+use sm_machine::CfiEvent;
 
 /// Outcome of [`ProtectionEngine::on_protection_fault`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +38,22 @@ pub enum UdOutcome {
     /// says the process must not continue (break mode). The kernel
     /// transfers to the process's recovery handler if one is registered
     /// (the paper's proposed recovery mode) and otherwise delivers SIGILL.
+    Terminate,
+}
+
+/// Outcome of [`ProtectionEngine::on_control_flow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CfiOutcome {
+    /// The transfer is legitimate (or the engine does not police this
+    /// kind); execution continues with no cost charged.
+    Allow,
+    /// A violation was detected but the response policy absorbs it
+    /// (observe/forensics modes); execution continues.
+    Logged,
+    /// A violation was detected and the response policy says the process
+    /// must not continue (break mode). The kernel transfers to the
+    /// process's recovery handler if one is registered and otherwise
+    /// delivers SIGSEGV — the software analogue of CET's `#CP` fault.
     Terminate,
 }
 
@@ -96,6 +113,23 @@ pub trait ProtectionEngine: Send {
     fn on_invalid_opcode(&mut self, sys: &mut System, pid: Pid, eip: u32, opcode: u8) -> UdOutcome {
         let _ = (sys, pid, eip, opcode);
         UdOutcome::Unhandled
+    }
+
+    /// Whether the machine should report retired control-flow transfers
+    /// ([`sm_machine::Trap::ControlFlow`]) to this engine. Only the
+    /// shadow-stack/CFI engine pays for the event stream; everything else
+    /// keeps the machine's zero-cost default.
+    fn wants_cfi_events(&self) -> bool {
+        false
+    }
+
+    /// A control-flow transfer (`call`/`ret`/indirect jump) retired while
+    /// [`ProtectionEngine::wants_cfi_events`] was set: the shadow-stack /
+    /// coarse-CFI check point (CET's `#CP` analogue, raised *after* the
+    /// transfer the way the hardware checks the retiring `ret`).
+    fn on_control_flow(&mut self, sys: &mut System, pid: Pid, ev: CfiEvent) -> CfiOutcome {
+        let _ = (sys, pid, ev);
+        CfiOutcome::Allow
     }
 
     /// A COW break copied the page at `vaddr` into `new_frame` (or kept it,

@@ -7,7 +7,7 @@
 //! bits, TLB fills, trap flag) the paper's technique is made of.
 
 use crate::addrspace::FrameTable;
-use crate::engine::{FaultOutcome, ProtectionEngine, UdOutcome};
+use crate::engine::{CfiOutcome, FaultOutcome, ProtectionEngine, UdOutcome};
 use crate::events::{Event, EventLog};
 use crate::fs::{PipeTable, RamFs};
 use crate::image::ExecImage;
@@ -424,6 +424,11 @@ impl Kernel {
         kconfig: KernelConfig,
         engine: Box<dyn ProtectionEngine>,
     ) -> Kernel {
+        let mut mconfig = mconfig;
+        // The CFI event stream is an engine property, not a caller knob:
+        // arm it exactly when the engine polices control flow (snapshot
+        // restore re-derives it the same way).
+        mconfig.cfi_events = engine.wants_cfi_events();
         Kernel {
             sys: System::new(mconfig, kconfig),
             engine,
@@ -676,6 +681,12 @@ impl Kernel {
             Trap::DivideError => {
                 self.sys.charge(self.sys.machine.config.costs.exception);
                 self.raise_signal(pid, signal::SIGFPE);
+            }
+            Trap::ControlFlow(ev) => {
+                self.handle_cfi(pid, ev);
+                if self.sys.machine.take_pending_singlestep() {
+                    self.handle_debug(pid);
+                }
             }
             Trap::Halt => {
                 // User-mode hlt is a privilege violation.
@@ -1005,6 +1016,31 @@ impl Kernel {
                     self.sys.machine.cpu.regs.eip = h;
                 } else {
                     self.raise_signal(pid, signal::SIGILL);
+                }
+            }
+        }
+    }
+
+    fn handle_cfi(&mut self, pid: Pid, ev: sm_machine::CfiEvent) {
+        match self.engine.on_control_flow(&mut self.sys, pid, ev) {
+            CfiOutcome::Allow => {}
+            CfiOutcome::Logged => {
+                // Observe/forensics: the violation is on the record but
+                // the transfer stands; charge the detour like any other
+                // absorbed exception.
+                self.sys.charge(self.sys.machine.config.costs.exception);
+            }
+            CfiOutcome::Terminate => {
+                self.sys.charge(self.sys.machine.config.costs.exception);
+                // Same recovery path as a split-memory #UD detection: a
+                // registered callback beats the fatal signal. CET delivers
+                // #CP (a SIGSEGV) where split memory delivers SIGILL.
+                let handler = self.sys.proc(pid).recovery_handler;
+                if let Some(h) = handler {
+                    self.sys.log(Event::RecoveryEntered { pid, handler: h });
+                    self.sys.machine.cpu.regs.eip = h;
+                } else {
+                    self.raise_signal(pid, signal::SIGSEGV);
                 }
             }
         }

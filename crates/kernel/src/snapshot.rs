@@ -1072,7 +1072,7 @@ pub fn restore(
         .values()
         .filter(|p| p.state != ProcState::Zombie)
         .count();
-    let sys = System {
+    let mut sys = System {
         machine,
         frames,
         procs,
@@ -1093,6 +1093,9 @@ pub fn restore(
         watchdog: sched.watchdog,
         livelocked: sched.livelocked,
     };
+    // The CFI event stream is transient engine-derived config, never part
+    // of the machine dump: re-arm it exactly as Kernel::new does.
+    sys.machine.config.cfi_events = engine.wants_cfi_events();
     Ok(Kernel { sys, engine })
 }
 

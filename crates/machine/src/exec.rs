@@ -11,7 +11,7 @@ use crate::cpu::{flags, Access, PageFaultInfo, Privilege, Reg};
 use crate::isa::{
     self, AluOp, CodeSource, Cond, Decoded, Dir, Grp5Op, Insn, Mem, Rm, ShiftCount, ShiftOp, UnOp,
 };
-use crate::machine::Machine;
+use crate::machine::{CfiEvent, CfiKind, Machine};
 
 /// How an instruction retired.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,6 +136,13 @@ pub(crate) fn exec_insn(m: &mut Machine, insn: Insn, next_eip: u32) -> Result<Fl
         Insn::Ret => {
             let target = pop(m)?;
             m.cpu.regs.eip = target;
+            if m.config.cfi_events {
+                m.pending_cfi = Some(CfiEvent {
+                    kind: CfiKind::Ret,
+                    target,
+                    link: target,
+                });
+            }
         }
         Insn::Leave => {
             m.cpu.regs.set(Reg::Esp, m.cpu.regs.get(Reg::Ebp));
@@ -169,6 +176,13 @@ pub(crate) fn exec_insn(m: &mut Machine, insn: Insn, next_eip: u32) -> Result<Fl
         Insn::CallRel(rel) => {
             push(m, next_eip)?;
             m.cpu.regs.eip = next_eip.wrapping_add(rel as u32);
+            if m.config.cfi_events {
+                m.pending_cfi = Some(CfiEvent {
+                    kind: CfiKind::Call,
+                    target: m.cpu.regs.eip,
+                    link: next_eip,
+                });
+            }
         }
         Insn::JmpRel(rel) => {
             m.cpu.regs.eip = next_eip.wrapping_add(rel as u32);
@@ -302,10 +316,24 @@ pub(crate) fn exec_insn(m: &mut Machine, insn: Insn, next_eip: u32) -> Result<Fl
                 let target = read_rm(m, rm, false)?;
                 push(m, next_eip)?;
                 m.cpu.regs.eip = target;
+                if m.config.cfi_events {
+                    m.pending_cfi = Some(CfiEvent {
+                        kind: CfiKind::IndirectCall,
+                        target,
+                        link: next_eip,
+                    });
+                }
             }
             Grp5Op::Jmp => {
                 let target = read_rm(m, rm, false)?;
                 m.cpu.regs.eip = target;
+                if m.config.cfi_events {
+                    m.pending_cfi = Some(CfiEvent {
+                        kind: CfiKind::IndirectJmp,
+                        target,
+                        link: 0,
+                    });
+                }
             }
             Grp5Op::Push => {
                 let v = read_rm(m, rm, false)?;

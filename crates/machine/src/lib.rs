@@ -57,7 +57,7 @@ pub mod tlb;
 mod machine;
 
 pub use decode_cache::DecodeCacheStats;
-pub use machine::{Machine, MachineConfig, Trap};
+pub use machine::{CfiEvent, CfiKind, Machine, MachineConfig, Trap};
 pub use superblock::SuperblockStats;
 pub use tlb::{TlbGeometry, TlbPreset};
 

@@ -45,6 +45,14 @@ pub struct MachineConfig {
     pub trace: u32,
     /// Ring capacity of the tracer when any layer is enabled.
     pub trace_capacity: usize,
+    /// Report control-flow transfers (`call`/`ret`/indirect jumps) to the
+    /// embedding kernel as [`Trap::ControlFlow`] events after the
+    /// instruction retires. Models the CET-style shadow-stack/indirect-
+    /// branch-tracking hardware assist; off for every engine that does not
+    /// ask for it, so the plain machine pays nothing. Never serialized:
+    /// snapshots re-arm it from the restored engine, keeping the dump
+    /// format and golden dumps unchanged.
+    pub cfi_events: bool,
     /// Cycle cost model.
     pub costs: CycleCosts,
 }
@@ -59,6 +67,7 @@ impl Default for MachineConfig {
             decode_cache: true,
             trace: 0,
             trace_capacity: Tracer::DEFAULT_CAPACITY,
+            cfi_events: false,
             costs: CycleCosts::default(),
         }
     }
@@ -73,6 +82,36 @@ impl MachineConfig {
             ..MachineConfig::default()
         }
     }
+}
+
+/// Kind of control-flow transfer reported by a [`Trap::ControlFlow`] event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CfiKind {
+    /// Direct `call rel32`; the return address was pushed.
+    Call,
+    /// Indirect `call r/m32`; the return address was pushed.
+    IndirectCall,
+    /// `ret`; the return address was popped.
+    Ret,
+    /// Indirect `jmp r/m32` (direct jumps are not reported — their targets
+    /// are fixed at assembly time and carry no hijack surface).
+    IndirectJmp,
+}
+
+/// A retired control-flow transfer, reported when
+/// [`MachineConfig::cfi_events`] is set. `eip` already points at `target`;
+/// the kernel's protection engine decides whether the transfer was
+/// legitimate (shadow-stack match, CFI target check) after the fact, the
+/// way CET raises `#CP` on the retiring `ret`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CfiEvent {
+    /// What kind of transfer retired.
+    pub kind: CfiKind,
+    /// Transfer destination (the new `eip`).
+    pub target: u32,
+    /// For calls: the return address that was pushed. For `ret`: the
+    /// address that was popped (== `target`). For jumps: 0.
+    pub link: u32,
 }
 
 /// Result of executing one instruction: either it retired normally or it
@@ -103,6 +142,9 @@ pub enum Trap {
     DebugStep,
     /// Divide error (`#DE`); registers rolled back.
     DivideError,
+    /// A control-flow transfer retired while [`MachineConfig::cfi_events`]
+    /// was set; `eip` already points at the transfer target.
+    ControlFlow(CfiEvent),
     /// `hlt` executed.
     Halt,
 }
@@ -156,6 +198,11 @@ pub struct Machine {
     /// ([`Machine::cycles`]) and shares one ring.
     pub tracer: Tracer,
     pub(crate) pending_singlestep: bool,
+    /// Control-flow event set by the just-executed instruction when
+    /// [`MachineConfig::cfi_events`] is on; drained by
+    /// [`Machine::step`]/[`Machine::run_block`] within the same retire, so
+    /// it is never live across calls and never serialized.
+    pub(crate) pending_cfi: Option<CfiEvent>,
 }
 
 impl Machine {
@@ -180,6 +227,7 @@ impl Machine {
             cycles: 0,
             stats: MachineStats::default(),
             pending_singlestep: false,
+            pending_cfi: None,
         }
     }
 
@@ -687,7 +735,16 @@ impl Machine {
         match exec::step(self) {
             Ok(exec::Flow::Normal) => {
                 self.stats.instructions += 1;
-                if tf {
+                if let Some(ev) = self.pending_cfi.take() {
+                    // The control-flow report takes precedence over the
+                    // single-step trap; the #DB belongs after the kernel has
+                    // ruled on the transfer, so it is deferred the same way
+                    // a syscall defers it.
+                    if tf {
+                        self.pending_singlestep = true;
+                    }
+                    Trap::ControlFlow(ev)
+                } else if tf {
                     self.stats.debug_traps += 1;
                     Trap::DebugStep
                 } else {

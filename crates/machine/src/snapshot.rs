@@ -413,6 +413,9 @@ fn read_config(r: &mut Reader) -> Result<MachineConfig, SnapshotError> {
         decode_cache: r.bool()?,
         trace: r.u32()?,
         trace_capacity: r.count(MAX_TRACE_CAPACITY)?,
+        // Never serialized: the kernel re-arms it from the restored
+        // engine's `wants_cfi_events`, keeping the dump format stable.
+        cfi_events: false,
         costs: read_costs(r)?,
     })
 }

@@ -890,6 +890,14 @@ impl Machine {
                         self.stats.instructions += 1;
                         retired += 1;
                         dirty |= op_flags & F_WRITES_MEM != 0;
+                        if let Some(ev) = self.pending_cfi.take() {
+                            // Same drain point as Machine::step: the
+                            // transfer already retired, so the per-step and
+                            // pipelined trap streams stay identical (calls
+                            // and rets always terminate a block and execute
+                            // through this general path).
+                            return (retired, Trap::ControlFlow(ev));
+                        }
                         if self.cpu.regs.eip != next_eip {
                             // Taken branch / call / ret: chain from the
                             // transfer target.

@@ -216,6 +216,9 @@ proptest! {
                 | Trap::InvalidOpcode { .. }
                 | Trap::DivideError
                 | Trap::DebugStep => break,
+                // CFI tracing is opt-in; with `cfi_events` off (the default
+                // config used here) the machine must never surface one.
+                Trap::ControlFlow(ev) => panic!("CFI event with cfi_events off: {ev:?}"),
             }
         }
     }

@@ -86,6 +86,26 @@ fn dump_demo_without_a_path_is_a_usage_error() {
     assert_eq!(out.status.code(), Some(2));
 }
 
+/// Artifact writes go through one typed path: an unwritable destination is
+/// a `chaos: cannot write ...` diagnostic with exit 1, not an io panic.
+#[test]
+fn dump_demo_unwritable_path_is_a_typed_error() {
+    let out = run(&["--dump-demo", "/nonexistent/dir/demo.smcdump"]);
+    assert_typed_failure(&out, "cannot write /nonexistent/dir/demo.smcdump");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn bad_shard_count_is_a_usage_error() {
+    let out = run(&["--shards", "many"]);
+    assert_typed_failure(&out, "--shards is not a number");
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["--shards", "0"]);
+    assert_typed_failure(&out, "--shards must be >= 1");
+    let out = run(&["--shards"]);
+    assert_typed_failure(&out, "--shards needs a value");
+}
+
 #[test]
 fn bad_stop_seq_is_a_usage_error() {
     let path = scratch("unused.smcdump");

@@ -43,6 +43,7 @@ fn canonical_case() -> wilander::Case {
 /// Run one Wilander cell to completion with the given knobs, returning
 /// the kernel and its verdict.
 fn run_case(
+    protection: &Protection,
     tlb: TlbPreset,
     plan: FaultPlan,
     trace_capacity: usize,
@@ -50,7 +51,7 @@ fn run_case(
 ) -> (Kernel, String) {
     let built = wilander::build_case(canonical_case()).expect("case applies");
     let mut k = kernel_with_on(
-        &split_break(),
+        protection,
         tlb,
         KernelConfig {
             aslr_stack: false,
@@ -111,14 +112,16 @@ proptest! {
     /// Pipeline-on is pipeline-off, observably: same verdict, cycles,
     /// machine/TLB/kernel counters, event log and trace JSONL stream —
     /// across seeds, chaos plans (index 0 is the inert plan, where the
-    /// superblock tier actually engages), TLB geometries and trace ring
-    /// capacities.
+    /// superblock tier actually engages), TLB geometries, trace ring
+    /// capacities and protection engines (the shadow-stack/CFI engine's
+    /// retire-path events must not perturb the block tier either).
     #[test]
     fn pipeline_on_is_pipeline_off(
         seed in 1u64..24,
         plan_idx in 0usize..8,
         geom_idx in 0usize..3,
         cap_idx in 0usize..2,
+        prot_idx in 0usize..3,
     ) {
         let plan = if plan_idx == 0 {
             FaultPlan::default()
@@ -132,8 +135,13 @@ proptest! {
             TlbPreset::fully_associative(8),
         ][geom_idx];
         let cap = [0usize, 64][cap_idx];
-        let (k_off, v_off) = run_case(tlb, plan, cap, false);
-        let (k_on, v_on) = run_case(tlb, plan, cap, true);
+        let protection = [
+            split_break(),
+            Protection::ShadowStack(ResponseMode::Break),
+            Protection::ShadowCombined(ResponseMode::Break),
+        ][prot_idx].clone();
+        let (k_off, v_off) = run_case(&protection, tlb, plan, cap, false);
+        let (k_on, v_on) = run_case(&protection, tlb, plan, cap, true);
         prop_assert_eq!(v_off, v_on);
         assert_observably_equal(&k_on, &k_off);
         // The pipeline-off run must never touch the superblock tier; the

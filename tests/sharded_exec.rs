@@ -115,8 +115,10 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// Shards-on ≡ shards-off for arbitrary seeds, perturbation plans,
-    /// segment counts, ring capacities and strides. `RAYON_NUM_THREADS`
-    /// varies in CI; the output must not.
+    /// segment counts, ring capacities, strides and protection engines
+    /// (the shadow-stack/CFI engine's state must survive the per-segment
+    /// snapshot round-trips byte-exactly). `RAYON_NUM_THREADS` varies in
+    /// CI; the output must not.
     #[test]
     fn shards_on_equals_shards_off(
         seed in 1u64..64,
@@ -124,12 +126,17 @@ proptest! {
         nshards in 1usize..6,
         cap_idx in 0usize..3,
         stride in 1_000u64..20_000,
+        prot_idx in 0usize..3,
     ) {
-        let split = split_break();
+        let protection = [
+            split_break(),
+            Protection::ShadowStack(ResponseMode::Break),
+            Protection::ShadowCombined(ResponseMode::Break),
+        ][prot_idx].clone();
         let plans = chaos::perturbation_plans(seed);
         let plan = plans[plan_idx % plans.len()].plan;
         let capacity = [64usize, 512, 4096][cap_idx];
-        let spec = chaos_spec(canonical_scenario(), &split, plan, mask::ALL, capacity, stride);
+        let spec = chaos_spec(canonical_scenario(), &protection, plan, mask::ALL, capacity, stride);
         let serial = shards::run_serial(&spec);
         let sharded = shards::run_sharded(&spec, nshards);
         prop_assert!(sharded.zip_ok, "zip notes: {:?}", sharded.zip_notes);

@@ -260,6 +260,41 @@ fn snapshot_bytes_identical_across_thread_counts() {
     assert_eq!(ksnap::save(&k), a.0, "round-trip is not canonical");
 }
 
+/// Run-to-run snapshot determinism for the protection engines: the
+/// split-memory page-table map is ordered (`BTreeMap`), so two
+/// identically-driven kernels built in the same process serialize
+/// byte-identically — a `HashMap` there would reorder the serialized
+/// tables between instances (each map draws its own hash seed) and break
+/// dump diffing, golden snapshots, and replay-from-checkpoint equality.
+#[test]
+fn engine_snapshot_bytes_deterministic_run_to_run() {
+    for protection in [
+        split_break(),
+        Protection::Combined(ResponseMode::Break),
+        Protection::ShadowCombined(ResponseMode::Break),
+    ] {
+        let bytes = || {
+            let (k, _) = sm_attacks::code_reuse::run_libd_benign(&protection);
+            ksnap::save(&k)
+        };
+        let a = bytes();
+        let b = bytes();
+        assert_eq!(
+            a,
+            b,
+            "snapshot bytes differ run-to-run under {}",
+            protection.label()
+        );
+        let k = ksnap::restore(&a, protection.engine()).expect("snapshot restores");
+        assert_eq!(
+            ksnap::save(&k),
+            a,
+            "round-trip not canonical under {}",
+            protection.label()
+        );
+    }
+}
+
 fn loop_program() -> BuiltProgram {
     ProgramBuilder::new("/bin/loop")
         .code(

@@ -127,6 +127,42 @@ fn golden_trace_matches_algorithm_sequence() {
     );
 }
 
+/// Golden trace for a *code-reuse* detection: the ROP chain under the
+/// shadow-stack engine produces a DETECT record (with the victim pid)
+/// followed by process exits — and none of the split-memory machinery
+/// (no page splits, no PTE restricts: nothing was injected, so the
+/// paper's engines have nothing to trace). Byte-identical across runs.
+#[test]
+fn golden_rop_detection_trace() {
+    use sm_attacks::code_reuse;
+    let shadow = Protection::ShadowStack(ResponseMode::Break);
+    let run = || code_reuse::run_rop_traced(&shadow, mask::DETECT | mask::PTE | mask::PROC);
+    let (report, jsonl) = run();
+    assert!(
+        matches!(report.outcome, sm_attacks::AttackOutcome::Foiled { .. }),
+        "shadow stack must foil the chain: {:?}",
+        report.outcome
+    );
+    assert!(report.detections > 0, "detection must be logged");
+    let kinds: Vec<&str> = jsonl
+        .lines()
+        .filter_map(|l| l.split("\"kind\":\"").nth(1))
+        .filter_map(|s| s.split('"').next())
+        .collect();
+    assert!(
+        kinds.contains(&"detection"),
+        "trace must carry the DETECT record: {kinds:?}"
+    );
+    assert!(
+        !kinds
+            .iter()
+            .any(|k| k.starts_with("page_") || k.starts_with("pte_")),
+        "pure code reuse must not touch split-memory machinery: {kinds:?}"
+    );
+    let (_, jsonl2) = run();
+    assert_eq!(jsonl, jsonl2, "detected-ROP trace must be byte-identical");
+}
+
 #[test]
 fn golden_trace_is_byte_identical_across_runs() {
     let (k1, _) = run_case(FaultPlan::default(), mask::ALL);
